@@ -1,0 +1,1 @@
+bench/common.ml: Cim_arch Cim_baselines Cim_compiler Cim_models Cim_util Hashtbl Printf Sys

@@ -1,0 +1,1 @@
+bench/e01_heatmap.ml: Chip Cim_arch Cim_models Common Config List Option Printf Stats String Table Workload Zoo

@@ -1,0 +1,1 @@
+bench/e02_intensity.ml: Chip Cim_models Cim_nnir Common Config List Option Printf String Table Workload Zoo

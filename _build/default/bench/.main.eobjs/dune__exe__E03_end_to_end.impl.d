@@ -1,0 +1,1 @@
+bench/e03_end_to_end.ml: Baseline Common Hashtbl List Option Printf Stats Table Workload Zoo

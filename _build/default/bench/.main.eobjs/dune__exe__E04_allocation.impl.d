@@ -1,0 +1,1 @@
+bench/e04_allocation.ml: Array Cim_compiler Cmswitch Common Config List Option Plan Printf String Table Workload Zoo

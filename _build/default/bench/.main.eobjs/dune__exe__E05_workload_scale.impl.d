@@ -1,0 +1,1 @@
+bench/e05_workload_scale.ml: Baseline Common List Option Printf Table Workload Zoo

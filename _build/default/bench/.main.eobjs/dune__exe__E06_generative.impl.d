@@ -1,0 +1,1 @@
+bench/e06_generative.ml: Baseline Common List Option Printf Table Zoo

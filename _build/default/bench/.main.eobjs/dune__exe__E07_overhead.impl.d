@@ -1,0 +1,1 @@
+bench/e07_overhead.ml: Cim_sim Cmswitch Common Config List Option Printf Table Workload Zoo

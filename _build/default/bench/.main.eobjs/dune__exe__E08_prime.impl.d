@@ -1,0 +1,1 @@
+bench/e08_prime.ml: Baseline Chip Common Config Format List Option Printf Table Zoo

@@ -1,0 +1,1 @@
+bench/e09_compile_time.ml: Baseline Cmswitch Common Config Float List Option Printf Stats Sys Table Workload Zoo

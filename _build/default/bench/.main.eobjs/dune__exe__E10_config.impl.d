@@ -1,0 +1,1 @@
+bench/e10_config.ml: Alloc Chip Cim_metaop Cim_models Cim_sim Cim_tensor Cim_util Cmswitch Common Config Format Plan Printf Segment

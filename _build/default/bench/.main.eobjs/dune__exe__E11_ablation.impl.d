@@ -1,0 +1,1 @@
+bench/e11_ablation.ml: Alloc Array Cim_compiler Cim_metaop Cmswitch Common Config List Option Plan Printf Segment Sys Table Workload Zoo

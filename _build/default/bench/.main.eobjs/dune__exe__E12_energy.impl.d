@@ -1,0 +1,1 @@
+bench/e12_energy.ml: Alloc Cim_sim Cmswitch Common Config Format List Option Segment Table Workload Zoo

@@ -1,0 +1,60 @@
+(* E1 — Fig. 1(b) / Fig. 5(a)(b): normalised performance as the
+   compute/memory split of 100 dual-mode arrays varies, for LLaMA2-7B
+   (single-batch decode) and ResNet-50. "Theoretical performance" is the
+   cost-model execution time with every operator granted the whole chip at
+   that split — exactly the figure's idealised sweep. *)
+
+open Common
+module Cost = Cim_arch.Cost
+module Intensity = Cim_models.Intensity
+
+let total_latency chip ~com ~mem graph =
+  let stats = Intensity.node_stats graph in
+  List.fold_left
+    (fun acc (s : Intensity.node_stats) ->
+      let ai = Intensity.ai_total s in
+      if s.Intensity.macs = 0. || ai <= 0. then acc
+      else acc +. Cost.op_latency chip ~ops:s.Intensity.macs ~ai ~com ~mem)
+    0. stats
+
+let run () =
+  section "E1 | Fig. 1(b) / Fig. 5(a)(b): performance vs compute-mode ratio (100 arrays)";
+  let chip = Config.scaled Config.dynaplasia ~n_arrays:100 in
+  let cases =
+    [
+      ( "LLaMA2-7B (decode, kv=64)",
+        (Option.get (Zoo.find "llama2-7b")).Zoo.build (Workload.decode ~batch:1 64) );
+      ( "ResNet-50 (batch 1)",
+        (Option.get (Zoo.find "resnet50")).Zoo.build (Workload.prefill ~batch:1 1) );
+    ]
+  in
+  List.iter
+    (fun (label, graph) ->
+      let ratios = List.init 11 (fun i -> i * 10) in
+      let latencies =
+        List.map
+          (fun pct ->
+            let com = max 1 (pct * chip.Chip.n_arrays / 100) in
+            let mem = chip.Chip.n_arrays - com in
+            total_latency chip ~com ~mem graph)
+          ratios
+      in
+      let best = Stats.minimum latencies in
+      let perfs = List.map (fun l -> best /. l) latencies in
+      let tbl =
+        Table.create ~title:(label ^ " — normalised performance")
+          [ ("compute ratio", Table.Right); ("perf", Table.Right);
+            ("bar", Table.Left) ]
+      in
+      List.iter2
+        (fun pct perf ->
+          let bar = String.make (int_of_float (perf *. 40.)) '#' in
+          Table.add_row tbl
+            [ Printf.sprintf "%d%%" pct; Table.cell_f perf; bar ])
+        ratios perfs;
+      Table.print tbl;
+      let best_idx = ref 0 in
+      List.iteri (fun i p -> if p >= List.nth perfs !best_idx then best_idx := i)
+        perfs;
+      Printf.printf "optimum at %d%% compute mode\n" (List.nth ratios !best_idx))
+    cases

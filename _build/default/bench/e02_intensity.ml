@@ -1,0 +1,113 @@
+(* E2 — Fig. 5(c): average arithmetic intensity per model;
+        Fig. 6(a): layer-wise AI of ResNet-50;
+        Fig. 6(b): BERT-large AI vs sequence length, FC vs attention. *)
+
+open Common
+module Intensity = Cim_models.Intensity
+module Graph = Cim_nnir.Graph
+
+let fig5c () =
+  let tbl =
+    Table.create ~title:"Fig. 5(c): average arithmetic intensity (MAC/byte, weights included)"
+      [ ("model", Table.Left); ("workload", Table.Left); ("AI", Table.Right) ]
+  in
+  let add key w =
+    let e = Option.get (Zoo.find key) in
+    let g = e.Zoo.build w in
+    Table.add_row tbl
+      [ e.Zoo.display; Workload.to_string w; Table.cell_f (Intensity.model_ai g) ]
+  in
+  add "resnet50" (Workload.prefill ~batch:1 1);
+  add "vgg16" (Workload.prefill ~batch:1 1);
+  add "mobilenetv2" (Workload.prefill ~batch:1 1);
+  add "bert-large" (Workload.prefill ~batch:1 64);
+  add "llama2-7b" (Workload.decode ~batch:1 64);
+  add "opt-6.7b" (Workload.decode ~batch:1 64);
+  add "opt-13b" (Workload.decode ~batch:1 64);
+  Table.print tbl
+
+let fig6a () =
+  let g = (Option.get (Zoo.find "resnet50")).Zoo.build (Workload.prefill ~batch:1 1) in
+  let stats = Intensity.node_stats g in
+  let tbl =
+    Table.create ~title:"Fig. 6(a): layer-wise arithmetic intensity of ResNet-50"
+      [ ("layer", Table.Left); ("MACs", Table.Right); ("AI", Table.Right) ]
+  in
+  (* one row per convolution kind inside each stage: sample the first block
+     of each stage like the figure does *)
+  List.iter
+    (fun (s : Intensity.node_stats) ->
+      let name = s.Intensity.node_name in
+      let sampled =
+        List.exists (fun p ->
+            String.length name >= String.length p
+            && String.sub name 0 (String.length p) = p)
+          [ "stem"; "st1_b1"; "st2_b1"; "st3_b1"; "st4_b1"; "fc" ]
+      in
+      if sampled then
+        Table.add_row tbl
+          [ name; Table.cell_si s.Intensity.macs; Table.cell_f (Intensity.ai_total s) ])
+    stats;
+  Table.print tbl
+
+let fig6b () =
+  let tbl =
+    Table.create
+      ~title:"Fig. 6(b): BERT-large arithmetic intensity vs sequence length"
+      [ ("seq", Table.Right); ("model AI", Table.Right); ("FC AI", Table.Right);
+        ("attention AI", Table.Right) ]
+  in
+  List.iter
+    (fun seq ->
+      let g = (Option.get (Zoo.find "bert-large")).Zoo.build (Workload.prefill ~batch:1 seq) in
+      let stats = Intensity.node_stats g in
+      let agg kind_pred =
+        let macs, traffic =
+          List.fold_left
+            (fun (m, t) (s : Intensity.node_stats) ->
+              if kind_pred s then
+                ( m +. s.Intensity.macs,
+                  t +. s.Intensity.act_in_bytes +. s.Intensity.act_out_bytes
+                  +. s.Intensity.weight_bytes )
+              else (m, t))
+            (0., 0.) stats
+        in
+        if traffic = 0. then 0. else macs /. traffic
+      in
+      Table.add_row tbl
+        [ string_of_int seq;
+          Table.cell_f (agg (fun _ -> true));
+          Table.cell_f (agg (fun s -> s.Intensity.kind = Intensity.Static_weight));
+          Table.cell_f (agg (fun s -> s.Intensity.kind = Intensity.Dynamic_matmul)) ])
+    [ 32; 64; 128; 256; 512; 1024; 2048 ];
+  Table.print tbl
+
+let roofline () =
+  let chip = Config.dynaplasia in
+  let tbl =
+    Table.create
+      ~title:(Printf.sprintf
+                "fixed-mode roofline (peak %.0f MAC/cy, ridge AI %.0f): memory-bound MAC share"
+                (float_of_int chip.Chip.n_arrays *. chip.Chip.op_cim)
+                (float_of_int chip.Chip.n_arrays *. chip.Chip.op_cim /. Chip.d_main chip))
+      [ ("model", Table.Left); ("workload", Table.Left);
+        ("memory-bound MACs", Table.Right) ]
+  in
+  let add key w =
+    let e = Option.get (Zoo.find key) in
+    let s = Cim_models.Roofline.analyze chip (e.Zoo.build w) in
+    Table.add_row tbl
+      [ e.Zoo.display; Workload.to_string w;
+        Table.cell_pct s.Cim_models.Roofline.memory_bound_macs ]
+  in
+  add "resnet50" (Workload.prefill ~batch:1 1);
+  add "bert-large" (Workload.prefill ~batch:1 64);
+  add "llama2-7b" (Workload.decode ~batch:1 64);
+  Table.print tbl
+
+let run () =
+  section "E2 | Figs. 5(c), 6(a), 6(b): arithmetic intensity";
+  fig5c ();
+  fig6a ();
+  fig6b ();
+  roofline ()

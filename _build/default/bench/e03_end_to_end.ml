@@ -1,0 +1,51 @@
+(* E3 — Fig. 14: end-to-end speedup of CMSwitch over PUMA, OCC and CIM-MLC
+   on the six benchmark networks (transformers at sequence length 64,
+   generative models prefill 64 + 64 decoded tokens). The red-arrow numbers
+   of the figure are the CIM-MLC column; the figure's geomean bar is the
+   last row. *)
+
+open Common
+
+let run () =
+  section "E3 | Fig. 14: end-to-end speedup over the baselines";
+  let tbl =
+    Table.create
+      ~title:"speedup of CMSwitch (baseline cycles / CMSwitch cycles)"
+      [ ("model", Table.Left); ("vs OCC", Table.Right); ("vs PUMA", Table.Right);
+        ("vs CIM-MLC", Table.Right); ("mem-mode ratio", Table.Right) ]
+  in
+  let per_baseline = Hashtbl.create 8 in
+  List.iter
+    (fun key ->
+      let cms = e2e_cycles Cms key in
+      let speedup which =
+        let s = e2e_cycles (Base which) key /. cms in
+        let acc =
+          Option.value (Hashtbl.find_opt per_baseline which) ~default:[]
+        in
+        Hashtbl.replace per_baseline which (s :: acc);
+        s
+      in
+      let s_occ = speedup Baseline.Occ in
+      let s_puma = speedup Baseline.Puma in
+      let s_mlc = speedup Baseline.Cim_mlc in
+      let e = Option.get (Zoo.find key) in
+      let ratio =
+        match e.Zoo.family with
+        | Zoo.Cnn -> mem_ratio key (Workload.prefill ~batch:1 1)
+        | Zoo.Encoder_only -> mem_ratio key (Workload.prefill ~batch:1 64)
+        | Zoo.Decoder_only -> mem_ratio key (Workload.decode ~batch:1 96)
+      in
+      Table.add_row tbl
+        [ e.Zoo.display; Table.cell_speedup s_occ; Table.cell_speedup s_puma;
+          Table.cell_speedup s_mlc; Table.cell_pct ratio ])
+    fig14_models;
+  Table.add_rule tbl;
+  let geo which = Stats.geomean (Hashtbl.find per_baseline which) in
+  Table.add_row tbl
+    [ "Geomean"; Table.cell_speedup (geo Baseline.Occ);
+      Table.cell_speedup (geo Baseline.Puma);
+      Table.cell_speedup (geo Baseline.Cim_mlc); "-" ];
+  Table.print tbl;
+  Printf.printf
+    "paper: geomean 1.31x over CIM-MLC; per-model 1.06-2.03x; ordering OCC < PUMA < CIM-MLC < CMSwitch\n"

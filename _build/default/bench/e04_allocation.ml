@@ -1,0 +1,56 @@
+(* E4 — Fig. 15: the compiled compute/memory allocation, (a) per segment of
+   VGG-16 and (b) per operator of one OPT-6.7B decoder layer. The figure's
+   pie charts become compute/memory array counts here. *)
+
+open Common
+module Opinfo = Cim_compiler.Opinfo
+
+let dump_result title (r : Cmswitch.result) ~max_rows =
+  let tbl =
+    Table.create ~title
+      [ ("segment", Table.Right); ("operators", Table.Left);
+        ("compute", Table.Right); ("memory", Table.Right);
+        ("mem share", Table.Right) ]
+  in
+  let rows = ref 0 in
+  List.iteri
+    (fun i (seg : Plan.seg_plan) ->
+      if !rows < max_rows then begin
+        incr rows;
+        let com = Plan.com_total seg and mem = Plan.mem_total seg in
+        let names =
+          List.init (seg.Plan.hi - seg.Plan.lo + 1) (fun k ->
+              r.Cmswitch.ops.(seg.Plan.lo + k).Opinfo.label)
+        in
+        let shown =
+          match names with
+          | a :: _ :: _ :: _ ->
+            Printf.sprintf "%s .. %s (%d ops)" a
+              (List.nth names (List.length names - 1))
+              (List.length names)
+          | _ -> String.concat ", " names
+        in
+        let share =
+          if com + mem = 0 then 0. else float_of_int mem /. float_of_int (com + mem)
+        in
+        Table.add_row tbl
+          [ string_of_int (i + 1); shown; string_of_int com; string_of_int mem;
+            Table.cell_pct share ]
+      end)
+    r.Cmswitch.schedule.Plan.segments;
+  Table.print tbl;
+  let n = List.length r.Cmswitch.schedule.Plan.segments in
+  if n > max_rows then Printf.printf "... (%d segments total)\n" n
+
+let run () =
+  section "E4 | Fig. 15: compute/memory allocation per segment";
+  let chip = Config.dynaplasia in
+  let vgg = (Option.get (Zoo.find "vgg16")).Zoo.build (Workload.prefill ~batch:1 1) in
+  let rv = Cmswitch.compile chip vgg in
+  dump_result "Fig. 15(a): VGG-16 segments" rv ~max_rows:18;
+  let e = Option.get (Zoo.find "opt-6.7b") in
+  let layer = Option.get e.Zoo.layer in
+  let ro = Cmswitch.compile chip (layer (Workload.prefill ~batch:1 64)) in
+  dump_result "Fig. 15(b): one OPT-6.7B layer (prefill, seq 64)" ro ~max_rows:24;
+  Printf.printf
+    "paper: FFN/QKV operators get 33%%-67%% memory-mode arrays; attention ops mostly compute\n"

@@ -1,0 +1,47 @@
+(* E7 — §5.5 "dual-mode switch overhead": the share of total execution time
+   spent on CM.switch transitions, weight (re)programming and displaced-data
+   write-back, measured by the timing simulator on each benchmark's
+   compiled flow. The paper reports the dual-mode switch machinery costing
+   3-5% of execution while the gains dwarf it. *)
+
+open Common
+module Timing = Cim_sim.Timing
+
+let compiled_flow key =
+  let chip = Config.dynaplasia in
+  let e = Option.get (Zoo.find key) in
+  match e.Zoo.family with
+  | Zoo.Cnn ->
+    Cmswitch.compile chip (e.Zoo.build (Workload.prefill ~batch:1 1))
+  | Zoo.Encoder_only ->
+    let layer = Option.get e.Zoo.layer in
+    Cmswitch.compile chip (layer (Workload.prefill ~batch:1 64))
+  | Zoo.Decoder_only ->
+    let layer = Option.get e.Zoo.layer in
+    Cmswitch.compile chip (layer (Workload.decode ~batch:1 64))
+
+let run () =
+  section "E7 | §5.5: dual-mode switch overhead share";
+  let tbl =
+    Table.create
+      ~title:"timing-simulator breakdown of the CMSwitch flow"
+      [ ("model", Table.Left); ("total cycles", Table.Right);
+        ("compute", Table.Right); ("switch", Table.Right);
+        ("rewrite", Table.Right); ("writeback", Table.Right);
+        ("switch share", Table.Right) ]
+  in
+  List.iter
+    (fun key ->
+      let r = compiled_flow key in
+      let t = Timing.run r.Cmswitch.chip r.Cmswitch.program in
+      Table.add_row tbl
+        [ (Option.get (Zoo.find key)).Zoo.display;
+          Table.cell_si t.Timing.cycles.Timing.total;
+          Table.cell_si t.Timing.cycles.Timing.compute;
+          Table.cell_si t.Timing.cycles.Timing.switch;
+          Table.cell_si t.Timing.cycles.Timing.rewrite;
+          Table.cell_si t.Timing.cycles.Timing.writeback;
+          Table.cell_pct t.Timing.switch_share ])
+    fig14_models;
+  Table.print tbl;
+  Printf.printf "paper: the switch process contributes ~3-5%% of execution time\n"

@@ -1,0 +1,29 @@
+(* E8 — §5.5 scalability: the same comparison on a PRIME-style ReRAM
+   configuration (larger, more numerous arrays; far slower writes). Paper:
+   1.48x BERT, 1.09x LLaMA-7B, 1.10x OPT-13B over CIM-MLC — smaller LLM
+   gains because the bigger chip holds larger segments. *)
+
+open Common
+
+let run () =
+  section "E8 | §5.5: PRIME (ReRAM) scalability";
+  let chip = Config.prime in
+  Format.printf "%a@." Chip.pp chip;
+  let tbl =
+    Table.create ~title:"speedup over CIM-MLC on PRIME"
+      [ ("model", Table.Left); ("DynaPlasia", Table.Right); ("PRIME", Table.Right) ]
+  in
+  List.iter
+    (fun key ->
+      let dyn =
+        e2e_cycles (Base Baseline.Cim_mlc) key /. e2e_cycles Cms key
+      in
+      let prm =
+        e2e_cycles ~chip (Base Baseline.Cim_mlc) key /. e2e_cycles ~chip Cms key
+      in
+      Table.add_row tbl
+        [ (Option.get (Zoo.find key)).Zoo.display; Table.cell_speedup dyn;
+          Table.cell_speedup prm ])
+    [ "bert-large"; "llama2-7b"; "opt-13b" ];
+  Table.print tbl;
+  Printf.printf "paper (PRIME): 1.48x BERT, 1.09x LLaMA2-7B, 1.10x OPT-13B\n"

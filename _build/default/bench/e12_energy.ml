@@ -1,0 +1,56 @@
+(* E12 — energy efficiency. §3.2 claims dual-mode resource allocation can
+   "significantly boost overall system performance and energy efficiency":
+   keeping operands in on-chip memory-mode arrays avoids DRAM round-trips.
+   We price both compilers' flows with the energy model and report energy
+   and EDP. *)
+
+open Common
+module Energy_sim = Cim_sim.Energy_sim
+module Timing = Cim_sim.Timing
+
+let chip = Config.dynaplasia
+
+let flow_of options key (w : Workload.t) =
+  let e = Option.get (Zoo.find key) in
+  let g = match e.Zoo.layer with Some f -> f w | None -> e.Zoo.build w in
+  (Cmswitch.compile ~options chip g).Cmswitch.program
+
+let restricted =
+  { Cmswitch.default_options with
+    Cmswitch.segment =
+      { Segment.default_options with
+        Segment.alloc = { Alloc.default_options with Alloc.force_all_compute = true } } }
+
+let run () =
+  section "E12 | energy and energy-delay product (dual-mode vs all-compute)";
+  let tbl =
+    Table.create
+      ~title:"per benchmark unit (one block for transformers, whole CNN)"
+      [ ("model", Table.Left); ("CMSwitch uJ", Table.Right);
+        ("CIM-MLC uJ", Table.Right); ("energy gain", Table.Right);
+        ("EDP gain", Table.Right) ]
+  in
+  List.iter
+    (fun (key, w) ->
+      let dual = Energy_sim.run chip (flow_of Cmswitch.default_options key w) in
+      let fixed = Energy_sim.run chip (flow_of restricted key w) in
+      Table.add_row tbl
+        [ (Option.get (Zoo.find key)).Zoo.display;
+          Table.cell_f dual.Energy_sim.energy.Energy_sim.total_uj;
+          Table.cell_f fixed.Energy_sim.energy.Energy_sim.total_uj;
+          Table.cell_speedup
+            (fixed.Energy_sim.energy.Energy_sim.total_uj
+            /. dual.Energy_sim.energy.Energy_sim.total_uj);
+          Table.cell_speedup
+            (fixed.Energy_sim.edp_uj_ms /. dual.Energy_sim.edp_uj_ms) ])
+    [ ("mobilenetv2", Workload.prefill ~batch:1 1);
+      ("resnet18", Workload.prefill ~batch:1 1);
+      ("vgg16", Workload.prefill ~batch:1 1);
+      ("bert-large", Workload.prefill ~batch:1 64);
+      ("llama2-7b", Workload.decode ~batch:1 64);
+      ("opt-13b", Workload.decode ~batch:1 64) ];
+  Table.print tbl;
+  (* detailed breakdown for one case *)
+  let dual = Energy_sim.run chip (flow_of Cmswitch.default_options "llama2-7b"
+                                    (Workload.decode ~batch:1 64)) in
+  Format.printf "LLaMA2-7B decode block, dual-mode:@.%a@." Energy_sim.pp dual

@@ -1,0 +1,55 @@
+(* Experiment harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md's per-experiment index). With no argument,
+   runs E1-E10 in paper order; pass experiment ids ("e3 e5") to run a
+   subset, or "micro" for the bechamel pass-level benchmarks. *)
+
+let experiments =
+  [
+    ("e1", "Fig. 1(b)/5(a)(b): performance vs compute/memory split", E01_heatmap.run);
+    ("e2", "Figs. 5(c)/6: arithmetic intensity", E02_intensity.run);
+    ("e3", "Fig. 14: end-to-end speedup vs baselines", E03_end_to_end.run);
+    ("e4", "Fig. 15: compute/memory allocation demonstration", E04_allocation.run);
+    ("e5", "Fig. 16: workload-scale sensitivity", E05_workload_scale.run);
+    ("e6", "Fig. 17: generative-model sweeps", E06_generative.run);
+    ("e7", "S5.5: dual-mode switch overhead", E07_overhead.run);
+    ("e8", "S5.5: PRIME scalability", E08_prime.run);
+    ("e9", "Fig. 18: compilation overhead", E09_compile_time.run);
+    ("e10", "Table 2 + Fig. 4: configuration and mapping contrast", E10_config.run);
+    ("e11", "ablations: partitioning, DP window, MIP vs greedy, Eq. 9 vs DES", E11_ablation.run);
+    ("e12", "energy and EDP, dual-mode vs all-compute", E12_energy.run);
+    ("micro", "bechamel micro-benchmarks", Micro.run);
+  ]
+
+let usage () =
+  print_endline "usage: main.exe [e1 .. e12 | micro | all] ... [--csv DIR]";
+  List.iter (fun (id, desc, _) -> Printf.printf "  %-5s %s\n" id desc) experiments
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  (* --csv DIR: additionally dump every printed table as CSV into DIR *)
+  let rec strip_csv acc = function
+    | "--csv" :: dir :: rest ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      Cim_util.Table.set_csv_dir (Some dir);
+      strip_csv acc rest
+    | x :: rest -> strip_csv (x :: acc) rest
+    | [] -> List.rev acc
+  in
+  let args = strip_csv [] args in
+  let requested = if args = [] then [ "all" ] else args in
+  if List.mem "-h" requested || List.mem "--help" requested then usage ()
+  else begin
+    print_endline "CMSwitch evaluation harness (paper: ASPLOS'25)";
+    List.iter
+      (fun req ->
+        if req = "all" then
+          List.iter (fun (id, _, f) -> if id <> "micro" then f ()) experiments
+        else
+          match List.find_opt (fun (id, _, _) -> id = req) experiments with
+          | Some (_, _, f) -> f ()
+          | None ->
+            Printf.printf "unknown experiment %S\n" req;
+            usage ();
+            exit 1)
+      requested
+  end

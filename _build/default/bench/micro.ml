@@ -1,0 +1,91 @@
+(* Bechamel micro-benchmarks: one Test.make per compilation pass and per
+   experiment kernel, so pass-level regressions are visible independently of
+   the end-to-end experiment tables. *)
+
+open Bechamel
+open Toolkit
+open Common
+module Opinfo = Cim_compiler.Opinfo
+module Lp = Cim_solver.Lp
+
+let chip = Config.dynaplasia
+
+let bert_layer =
+  lazy
+    ((Option.get (Option.get (Zoo.find "bert-large")).Zoo.layer)
+       (Workload.prefill ~batch:1 64))
+
+let resnet = lazy ((Option.get (Zoo.find "resnet18")).Zoo.build (Workload.prefill ~batch:1 1))
+
+let bert_ops = lazy (Opinfo.extract chip (Lazy.force bert_layer))
+
+let sample_lp =
+  {
+    Lp.n_vars = 6;
+    maximize = [| 3.; 2.; 4.; 1.; 5.; 2. |];
+    rows =
+      [
+        ([| 1.; 1.; 1.; 1.; 1.; 1. |], Lp.Le, 10.);
+        ([| 2.; 1.; 0.; 3.; 0.; 1. |], Lp.Le, 12.);
+        ([| 0.; 1.; 2.; 0.; 1.; 0. |], Lp.Ge, 2.);
+        ([| 1.; 0.; 0.; 1.; 0.; 1. |], Lp.Eq, 4.);
+      ];
+    lower = Array.make 6 0.;
+    upper = Array.make 6 infinity;
+  }
+
+let tests =
+  Test.make_grouped ~name:"cmswitch"
+    [
+      Test.make ~name:"graph-build/bert-layer"
+        (Staged.stage (fun () ->
+             (Option.get (Option.get (Zoo.find "bert-large")).Zoo.layer)
+               (Workload.prefill ~batch:1 64)));
+      Test.make ~name:"opinfo-extract/bert-layer"
+        (Staged.stage (fun () -> Opinfo.extract chip (Lazy.force bert_layer)));
+      Test.make ~name:"mip-alloc/segment-of-4"
+        (Staged.stage (fun () ->
+             let ops = Lazy.force bert_ops in
+             Cim_compiler.Alloc.solve chip ops ~lo:0
+               ~hi:(min 3 (Array.length ops - 1))));
+      Test.make ~name:"dp-segment/bert-layer"
+        (Staged.stage (fun () ->
+             Cim_compiler.Segment.run chip (Lazy.force bert_ops)));
+      Test.make ~name:"compile/bert-layer"
+        (Staged.stage (fun () -> Cmswitch.compile chip (Lazy.force bert_layer)));
+      Test.make ~name:"compile/resnet18"
+        (Staged.stage (fun () -> Cmswitch.compile chip (Lazy.force resnet)));
+      Test.make ~name:"lp-simplex/6var"
+        (Staged.stage (fun () -> Lp.solve sample_lp));
+      Test.make ~name:"shape-infer/resnet18"
+        (Staged.stage (fun () -> Cim_nnir.Shape_infer.infer (Lazy.force resnet)));
+    ]
+
+let run () =
+  section "micro | bechamel pass-level benchmarks";
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name o acc -> (name, o) :: acc) results [] in
+  let tbl =
+    Table.create ~title:"per-run wall time (OLS estimate)"
+      [ ("benchmark", Table.Left); ("time/run", Table.Right) ]
+  in
+  List.iter
+    (fun (name, o) ->
+      let est =
+        match Analyze.OLS.estimates o with Some [ e ] -> e | _ -> nan
+      in
+      let pretty =
+        if Float.is_nan est then "n/a"
+        else if est >= 1e9 then Printf.sprintf "%.2f s" (est /. 1e9)
+        else if est >= 1e6 then Printf.sprintf "%.2f ms" (est /. 1e6)
+        else if est >= 1e3 then Printf.sprintf "%.2f us" (est /. 1e3)
+        else Printf.sprintf "%.0f ns" est
+      in
+      Table.add_row tbl [ name; pretty ])
+    (List.sort compare rows);
+  Table.print tbl

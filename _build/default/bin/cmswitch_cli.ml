@@ -1,0 +1,178 @@
+(* cmswitch — command-line front end.
+
+   cmswitch list
+   cmswitch compile MODEL [--chip X] [--batch N] [--seq N | --kv N] [--emit] [--sim]
+   cmswitch compare MODEL [--chip X] [--batch N] [--seq N | --kv N] *)
+
+open Cmdliner
+module Chip = Cim_arch.Chip
+module Config = Cim_arch.Config
+module Workload = Cim_models.Workload
+module Zoo = Cim_models.Zoo
+module Cmswitch = Cim_compiler.Cmswitch
+module Plan = Cim_compiler.Plan
+module Baseline = Cim_baselines.Baseline
+
+let chip_arg =
+  let parse s =
+    (* a preset name, or a path to a chip-spec file (see Cim_arch.Spec) *)
+    match List.assoc_opt (String.lowercase_ascii s) Config.presets with
+    | Some c -> Ok c
+    | None ->
+      if Sys.file_exists s then begin
+        let ic = open_in s in
+        let len = in_channel_length ic in
+        let src = really_input_string ic len in
+        close_in ic;
+        match Cim_arch.Spec.of_string src with
+        | c -> Ok c
+        | exception Cim_arch.Spec.Parse_error m ->
+          Error (`Msg (Printf.sprintf "chip spec %s: %s" s m))
+        | exception Chip.Invalid_config m ->
+          Error (`Msg (Printf.sprintf "chip spec %s: %s" s m))
+      end
+      else
+        Error (`Msg (Printf.sprintf "unknown chip %S (try: %s, or a spec file)" s
+                       (String.concat ", " (List.map fst Config.presets))))
+  in
+  let print ppf (c : Chip.t) = Format.fprintf ppf "%s" c.Chip.name in
+  Arg.(value
+       & opt (conv (parse, print)) Config.dynaplasia
+       & info [ "chip" ] ~docv:"CHIP"
+           ~doc:"Hardware preset (dynaplasia, prime) or a chip-spec file path.")
+
+let model_arg =
+  Arg.(required
+       & pos 0 (some string) None
+       & info [] ~docv:"MODEL" ~doc:"Model key; see $(b,cmswitch list).")
+
+let batch_arg =
+  Arg.(value & opt int 1 & info [ "batch" ] ~docv:"N" ~doc:"Batch size.")
+
+let seq_arg =
+  Arg.(value & opt int 64
+       & info [ "seq" ] ~docv:"N" ~doc:"Prefill sequence length (transformers).")
+
+let kv_arg =
+  Arg.(value & opt (some int) None
+       & info [ "kv" ] ~docv:"N" ~doc:"Compile a decode step with this KV-cache length instead of prefill.")
+
+let emit_arg =
+  Arg.(value & flag & info [ "emit" ] ~doc:"Print the meta-operator flow.")
+
+let sim_arg =
+  Arg.(value & flag & info [ "sim" ] ~doc:"Run the timing simulator on the flow.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Trace the compilation pipeline.")
+
+let setup_logs verbose =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  if verbose then Logs.Src.set_level Cim_compiler.Cmswitch.log_src (Some Logs.Debug)
+
+let report_arg =
+  Arg.(value & opt (some string) None
+       & info [ "report" ] ~docv:"FILE"
+           ~doc:"Write a Markdown compilation report to FILE.")
+
+let workload_of entry ~batch ~seq ~kv =
+  match (entry.Zoo.family, kv) with
+  | Zoo.Cnn, _ -> Workload.prefill ~batch 1
+  | _, Some kv -> Workload.decode ~batch kv
+  | _, None -> Workload.prefill ~batch seq
+
+let find_model key =
+  match Zoo.find key with
+  | Some e -> e
+  | None ->
+    Printf.eprintf "unknown model %S; known: %s\n" key
+      (String.concat ", " Zoo.names);
+    exit 1
+
+let do_list () =
+  Printf.printf "%-12s %-12s %-14s %s\n" "key" "family" "params" "display";
+  List.iter
+    (fun (e : Zoo.entry) ->
+      let fam =
+        match e.Zoo.family with
+        | Zoo.Cnn -> "cnn"
+        | Zoo.Encoder_only -> "encoder"
+        | Zoo.Decoder_only -> "decoder"
+      in
+      Printf.printf "%-12s %-12s %-14s %s\n" e.Zoo.key fam
+        (Cim_util.Table.cell_si (float_of_int e.Zoo.params))
+        e.Zoo.display)
+    Zoo.all;
+  Printf.printf "\nchips: %s\n" (String.concat ", " (List.map fst Config.presets))
+
+let do_compile chip key batch seq kv emit sim report verbose =
+  setup_logs verbose;
+  let e = find_model key in
+  let w = workload_of e ~batch ~seq ~kv in
+  Printf.printf "compiling %s for %s on %s ...\n%!" e.Zoo.display
+    (Workload.to_string w) chip.Chip.name;
+  let mc = Cmswitch.compile_model ~options:Cmswitch.default_options chip e w in
+  let part =
+    match (mc.Cmswitch.layer, mc.Cmswitch.whole) with
+    | Some r, _ -> Some (r, Printf.sprintf "one of %d identical blocks" e.Zoo.n_layers)
+    | None, Some r -> Some (r, "whole network")
+    | None, None -> None
+  in
+  (match part with
+  | None -> ()
+  | Some (r, scope) ->
+    Format.printf "%a (%s)@." Plan.pp_schedule r.Cmswitch.schedule scope;
+    Printf.printf "memory-mode ratio: %s; DP: %d MIP solves, %d cache hits\n"
+      (Cim_util.Table.cell_pct (Cmswitch.memory_mode_ratio r))
+      r.Cmswitch.dp_stats.Cim_compiler.Segment.mip_solves
+      r.Cmswitch.dp_stats.Cim_compiler.Segment.mip_cache_hits;
+    if sim then begin
+      let t = Cim_sim.Timing.run chip r.Cmswitch.program in
+      Format.printf "%a@." Cim_sim.Timing.pp t
+    end;
+    if emit then print_string (Cim_metaop.Flow.to_string r.Cmswitch.program);
+    match report with
+    | None -> ()
+    | Some file ->
+      let oc = open_out file in
+      output_string oc (Cim_compiler.Report.to_markdown r);
+      close_out oc;
+      Printf.printf "report written to %s\n" file);
+  Printf.printf "end-to-end: %.3e cycles (%.2f ms at %g MHz), compile %.2fs\n"
+    mc.Cmswitch.total_cycles
+    (Chip.cycles_to_us chip mc.Cmswitch.total_cycles /. 1000.)
+    chip.Chip.freq_mhz mc.Cmswitch.compile_seconds
+
+let do_compare chip key batch seq kv =
+  let e = find_model key in
+  let w = workload_of e ~batch ~seq ~kv in
+  Printf.printf "%s on %s, %s\n" e.Zoo.display chip.Chip.name (Workload.to_string w);
+  let cms = (Cmswitch.compile_model chip e w).Cmswitch.total_cycles in
+  Printf.printf "  %-10s %.4e cycles\n" "CMSwitch" cms;
+  List.iter
+    (fun which ->
+      let c = Baseline.compile_model which chip e w in
+      Printf.printf "  %-10s %.4e cycles (CMSwitch %.2fx faster)\n"
+        (Baseline.name which) c (c /. cms))
+    [ Baseline.Cim_mlc; Baseline.Puma; Baseline.Occ ]
+
+let list_cmd =
+  Cmd.v (Cmd.info "list" ~doc:"List models and hardware presets")
+    Term.(const do_list $ const ())
+
+let compile_cmd =
+  Cmd.v (Cmd.info "compile" ~doc:"Compile a model and print the schedule")
+    Term.(const do_compile $ chip_arg $ model_arg $ batch_arg $ seq_arg
+          $ kv_arg $ emit_arg $ sim_arg $ report_arg $ verbose_arg)
+
+let compare_cmd =
+  Cmd.v (Cmd.info "compare" ~doc:"Compare CMSwitch against the baselines")
+    Term.(const do_compare $ chip_arg $ model_arg $ batch_arg $ seq_arg $ kv_arg)
+
+let () =
+  let info =
+    Cmd.info "cmswitch" ~version:"1.0.0"
+      ~doc:"Dual-mode-aware DNN compiler for CIM accelerators"
+  in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; compile_cmd; compare_cmd ]))

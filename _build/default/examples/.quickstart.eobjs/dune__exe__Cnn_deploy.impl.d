@@ -1,0 +1,1 @@
+examples/cnn_deploy.ml: Array Cim_arch Cim_baselines Cim_compiler Cim_models Cim_nnir Cim_util Format Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+examples/custom_hardware.ml: Cim_arch Cim_baselines Cim_compiler Cim_models Cim_util Format List Option Printf Sys

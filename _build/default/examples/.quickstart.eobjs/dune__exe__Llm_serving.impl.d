@@ -1,0 +1,1 @@
+examples/llm_serving.ml: Cim_arch Cim_baselines Cim_compiler Cim_models Cim_sim Cim_util List Option Printf

@@ -1,0 +1,84 @@
+(* Deploying a CNN: VGG-16 on DynaPlasia. The interesting structure here is
+   the one Fig. 15(a) shows — early convolutions are cheap to map (few
+   channels) so several share one segment and pipeline; the late, wide
+   layers split across segments and pick up memory-mode arrays for operand
+   bandwidth.
+
+   Run with: dune exec examples/cnn_deploy.exe *)
+
+module Workload = Cim_models.Workload
+module Zoo = Cim_models.Zoo
+module Cmswitch = Cim_compiler.Cmswitch
+module Plan = Cim_compiler.Plan
+module Opinfo = Cim_compiler.Opinfo
+module Baseline = Cim_baselines.Baseline
+module Table = Cim_util.Table
+
+let chip = Cim_arch.Config.dynaplasia
+
+let () =
+  let graph = Cim_models.Cnn.vgg16 ~batch:1 in
+  Printf.printf "VGG-16: %d nodes, %s parameters\n" (Cim_nnir.Graph.node_count graph)
+    (Table.cell_si (float_of_int (Cim_nnir.Graph.param_count graph)));
+  let r = Cmswitch.compile chip graph in
+  Format.printf "%a@.@." Plan.pp_schedule r.Cmswitch.schedule;
+
+  (* Where do the memory-mode arrays go? Aggregate by VGG stage. *)
+  let stage_of label =
+    (* labels look like "s4_conv2[120:240]" or "fc6@r0[0:40]#1/2" *)
+    let is_stage_char c =
+      (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')
+    in
+    let n = String.length label in
+    let rec stop i = if i < n && is_stage_char label.[i] then stop (i + 1) else i in
+    String.sub label 0 (stop 0)
+  in
+  let per_stage = Hashtbl.create 8 in
+  List.iter
+    (fun (seg : Plan.seg_plan) ->
+      List.iter
+        (fun (a : Plan.op_alloc) ->
+          let stage = stage_of r.Cmswitch.ops.(a.Plan.uid).Opinfo.label in
+          let com, mem =
+            Option.value (Hashtbl.find_opt per_stage stage) ~default:(0, 0)
+          in
+          Hashtbl.replace per_stage stage
+            (com + a.Plan.com, mem + Plan.mem_of a))
+        seg.Plan.allocs)
+    r.Cmswitch.schedule.Plan.segments;
+  let tbl =
+    Table.create ~title:"array allocation by network stage (summed over segments)"
+      [ ("stage", Table.Left); ("compute", Table.Right); ("memory", Table.Right);
+        ("memory share", Table.Right) ]
+  in
+  List.iter
+    (fun stage ->
+      match Hashtbl.find_opt per_stage stage with
+      | None -> ()
+      | Some (com, mem) ->
+        let share =
+          if com + mem = 0 then 0. else float_of_int mem /. float_of_int (com + mem)
+        in
+        Table.add_row tbl
+          [ stage; string_of_int com; string_of_int mem; Table.cell_pct share ])
+    [ "s1"; "s2"; "s3"; "s4"; "s5"; "fc6"; "fc7"; "fc8" ];
+  Table.print tbl;
+
+  (* Throughput across batch sizes vs the strongest baseline. *)
+  let tbl2 =
+    Table.create ~title:"batch scaling (frames/s at 1 GHz)"
+      [ ("batch", Table.Right); ("CIM-MLC", Table.Right); ("CMSwitch", Table.Right);
+        ("speedup", Table.Right) ]
+  in
+  let entry = Option.get (Zoo.find "vgg16") in
+  List.iter
+    (fun batch ->
+      let w = Workload.prefill ~batch 1 in
+      let c = (Cmswitch.compile_model chip entry w).Cmswitch.total_cycles in
+      let b = Baseline.compile_model Baseline.Cim_mlc chip entry w in
+      let fps cycles = float_of_int batch *. chip.Cim_arch.Chip.freq_mhz *. 1e6 /. cycles in
+      Table.add_row tbl2
+        [ string_of_int batch; Table.cell_f (fps b); Table.cell_f (fps c);
+          Table.cell_speedup (b /. c) ])
+    [ 1; 4; 8 ];
+  Table.print tbl2

@@ -1,0 +1,1 @@
+lib/baselines/baseline.ml: Array Cim_arch Cim_compiler Cim_models Float List

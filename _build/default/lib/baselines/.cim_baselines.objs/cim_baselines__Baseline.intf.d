@@ -1,0 +1,1 @@
+lib/baselines/baseline.mli: Cim_arch Cim_compiler Cim_models Cim_nnir

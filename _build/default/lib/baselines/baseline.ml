@@ -1,0 +1,128 @@
+module Chip = Cim_arch.Chip
+module Cost = Cim_arch.Cost
+module Cmswitch = Cim_compiler.Cmswitch
+module Segment = Cim_compiler.Segment
+module Alloc = Cim_compiler.Alloc
+module Plan = Cim_compiler.Plan
+module Opinfo = Cim_compiler.Opinfo
+module Workload = Cim_models.Workload
+module Zoo = Cim_models.Zoo
+
+type which = Occ | Puma | Cim_mlc
+
+let name = function Occ -> "OCC" | Puma -> "PUMA" | Cim_mlc -> "CIM-MLC"
+
+(* Greedy first-fit segmentation: pack operators until the next one would
+   exceed the chip. *)
+let greedy_segments chip (ops : Opinfo.t array) =
+  let n = Array.length ops in
+  let segs = ref [] in
+  let lo = ref 0 in
+  while !lo < n do
+    let hi = ref !lo in
+    let used = ref ops.(!lo).Opinfo.min_compute_arrays in
+    let continue_ = ref true in
+    while !continue_ && !hi + 1 < n do
+      let next = ops.(!hi + 1).Opinfo.min_compute_arrays in
+      if !used + next <= chip.Chip.n_arrays then begin
+        used := !used + next;
+        incr hi
+      end
+      else continue_ := false
+    done;
+    segs := (!lo, !hi) :: !segs;
+    lo := !hi + 1
+  done;
+  List.rev !segs
+
+(* PUMA-style duplication: hand leftover arrays to operators proportionally
+   to their MAC counts, so the pipeline bottleneck shrinks. *)
+let duplicate_allocs chip (ops : Opinfo.t array) ~lo ~hi =
+  let base = Opinfo.total_min_arrays ops ~lo ~hi in
+  let spare = max 0 (chip.Chip.n_arrays - base) in
+  let total_macs = ref 0. in
+  for i = lo to hi do
+    total_macs := !total_macs +. ops.(i).Opinfo.macs
+  done;
+  let given = ref 0 in
+  let allocs =
+    List.init (hi - lo + 1) (fun k ->
+        let i = lo + k in
+        let share =
+          if !total_macs <= 0. then 0
+          else
+            int_of_float
+              (Float.of_int spare *. ops.(i).Opinfo.macs /. !total_macs)
+        in
+        let share = min share (spare - !given) in
+        given := !given + share;
+        {
+          Plan.uid = i;
+          com = ops.(i).Opinfo.min_compute_arrays + share;
+          mem_in = 0;
+          mem_out = 0;
+        })
+  in
+  allocs
+
+let op_lat chip (ops : Opinfo.t array) (a : Plan.op_alloc) =
+  Alloc.op_latency chip ops.(a.Plan.uid) a
+
+let occ_plan chip ops (lo, hi) =
+  let allocs =
+    List.init (hi - lo + 1) (fun k ->
+        let i = lo + k in
+        { Plan.uid = i; com = ops.(i).Opinfo.min_compute_arrays;
+          mem_in = 0; mem_out = 0 })
+  in
+  (* serial execution: no inter-operator pipeline *)
+  let intra = List.fold_left (fun acc a -> acc +. op_lat chip ops a) 0. allocs in
+  { Plan.lo; hi; allocs; reuse = []; intra_cycles = intra }
+
+let puma_plan chip ops (lo, hi) =
+  let allocs = duplicate_allocs chip ops ~lo ~hi in
+  let intra =
+    List.fold_left (fun acc a -> Float.max acc (op_lat chip ops a)) 0. allocs
+  in
+  { Plan.lo; hi; allocs; reuse = []; intra_cycles = intra }
+
+let compile ?(options = Cmswitch.default_options) which chip graph =
+  match which with
+  | Cim_mlc ->
+    let restricted =
+      { options with
+        Cmswitch.segment =
+          { options.Cmswitch.segment with
+            Segment.alloc =
+              { options.Cmswitch.segment.Segment.alloc with
+                Alloc.force_all_compute = true } } }
+    in
+    let r = Cmswitch.compile ~options:restricted chip graph in
+    { r.Cmswitch.schedule with Plan.compiler = "CIM-MLC" }
+  | Occ | Puma ->
+    let ops =
+      Opinfo.extract chip ~partition_fraction:options.Cmswitch.partition_fraction
+        graph
+    in
+    let segs = greedy_segments chip ops in
+    let plans =
+      List.map
+        (fun seg -> match which with Occ -> occ_plan chip ops seg
+                                   | Puma -> puma_plan chip ops seg
+                                   | Cim_mlc -> assert false)
+        segs
+    in
+    Plan.roll_up ~compiler:(name which) chip ops plans
+
+let head_cycles ?options which chip (e : Zoo.entry) w =
+  (* reuse CMSwitch's head-graph construction through a private rebuild *)
+  match Cmswitch.head_graph e w with
+  | None -> 0.
+  | Some g -> (compile ?options which chip g).Plan.total_cycles
+
+let compile_model ?options which chip (e : Zoo.entry) w =
+  match e.Zoo.layer with
+  | None -> (compile ?options which chip (e.Zoo.build w)).Plan.total_cycles
+  | Some build_layer ->
+    let layer = (compile ?options which chip (build_layer w)).Plan.total_cycles in
+    (float_of_int e.Zoo.n_layers *. layer) +. head_cycles ?options which chip e w

@@ -1,0 +1,27 @@
+(** The three baseline compilers of §5.1, reproduced over the same hardware
+    abstraction and cost model so relative results are meaningful. All three
+    treat every CIM array as a compute array (the fixed-mode assumption the
+    paper identifies as their shared blind spot):
+
+    - {b OCC}: per-operator tiled mapping (minimum arrays per operator, no
+      duplication); operators execute serially within a segment.
+    - {b PUMA}: operator duplication plus intra-segment pipelining, but
+      greedy first-fit segmentation rather than cost-aware search.
+    - {b CIM-MLC}: multi-grained pipelining with weight duplication and the
+      same DP segmentation machinery as CMSwitch, restricted to
+      all-compute allocations — the paper's strongest baseline and the one
+      CMSwitch degenerates to when memory mode never helps. *)
+
+type which = Occ | Puma | Cim_mlc
+
+val name : which -> string
+
+val compile :
+  ?options:Cim_compiler.Cmswitch.options -> which -> Cim_arch.Chip.t ->
+  Cim_nnir.Graph.t -> Cim_compiler.Plan.schedule
+
+val compile_model :
+  ?options:Cim_compiler.Cmswitch.options -> which -> Cim_arch.Chip.t ->
+  Cim_models.Zoo.entry -> Cim_models.Workload.t -> float
+(** Total cycles with the same block-reuse convention as
+    {!Cim_compiler.Cmswitch.compile_model}. *)

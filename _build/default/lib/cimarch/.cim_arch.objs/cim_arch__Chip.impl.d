@@ -1,0 +1,1 @@
+lib/cimarch/chip.ml: Cim_util Format List Printf

@@ -1,0 +1,1 @@
+lib/cimarch/chip.mli: Format

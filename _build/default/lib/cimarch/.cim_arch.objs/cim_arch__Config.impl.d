@@ -1,0 +1,1 @@
+lib/cimarch/config.ml: Chip Cim_util Option Printf

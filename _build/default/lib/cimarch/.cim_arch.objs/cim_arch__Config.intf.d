@@ -1,0 +1,1 @@
+lib/cimarch/config.mli: Chip

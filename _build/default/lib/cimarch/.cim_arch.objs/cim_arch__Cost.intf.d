@@ -1,0 +1,1 @@
+lib/cimarch/cost.mli: Chip

@@ -1,0 +1,1 @@
+lib/cimarch/energy.ml: Chip Printf

@@ -1,0 +1,1 @@
+lib/cimarch/energy.mli: Chip

@@ -1,0 +1,1 @@
+lib/cimarch/spec.ml: Buffer Chip Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/cimarch/spec.mli: Chip

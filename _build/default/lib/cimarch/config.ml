@@ -1,0 +1,72 @@
+let kib = Cim_util.Bytesize.kib
+
+(* DynaPlasia (Table 2). Rates not given by the table are derived:
+   - the 320 columns are 1-bit eDRAM cells, so an 8-bit weight occupies 8
+     adjacent cells and one array maps a 320 x 40 weight tile;
+   - OP_cim: bit-serial 8-bit inputs complete one full-array MVM every 8
+     cycles -> 320 * 40 / 8 x 8-bit-MACs... i.e. 1600 MAC/cycle;
+   - D_cim: memory mode reads one 320-bit row per cycle = 40 B/cycle;
+   - internal_bw: the 8 x 10 KB buffer banks each sustain 32 B/cycle, so
+     pipelined operators see 256 B/cycle of on-chip operand bandwidth
+     (Table 2's "32b/cycle" is the per-bank bitline interface);
+   - extern_bw: one LPDDR channel seen from the 1 GHz core clock;
+   - write_latency: per-array programming *setup* when a segment's weights
+     are (re)installed. The weight data delivery itself is part of the
+     operator's streamed traffic (its arithmetic intensity counts weight
+     bytes), so this constant covers only the row-activation sequencing. *)
+let dynaplasia =
+  Chip.validate
+    {
+      Chip.name = "DynaPlasia";
+      n_arrays = 96;
+      grid_cols = 12;
+      rows = 320;
+      cols = 320;
+      cell_bits = 1;
+      weight_bits = 8;
+      buffer_bytes = kib 10 * 8;
+      internal_bw = 256.;
+      extern_bw = 64.;
+      op_cim = 1600.;
+      d_cim = 40.;
+      l_m2c = 1.;
+      l_c2m = 1.;
+      write_latency = 16.;
+      switch_method = "change the input of global IA and IA'";
+      freq_mhz = 1000.;
+    }
+
+(* PRIME-style ReRAM: larger and more numerous arrays with 2-bit cells (the
+   chip can hold a whole large segment), but ReRAM programming setup is two
+   orders of magnitude slower than eDRAM row activation. *)
+let prime =
+  Chip.validate
+    {
+      Chip.name = "PRIME";
+      n_arrays = 256;
+      grid_cols = 16;
+      rows = 512;
+      cols = 512;
+      cell_bits = 2;
+      weight_bits = 8;
+      buffer_bytes = kib 64;
+      internal_bw = 256.;
+      extern_bw = 64.;
+      op_cim = 512. *. 128. /. 8.;
+      d_cim = 128.;
+      l_m2c = 4.;
+      l_c2m = 4.;
+      write_latency = 2048.;
+      switch_method = "reconfigure wordline drivers (ReRAM)";
+      freq_mhz = 1000.;
+    }
+
+let scaled ?name chip ~n_arrays =
+  let name = Option.value name ~default:(Printf.sprintf "%s-%d" chip.Chip.name n_arrays) in
+  let grid_cols =
+    let rec best c = if c * c >= n_arrays then c else best (c + 1) in
+    min n_arrays (best 1)
+  in
+  Chip.validate { chip with Chip.name; n_arrays; grid_cols }
+
+let presets = [ ("dynaplasia", dynaplasia); ("prime", prime) ]

@@ -1,0 +1,16 @@
+(** Hardware presets used in the paper's evaluation. *)
+
+val dynaplasia : Chip.t
+(** The main target (Table 2): 96 switchable 320x320 eDRAM arrays, 80 KiB
+    buffer, 1-cycle mode switch driven by the global IA/IA' input lines. *)
+
+val prime : Chip.t
+(** PRIME-style ReRAM configuration for the scalability study (§5.5): larger
+    and more numerous arrays, much higher weight-write cost. *)
+
+val scaled : ?name:string -> Chip.t -> n_arrays:int -> Chip.t
+(** Same per-array parameters with a different array count (used by the
+    Fig. 1(b)/Fig. 5 heat-map sweeps which assume 100 arrays). *)
+
+val presets : (string * Chip.t) list
+(** Name -> preset, for the CLI. *)

@@ -1,0 +1,31 @@
+let compute_rate (chip : Chip.t) ~com = float_of_int com *. chip.op_cim
+
+let memory_rate (chip : Chip.t) ~mem =
+  (float_of_int mem *. chip.d_cim) +. Chip.d_main chip
+
+let op_latency chip ~ops ~ai ~com ~mem =
+  if ops < 0. then invalid_arg "Cost.op_latency: negative ops";
+  if ops = 0. then 0.
+  else if ai <= 0. then invalid_arg "Cost.op_latency: non-positive ai"
+  else begin
+    let c = compute_rate chip ~com in
+    let m = memory_rate chip ~mem *. ai in
+    let rate = Float.min c m in
+    if rate <= 0. then infinity else ops /. rate
+  end
+
+let switch_latency (chip : Chip.t) ~m2c ~c2m =
+  if m2c < 0 || c2m < 0 then invalid_arg "Cost.switch_latency: negative count";
+  (chip.l_m2c *. float_of_int m2c) +. (chip.l_c2m *. float_of_int c2m)
+
+let weight_rewrite_latency (chip : Chip.t) ~max_com =
+  if max_com < 0 then invalid_arg "Cost.weight_rewrite_latency: negative count";
+  chip.write_latency *. float_of_int max_com
+
+let writeback_latency (chip : Chip.t) ~bytes =
+  if bytes < 0 then invalid_arg "Cost.writeback_latency: negative bytes";
+  float_of_int bytes /. chip.extern_bw
+
+let dma_load_latency (chip : Chip.t) ~bytes =
+  if bytes < 0 then invalid_arg "Cost.dma_load_latency: negative bytes";
+  float_of_int bytes /. chip.extern_bw

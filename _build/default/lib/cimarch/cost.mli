@@ -1,0 +1,27 @@
+(** Cost-model primitives shared by the compiler's optimisation passes and
+    the timing simulator, implementing the paper's equations. All results in
+    cycles. *)
+
+val compute_rate : Chip.t -> com:int -> float
+(** [Com * OP_cim] — MACs/cycle from [com] compute arrays. *)
+
+val memory_rate : Chip.t -> mem:int -> float
+(** [Mem * D_cim + D_main] — bytes/cycle reachable with [mem] memory arrays
+    plus the main memory and the original buffer. *)
+
+val op_latency : Chip.t -> ops:float -> ai:float -> com:int -> mem:int -> float
+(** Eq. 10: [OP / min(Com*OP_cim, (Mem*D_cim + D_main) * AI)].
+    [infinity] when the effective rate is zero (e.g. [com = 0]). *)
+
+val switch_latency : Chip.t -> m2c:int -> c2m:int -> float
+(** Eq. 1: [L_{M->C} * Switch_{m->c} + L_{C->M} * Switch_{c->m}]. *)
+
+val weight_rewrite_latency : Chip.t -> max_com:int -> float
+(** Eq. 2: [max_l Com_{O_l} * Latency_write] — arrays of distinct operators
+    program in parallel, so the segment pays for its widest operator. *)
+
+val writeback_latency : Chip.t -> bytes:int -> float
+(** Store dirty scratchpad data to main memory at [extern_bw]. *)
+
+val dma_load_latency : Chip.t -> bytes:int -> float
+(** Fetch data from main memory at [extern_bw]. *)

@@ -1,0 +1,57 @@
+type profile = {
+  profile_name : string;
+  mac_pj : float;
+  cim_read_pj_per_byte : float;
+  buffer_pj_per_byte : float;
+  dram_pj_per_byte : float;
+  switch_pj : float;
+  weight_write_pj_per_byte : float;
+  static_mw : float;
+}
+
+let validate p =
+  let check name v =
+    if v < 0. then invalid_arg (Printf.sprintf "Energy.validate: negative %s" name)
+  in
+  check "mac_pj" p.mac_pj;
+  check "cim_read_pj_per_byte" p.cim_read_pj_per_byte;
+  check "buffer_pj_per_byte" p.buffer_pj_per_byte;
+  check "dram_pj_per_byte" p.dram_pj_per_byte;
+  check "switch_pj" p.switch_pj;
+  check "weight_write_pj_per_byte" p.weight_write_pj_per_byte;
+  check "static_mw" p.static_mw;
+  p
+
+(* eDRAM digital CIM macros report tens of TOPS/W for 8-bit MACs:
+   50 TOPS/W ~ 0.02 pJ/op; on-chip SRAM/eDRAM accesses ~ 1 pJ/byte at 28nm;
+   LPDDR ~ 20 pJ/byte at the pins. *)
+let edram =
+  validate
+    {
+      profile_name = "eDRAM";
+      mac_pj = 0.02;
+      cim_read_pj_per_byte = 1.0;
+      buffer_pj_per_byte = 1.5;
+      dram_pj_per_byte = 20.;
+      switch_pj = 5.;
+      weight_write_pj_per_byte = 2.;
+      static_mw = 50.;
+    }
+
+(* ReRAM: analog MACs are cheap, reads cheap, but SET/RESET programming is
+   two orders of magnitude above eDRAM row writes. *)
+let reram =
+  validate
+    {
+      profile_name = "ReRAM";
+      mac_pj = 0.01;
+      cim_read_pj_per_byte = 0.5;
+      buffer_pj_per_byte = 1.5;
+      dram_pj_per_byte = 20.;
+      switch_pj = 8.;
+      weight_write_pj_per_byte = 150.;
+      static_mw = 30.;
+    }
+
+let for_chip (chip : Chip.t) =
+  if chip.Chip.name = "PRIME" then reram else edram

@@ -1,0 +1,30 @@
+(** Energy model for dual-mode CIM execution. The paper argues dual-mode
+    compilation "can significantly boost overall system performance and
+    energy efficiency" (§3.2); this module prices the emitted meta-operator
+    flows so the claim can be evaluated, with per-event energies drawn from
+    published CIM macro numbers (DynaPlasia-class eDRAM, PRIME-class
+    ReRAM). All energies in picojoules. *)
+
+type profile = {
+  profile_name : string;
+  mac_pj : float;              (** one 8-bit MAC inside a compute array *)
+  cim_read_pj_per_byte : float;(** scratchpad read from a memory-mode array *)
+  buffer_pj_per_byte : float;  (** access to the dedicated on-chip buffer *)
+  dram_pj_per_byte : float;    (** main-memory traffic *)
+  switch_pj : float;           (** one CM.switch of one array *)
+  weight_write_pj_per_byte : float; (** programming weights into an array *)
+  static_mw : float;           (** chip static power, for energy-from-cycles *)
+}
+
+val edram : profile
+(** DynaPlasia-class eDRAM: ~0.05 pJ/MAC-equivalent digital macro numbers,
+    cheap writes. *)
+
+val reram : profile
+(** PRIME-class ReRAM: cheaper reads, far more expensive writes. *)
+
+val for_chip : Chip.t -> profile
+(** Pick a profile from the chip's preset name; eDRAM by default. *)
+
+val validate : profile -> profile
+(** Raises [Invalid_argument] if any component is negative. *)

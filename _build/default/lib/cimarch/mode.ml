@@ -1,0 +1,13 @@
+type t = Memory | Compute
+type transition = To_memory | To_compute
+
+let to_string = function Memory -> "memory" | Compute -> "compute"
+let transition_to_string = function To_memory -> "TOM" | To_compute -> "TOC"
+
+let transition ~from ~to_ =
+  match (from, to_) with
+  | Memory, Compute -> Some To_compute
+  | Compute, Memory -> Some To_memory
+  | Memory, Memory | Compute, Compute -> None
+
+let apply = function To_memory -> Memory | To_compute -> Compute

@@ -1,0 +1,16 @@
+(** The two operating modes of a dual-mode CIM array (Fig. 3) and the
+    transitions between them. *)
+
+type t = Memory | Compute
+
+type transition = To_memory | To_compute
+(** The meta-operator types TOM / TOC (Fig. 13). *)
+
+val to_string : t -> string
+val transition_to_string : transition -> string
+
+val transition : from:t -> to_:t -> transition option
+(** [None] when no switch is needed. *)
+
+val apply : transition -> t
+(** Target mode of a transition. *)

@@ -1,0 +1,105 @@
+exception Parse_error of string
+
+let perr fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let to_string (c : Chip.t) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "chip %S {\n" c.Chip.name);
+  let int k v = Buffer.add_string b (Printf.sprintf "  %s = %d\n" k v) in
+  let flt k v = Buffer.add_string b (Printf.sprintf "  %s = %.17g\n" k v) in
+  int "n_arrays" c.Chip.n_arrays;
+  int "grid_cols" c.Chip.grid_cols;
+  int "rows" c.Chip.rows;
+  int "cols" c.Chip.cols;
+  int "cell_bits" c.Chip.cell_bits;
+  int "weight_bits" c.Chip.weight_bits;
+  int "buffer_bytes" c.Chip.buffer_bytes;
+  flt "internal_bw" c.Chip.internal_bw;
+  flt "extern_bw" c.Chip.extern_bw;
+  flt "op_cim" c.Chip.op_cim;
+  flt "d_cim" c.Chip.d_cim;
+  flt "l_m2c" c.Chip.l_m2c;
+  flt "l_c2m" c.Chip.l_c2m;
+  flt "write_latency" c.Chip.write_latency;
+  Buffer.add_string b (Printf.sprintf "  switch_method = %S\n" c.Chip.switch_method);
+  flt "freq_mhz" c.Chip.freq_mhz;
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+(* key = value lines inside chip "name" { ... }; # starts a comment *)
+let tokenize src =
+  let lines = String.split_on_char '\n' src in
+  List.filter_map
+    (fun line ->
+      let line =
+        match String.index_opt line '#' with
+        | Some i -> String.sub line 0 i
+        | None -> line
+      in
+      let line = String.trim line in
+      if line = "" then None else Some line)
+    lines
+
+let parse_quoted s =
+  let s = String.trim s in
+  let n = String.length s in
+  if n >= 2 && s.[0] = '"' && s.[n - 1] = '"' then String.sub s 1 (n - 2)
+  else perr "expected a quoted string, got %S" s
+
+let of_string src =
+  let lines = tokenize src in
+  let name = ref None in
+  let kv : (string, string) Hashtbl.t = Hashtbl.create 20 in
+  List.iter
+    (fun line ->
+      if String.length line >= 4 && String.sub line 0 4 = "chip" then begin
+        let rest = String.trim (String.sub line 4 (String.length line - 4)) in
+        let rest =
+          if String.length rest > 0 && rest.[String.length rest - 1] = '{' then
+            String.trim (String.sub rest 0 (String.length rest - 1))
+          else rest
+        in
+        name := Some (parse_quoted rest)
+      end
+      else if line = "}" || line = "{" then ()
+      else
+        match String.index_opt line '=' with
+        | None -> perr "malformed line %S" line
+        | Some i ->
+          let k = String.trim (String.sub line 0 i) in
+          let v = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+          if Hashtbl.mem kv k then perr "duplicate key %S" k;
+          Hashtbl.replace kv k v)
+    lines;
+  let name = match !name with Some n -> n | None -> perr "missing chip header" in
+  let get k =
+    match Hashtbl.find_opt kv k with
+    | Some v -> v
+    | None -> perr "missing key %S" k
+  in
+  let int k =
+    try int_of_string (get k) with Failure _ -> perr "key %S: expected an integer" k
+  in
+  let flt k =
+    try float_of_string (get k) with Failure _ -> perr "key %S: expected a number" k
+  in
+  Chip.validate
+    {
+      Chip.name;
+      n_arrays = int "n_arrays";
+      grid_cols = int "grid_cols";
+      rows = int "rows";
+      cols = int "cols";
+      cell_bits = int "cell_bits";
+      weight_bits = int "weight_bits";
+      buffer_bytes = int "buffer_bytes";
+      internal_bw = flt "internal_bw";
+      extern_bw = flt "extern_bw";
+      op_cim = flt "op_cim";
+      d_cim = flt "d_cim";
+      l_m2c = flt "l_m2c";
+      l_c2m = flt "l_c2m";
+      write_latency = flt "write_latency";
+      switch_method = parse_quoted (get "switch_method");
+      freq_mhz = flt "freq_mhz";
+    }

@@ -1,0 +1,32 @@
+(** Textual chip descriptions — the "user-defined hardware parameters" input
+    of Fig. 7 as a file format, so a chip can be described without writing
+    OCaml. Example:
+
+    {v
+    chip "EdgeCIM-32" {
+      n_arrays = 32
+      grid_cols = 8
+      rows = 256
+      cols = 256
+      cell_bits = 1
+      weight_bits = 8
+      buffer_bytes = 32768
+      internal_bw = 128
+      extern_bw = 16
+      op_cim = 1024
+      d_cim = 32
+      l_m2c = 2
+      l_c2m = 2
+      write_latency = 8
+      switch_method = "per-bank wordline driver select"
+      freq_mhz = 500
+    }
+    v} *)
+
+exception Parse_error of string
+
+val to_string : Chip.t -> string
+
+val of_string : string -> Chip.t
+(** Parses and validates. Missing keys raise [Parse_error]; invalid values
+    raise {!Chip.Invalid_config}. Keys may appear in any order. *)

@@ -1,0 +1,1 @@
+lib/compiler/alloc.ml: Array Cim_arch Cim_solver Cim_util Float Hashtbl List Opinfo Option Plan Printf

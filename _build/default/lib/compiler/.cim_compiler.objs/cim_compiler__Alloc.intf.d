@@ -1,0 +1,1 @@
+lib/compiler/alloc.mli: Cim_arch Opinfo Plan

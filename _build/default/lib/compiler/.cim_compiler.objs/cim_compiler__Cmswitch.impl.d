@@ -1,0 +1,1 @@
+lib/compiler/cmswitch.ml: Alloc Array Cim_arch Cim_metaop Cim_models Cim_nnir Cim_tensor Cim_util Codegen Float List Logs Opinfo Option Placement Plan Segment Sys

@@ -1,0 +1,1 @@
+lib/compiler/cmswitch.mli: Cim_arch Cim_metaop Cim_models Cim_nnir Logs Opinfo Placement Plan Segment

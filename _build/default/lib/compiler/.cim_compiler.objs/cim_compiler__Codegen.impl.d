@@ -1,0 +1,1 @@
+lib/compiler/codegen.ml: Array Cim_arch Cim_metaop Cim_nnir Cim_tensor Hashtbl List Opinfo Option Placement

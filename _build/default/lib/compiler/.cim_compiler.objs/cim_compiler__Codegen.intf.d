@@ -1,0 +1,1 @@
+lib/compiler/codegen.mli: Cim_arch Cim_metaop Cim_nnir Opinfo Placement

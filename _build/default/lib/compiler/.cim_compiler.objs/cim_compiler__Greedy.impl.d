@@ -1,0 +1,1 @@
+lib/compiler/greedy.ml: Alloc Array Cim_arch Float List Opinfo Plan

@@ -1,0 +1,1 @@
+lib/compiler/greedy.mli: Cim_arch Opinfo Plan

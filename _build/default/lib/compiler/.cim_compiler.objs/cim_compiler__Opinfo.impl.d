@@ -1,0 +1,1 @@
+lib/compiler/opinfo.ml: Array Cim_arch Cim_models Cim_nnir Cim_tensor Cim_util Float Hashtbl List Option Printf

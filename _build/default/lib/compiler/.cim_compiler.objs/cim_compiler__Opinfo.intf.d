@@ -1,0 +1,1 @@
+lib/compiler/opinfo.mli: Cim_arch Cim_models Cim_nnir Hashtbl

@@ -1,0 +1,1 @@
+lib/compiler/pipeline.ml: Alloc Array Buffer Bytes Cim_arch Float Hashtbl List Opinfo Plan Printf String

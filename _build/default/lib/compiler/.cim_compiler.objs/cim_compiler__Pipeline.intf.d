@@ -1,0 +1,1 @@
+lib/compiler/pipeline.mli: Cim_arch Opinfo Plan

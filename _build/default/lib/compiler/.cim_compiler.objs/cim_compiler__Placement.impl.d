@@ -1,0 +1,1 @@
+lib/compiler/placement.ml: Array Cim_arch Cim_models Hashtbl List Opinfo Option Plan

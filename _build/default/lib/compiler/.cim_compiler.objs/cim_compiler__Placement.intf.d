@@ -1,0 +1,1 @@
+lib/compiler/placement.mli: Cim_arch Opinfo Plan

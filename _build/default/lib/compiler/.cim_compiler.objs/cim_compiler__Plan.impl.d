@@ -1,0 +1,1 @@
+lib/compiler/plan.ml: Array Cim_arch Format List Opinfo

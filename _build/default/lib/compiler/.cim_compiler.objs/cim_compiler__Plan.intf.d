@@ -1,0 +1,1 @@
+lib/compiler/plan.mli: Cim_arch Format Opinfo

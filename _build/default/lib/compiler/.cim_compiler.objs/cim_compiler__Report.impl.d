@@ -1,0 +1,1 @@
+lib/compiler/report.ml: Array Buffer Cim_arch Cim_metaop Cim_nnir Cmswitch List Opinfo Placement Plan Printf Segment

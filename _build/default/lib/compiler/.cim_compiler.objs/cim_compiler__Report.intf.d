@@ -1,0 +1,1 @@
+lib/compiler/report.mli: Cmswitch

@@ -1,0 +1,1 @@
+lib/compiler/segment.ml: Alloc Array Buffer Cim_arch Hashtbl List Opinfo Option Plan Printf

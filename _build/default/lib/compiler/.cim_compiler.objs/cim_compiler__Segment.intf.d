@@ -1,0 +1,1 @@
+lib/compiler/segment.mli: Alloc Cim_arch Opinfo Plan

@@ -1,0 +1,31 @@
+(** Unified dual-mode allocation with scheduling (§4.3.2): the per-segment
+    MIP. The min-max pipeline objective (Eq. 9) is linearised by maximising
+    throughput [z] with [Com_i * OP_cim >= OP_i * z] and
+    [(Mem_i * D_cim + D_main) * AI_i >= OP_i * z]; constraints Eq. 5-8 are
+    imposed through integer array-count variables and dependency-reuse
+    variables. Solved exactly with the vendored branch-and-bound solver. *)
+
+type options = {
+  milp_max_nodes : int;  (** branch-and-bound node budget per segment *)
+  refine : bool;
+      (** second lexicographic solve minimising total arrays at the optimal
+          latency, so segments do not hoard arrays they cannot use (fewer
+          switches downstream) *)
+  force_all_compute : bool;
+      (** restrict memory-mode variables to zero — this is how the CIM-MLC
+          baseline is expressed in the same machinery *)
+}
+
+val default_options : options
+
+val solve :
+  ?options:options -> Cim_arch.Chip.t -> Opinfo.t array -> lo:int -> hi:int ->
+  Plan.seg_plan option
+(** Optimal allocation for operators [lo..hi] scheduled as one pipelined
+    segment; [None] when the segment cannot fit on the chip (Alg. 1
+    line 13). [intra_cycles] of the result is recomputed from the integer
+    allocation via the cost model (not from the LP objective), so it is
+    exact. *)
+
+val op_latency : Cim_arch.Chip.t -> Opinfo.t -> Plan.op_alloc -> float
+(** Eq. 10 for one operator under an allocation. *)

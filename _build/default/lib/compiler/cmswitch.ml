@@ -1,0 +1,219 @@
+module Chip = Cim_arch.Chip
+module Cost = Cim_arch.Cost
+module Workload = Cim_models.Workload
+module Zoo = Cim_models.Zoo
+module B = Cim_nnir.Builder
+module Shape = Cim_tensor.Shape
+
+let log_src = Logs.Src.create "cmswitch" ~doc:"CMSwitch compilation pipeline"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type options = {
+  partition_fraction : float;
+  segment : Segment.options;
+}
+
+let default_options =
+  { partition_fraction = 0.5; segment = Segment.default_options }
+
+type result = {
+  chip : Chip.t;
+  graph : Cim_nnir.Graph.t;
+  ops : Opinfo.t array;
+  schedule : Plan.schedule;
+  places : Placement.seg_place list;
+  program : Cim_metaop.Flow.program;
+  dp_stats : Segment.stats;
+  compile_seconds : float;
+}
+
+(* Roll the schedule up from the *placed* segments so switch latency is
+   charged on the realised CM.switch lists rather than the DP estimate. *)
+let placed_schedule chip ops (places : Placement.seg_place list) =
+  let ctx = Plan.make_ctx ops in
+  let intra = ref 0. and wb = ref 0. and sw = ref 0. and rw = ref 0. in
+  let prev = ref None in
+  List.iter
+    (fun (sp : Placement.seg_place) ->
+      let seg = sp.Placement.plan in
+      let est = Plan.inter_segment_cost chip ctx ~prev:!prev ~cur:seg in
+      intra := !intra +. seg.Plan.intra_cycles;
+      wb := !wb +. est.Plan.writeback;
+      (* Eq. 2 on the placed arrays: in-place K-cache claims (§5.3) keep
+         their cell contents across the mode switch and are not
+         reprogrammed *)
+      let rw_placed =
+        List.fold_left
+          (fun acc (op : Placement.op_place) ->
+            Float.max acc
+              (Cost.weight_rewrite_latency chip
+                 ~max_com:
+                   (List.length op.Placement.compute
+                   - List.length op.Placement.in_place)))
+          0. sp.Placement.ops
+      in
+      rw := !rw +. rw_placed;
+      sw :=
+        !sw
+        +. Cost.switch_latency chip
+             ~m2c:(List.length sp.Placement.to_compute)
+             ~c2m:(List.length sp.Placement.to_memory);
+      prev := Some seg)
+    places;
+  {
+    Plan.compiler = "CMSwitch";
+    segments = List.map (fun sp -> sp.Placement.plan) places;
+    intra = !intra;
+    writeback = !wb;
+    switch = !sw;
+    rewrite = !rw;
+    total_cycles = !intra +. !wb +. !sw +. !rw;
+  }
+
+let compile ?(options = default_options) chip graph =
+  let t0 = Sys.time () in
+  Log.debug (fun m ->
+      m "compiling %s on %s" graph.Cim_nnir.Graph.graph_name chip.Chip.name);
+  let ops = Opinfo.extract chip ~partition_fraction:options.partition_fraction graph in
+  Log.debug (fun m ->
+      m "extracted %d CIM (sub-)operators (cap %.2f of the chip)"
+        (Array.length ops) options.partition_fraction);
+  let segments, dp_stats = Segment.run ~options:options.segment chip ops in
+  Log.debug (fun m ->
+      m "DP: %d segments, %d MIP solves (%d cache hits), %d candidates"
+        (List.length segments) dp_stats.Segment.mip_solves
+        dp_stats.Segment.mip_cache_hits dp_stats.Segment.candidates);
+  let places = Placement.place chip ops segments in
+  let schedule = placed_schedule chip ops places in
+  (* The DP's inter-segment costs are estimates, so the dual-mode plan can
+     in corner cases place worse than a pure all-compute plan would. The
+     dual-mode search space strictly contains the all-compute one, so when
+     the restricted plan turns out faster after placement, adopt it — this
+     is the CIM-MLC kernel schedule the paper says CMSwitch falls back to
+     (§5.4: "CMSwitch's performance converges with that of CIM-MLC, as we
+     adopt its kernel optimizations"). *)
+  let segments, places, schedule, dp_stats =
+    if options.segment.Segment.alloc.Alloc.force_all_compute then
+      (segments, places, schedule, dp_stats)
+    else begin
+      let restricted =
+        { options.segment with
+          Segment.alloc = { options.segment.Segment.alloc with
+                            Alloc.force_all_compute = true } }
+      in
+      let seg_ac, stats_ac = Segment.run ~options:restricted chip ops in
+      let places_ac = Placement.place chip ops seg_ac in
+      let sched_ac = placed_schedule chip ops places_ac in
+      if sched_ac.Plan.total_cycles < schedule.Plan.total_cycles then
+        ( seg_ac, places_ac, sched_ac,
+          { Segment.mip_solves = dp_stats.Segment.mip_solves + stats_ac.Segment.mip_solves;
+            mip_cache_hits = dp_stats.Segment.mip_cache_hits + stats_ac.Segment.mip_cache_hits;
+            candidates = dp_stats.Segment.candidates + stats_ac.Segment.candidates;
+            pruned_infeasible =
+              dp_stats.Segment.pruned_infeasible + stats_ac.Segment.pruned_infeasible } )
+      else
+        ( segments, places, schedule,
+          { Segment.mip_solves = dp_stats.Segment.mip_solves + stats_ac.Segment.mip_solves;
+            mip_cache_hits = dp_stats.Segment.mip_cache_hits + stats_ac.Segment.mip_cache_hits;
+            candidates = dp_stats.Segment.candidates + stats_ac.Segment.candidates;
+            pruned_infeasible =
+              dp_stats.Segment.pruned_infeasible + stats_ac.Segment.pruned_infeasible } )
+    end
+  in
+  ignore segments;
+  Log.debug (fun m ->
+      m "schedule: %.0f cycles (intra %.0f, wb %.0f, switch %.0f, rewrite %.0f)"
+        schedule.Plan.total_cycles schedule.Plan.intra schedule.Plan.writeback
+        schedule.Plan.switch schedule.Plan.rewrite);
+  let program = Codegen.generate chip graph ops places in
+  {
+    chip;
+    graph;
+    ops;
+    schedule;
+    places;
+    program;
+    dp_stats;
+    compile_seconds = Sys.time () -. t0;
+  }
+
+let memory_mode_ratio r =
+  match r.schedule.Plan.segments with
+  | [] -> 0.
+  | segs ->
+    let ratios =
+      List.map
+        (fun s ->
+          float_of_int (Plan.mem_total s) /. float_of_int r.chip.Chip.n_arrays)
+        segs
+    in
+    Cim_util.Stats.mean ratios
+
+type model_cost = {
+  model : string;
+  workload : Workload.t;
+  layer : result option;
+  whole : result option;
+  head : result option;
+  total_cycles : float;
+  mem_ratio : float;
+  compile_seconds : float;
+}
+
+(* The LM-head projection (hidden -> vocab logits) compiled standalone. *)
+let head_graph (e : Zoo.entry) (w : Workload.t) =
+  match e.Zoo.family with
+  | Zoo.Cnn -> None
+  | Zoo.Encoder_only | Zoo.Decoder_only ->
+    let d, vocab =
+      (* recover dims from the analytic entry: hidden size from the layer
+         graph input, vocab from params is fragile — rebuild from the known
+         configs instead *)
+      match e.Zoo.key with
+      | "bert-large" -> (1024, 30522)
+      | "llama2-7b" -> (4096, 32000)
+      | "opt-6.7b" -> (4096, 50272)
+      | "opt-13b" -> (5120, 50272)
+      | _ -> (1024, 32000)
+    in
+    let bt = w.Workload.batch * Workload.tokens_this_step w in
+    let b = B.create (e.Zoo.key ^ "_head") in
+    let x = B.input b "hidden" (Shape.of_list [ bt; d ]) in
+    let out = B.linear ~bias:false b x ~in_dim:d ~out_dim:vocab ~prefix:"lm_head" in
+    Some (B.finish b ~outputs:[ out ])
+
+let compile_model ?(options = default_options) chip (e : Zoo.entry) w =
+  match e.Zoo.layer with
+  | None ->
+    let r = compile ~options chip (e.Zoo.build w) in
+    {
+      model = e.Zoo.display;
+      workload = w;
+      layer = None;
+      whole = Some r;
+      head = None;
+      total_cycles = r.schedule.Plan.total_cycles;
+      mem_ratio = memory_mode_ratio r;
+      compile_seconds = r.compile_seconds;
+    }
+  | Some build_layer ->
+    let rl = compile ~options chip (build_layer w) in
+    let rh = Option.map (compile ~options chip) (head_graph e w) in
+    let head_cycles =
+      match rh with Some r -> r.schedule.Plan.total_cycles | None -> 0.
+    in
+    let total =
+      (float_of_int e.Zoo.n_layers *. rl.schedule.Plan.total_cycles) +. head_cycles
+    in
+    let head_seconds = match rh with Some r -> r.compile_seconds | None -> 0. in
+    {
+      model = e.Zoo.display;
+      workload = w;
+      layer = Some rl;
+      whole = None;
+      head = rh;
+      total_cycles = total;
+      mem_ratio = memory_mode_ratio rl;
+      compile_seconds = rl.compile_seconds +. head_seconds;
+    }

@@ -1,0 +1,56 @@
+(** CMSwitch compilation driver: the end-to-end pipeline of Fig. 7
+    (graph -> operator extraction -> DP segmentation with per-segment MIP
+    allocation -> placement -> meta-operator code generation). *)
+
+val log_src : Logs.src
+(** The compiler's log source ("cmswitch"): enable [Debug] to trace the
+    pipeline's pass boundaries. *)
+
+type options = {
+  partition_fraction : float;   (** sub-operator cap, fraction of the chip *)
+  segment : Segment.options;
+}
+
+val default_options : options
+
+type result = {
+  chip : Cim_arch.Chip.t;
+  graph : Cim_nnir.Graph.t;
+  ops : Opinfo.t array;
+  schedule : Plan.schedule;
+  places : Placement.seg_place list;
+  program : Cim_metaop.Flow.program;
+  dp_stats : Segment.stats;
+  compile_seconds : float;      (** wall-clock compilation time (Fig. 18) *)
+}
+
+val compile : ?options:options -> Cim_arch.Chip.t -> Cim_nnir.Graph.t -> result
+(** Raises [Failure]/[Opinfo.Unsupported] on graphs the chip cannot run. *)
+
+val memory_mode_ratio : result -> float
+(** Average over segments of (memory-mode arrays / chip arrays) — the
+    metric of Fig. 16's last row. *)
+
+(** End-to-end model cost with block reuse: transformer benchmarks compile
+    one block and replicate it [n_layers] times (plus the LM head), as the
+    paper does; CNNs compile whole. *)
+type model_cost = {
+  model : string;
+  workload : Cim_models.Workload.t;
+  layer : result option;        (** the reused block, when block reuse applies *)
+  whole : result option;        (** whole-graph compilation (CNNs) *)
+  head : result option;         (** LM head (decoder/encoder output projection) *)
+  total_cycles : float;
+  mem_ratio : float;
+  compile_seconds : float;
+}
+
+val compile_model :
+  ?options:options -> Cim_arch.Chip.t -> Cim_models.Zoo.entry ->
+  Cim_models.Workload.t -> model_cost
+
+val head_graph :
+  Cim_models.Zoo.entry -> Cim_models.Workload.t -> Cim_nnir.Graph.t option
+(** The LM-head projection graph compiled alongside the reused block;
+    [None] for CNNs. Shared with the baseline compilers so every compiler
+    prices the same end-to-end network. *)

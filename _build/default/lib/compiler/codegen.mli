@@ -1,0 +1,9 @@
+(** Dual-mode meta-operator code generation (§4.4): turn a placed schedule
+    into a {!Cim_metaop.Flow.program}. Each network segment becomes a
+    [parallel{}] block preceded by its [CM.switch] instructions; vector
+    (non-CIM) operators are interleaved at the position of their last CIM
+    ancestor so the program executes in dependency order. *)
+
+val generate :
+  Cim_arch.Chip.t -> Cim_nnir.Graph.t -> Opinfo.t array ->
+  Placement.seg_place list -> Cim_metaop.Flow.program

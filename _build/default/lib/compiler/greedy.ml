@@ -1,0 +1,60 @@
+module Chip = Cim_arch.Chip
+
+let solve chip (ops : Opinfo.t array) ~lo ~hi =
+  if lo < 0 || hi >= Array.length ops || lo > hi then
+    invalid_arg "Greedy.solve: bad uid range";
+  if Opinfo.total_min_arrays ops ~lo ~hi > chip.Chip.n_arrays then None
+  else begin
+    let n = hi - lo + 1 in
+    let alloc =
+      Array.init n (fun k ->
+          { Plan.uid = lo + k;
+            com = ops.(lo + k).Opinfo.min_compute_arrays;
+            mem_in = 0;
+            mem_out = 0 })
+    in
+    let used = ref (Opinfo.total_min_arrays ops ~lo ~hi) in
+    let latency k = Alloc.op_latency chip ops.(lo + k) alloc.(k) in
+    let bottleneck () =
+      let worst = ref 0. in
+      for k = 0 to n - 1 do
+        worst := Float.max !worst (latency k)
+      done;
+      !worst
+    in
+    let grant_com k a = ignore k; { a with Plan.com = a.Plan.com + 1 } in
+    let grant_mem k a = ignore k; { a with Plan.mem_in = a.Plan.mem_in + 1 } in
+    let continue_ = ref true in
+    while !continue_ && !used < chip.Chip.n_arrays do
+      let before = bottleneck () in
+      let best : (int * (int -> Plan.op_alloc -> Plan.op_alloc) * float) option ref =
+        ref None
+      in
+      for k = 0 to n - 1 do
+        List.iter
+          (fun grant ->
+            let saved = alloc.(k) in
+            alloc.(k) <- grant k saved;
+            let after = bottleneck () in
+            alloc.(k) <- saved;
+            if after < before -. 1e-12 then
+              match !best with
+              | Some (_, _, b) when b <= after -> ()
+              | _ -> best := Some (k, grant, after))
+          [ grant_com; grant_mem ]
+      done;
+      match !best with
+      | None -> continue_ := false
+      | Some (k, grant, _) ->
+        alloc.(k) <- grant k alloc.(k);
+        incr used
+    done;
+    Some
+      {
+        Plan.lo;
+        hi;
+        allocs = Array.to_list alloc;
+        reuse = [];
+        intra_cycles = bottleneck ();
+      }
+  end

@@ -1,0 +1,15 @@
+(** Greedy marginal-gain allocator: the heuristic alternative to the
+    per-segment MIP, used by the ablation study to quantify what the exact
+    solver buys (§4.3.2 motivates the MIP by the entangled search space —
+    this is the strawman it is entangled against).
+
+    Every operator starts at its minimum compute arrays and zero memory
+    arrays; remaining arrays are handed out one at a time to whichever
+    single (operator, mode) grant most reduces the segment's bottleneck
+    latency, stopping when no grant helps. *)
+
+val solve :
+  Cim_arch.Chip.t -> Opinfo.t array -> lo:int -> hi:int -> Plan.seg_plan option
+(** Same contract as {!Alloc.solve} ([None] when the minimum footprint
+    exceeds the chip), but heuristic: the result is feasible yet possibly
+    slower than the MIP's. Never performs Eq. 6 buffer-reuse. *)

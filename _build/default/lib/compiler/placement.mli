@@ -1,0 +1,36 @@
+(** Physical array placement: turn the MIP's array *counts* into concrete
+    CIM array coordinates (the lambda_z(i, x, y) of Table 1), choosing
+    coordinates that (a) realise the Eq. 6 output->input buffer reuse in
+    place and (b) minimise the number of mode switches between adjacent
+    segments. The realised switch lists are what code generation emits as
+    [CM.switch] and what the timing simulator charges. *)
+
+type op_place = {
+  uid : int;
+  compute : Cim_arch.Chip.coord list;
+  in_place : Cim_arch.Chip.coord list;
+      (** subset of [compute] claimed from a previous segment's output
+          buffers holding this operator's stationary operand (the paper's
+          in-place K-cache switch, §5.3): switched to compute mode without
+          weight reprogramming *)
+  mem_in : Cim_arch.Chip.coord list;
+  mem_out : Cim_arch.Chip.coord list;
+}
+
+type seg_place = {
+  plan : Plan.seg_plan;
+  ops : op_place list;
+  to_compute : Cim_arch.Chip.coord list;  (** switches performed before the segment *)
+  to_memory : Cim_arch.Chip.coord list;
+}
+
+val place :
+  Cim_arch.Chip.t -> ?initial_mode:Cim_arch.Mode.t -> Opinfo.t array ->
+  Plan.seg_plan list -> seg_place list
+(** [initial_mode] is the mode every array starts in (default [Memory] — a
+    dual-mode array resets as plain memory). Raises [Failure] if a segment
+    demands more arrays than the chip has (cannot happen for MIP-produced
+    plans). *)
+
+val realized_switches : seg_place list -> int * int
+(** Total (memory->compute, compute->memory) switch counts. *)

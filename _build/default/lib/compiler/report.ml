@@ -1,0 +1,65 @@
+module Chip = Cim_arch.Chip
+module Flow = Cim_metaop.Flow
+
+let span ops (seg : Plan.seg_plan) =
+  let first = ops.(seg.Plan.lo).Opinfo.label in
+  if seg.Plan.hi = seg.Plan.lo then first
+  else
+    Printf.sprintf "%s .. %s (%d ops)" first ops.(seg.Plan.hi).Opinfo.label
+      (seg.Plan.hi - seg.Plan.lo + 1)
+
+let segment_rows (r : Cmswitch.result) =
+  List.mapi
+    (fun i (seg : Plan.seg_plan) ->
+      (i + 1, span r.Cmswitch.ops seg, Plan.com_total seg, Plan.mem_total seg,
+       seg.Plan.intra_cycles))
+    r.Cmswitch.schedule.Plan.segments
+
+let to_markdown (r : Cmswitch.result) =
+  let b = Buffer.create 2048 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  let s = r.Cmswitch.schedule in
+  line "# CMSwitch compilation report";
+  line "";
+  line "- graph: `%s` (%d nodes, %d CIM operators after partitioning)"
+    r.Cmswitch.graph.Cim_nnir.Graph.graph_name
+    (Cim_nnir.Graph.node_count r.Cmswitch.graph)
+    (Array.length r.Cmswitch.ops);
+  line "- chip: %s (%d dual-mode arrays of %dx%d)" r.Cmswitch.chip.Chip.name
+    r.Cmswitch.chip.Chip.n_arrays r.Cmswitch.chip.Chip.rows
+    r.Cmswitch.chip.Chip.cols;
+  line "- total: **%.0f cycles** (%.2f us at %g MHz)" s.Plan.total_cycles
+    (Chip.cycles_to_us r.Cmswitch.chip s.Plan.total_cycles)
+    r.Cmswitch.chip.Chip.freq_mhz;
+  line "- breakdown: intra %.0f | write-back %.0f | switch %.0f | rewrite %.0f"
+    s.Plan.intra s.Plan.writeback s.Plan.switch s.Plan.rewrite;
+  line "- memory-mode ratio: %.1f%%; CM.switch instructions: %d"
+    (100. *. Cmswitch.memory_mode_ratio r)
+    (Flow.count_switches r.Cmswitch.program);
+  line "- solver: %d MIP solves, %d cache hits, %d candidate windows, %d pruned"
+    r.Cmswitch.dp_stats.Segment.mip_solves
+    r.Cmswitch.dp_stats.Segment.mip_cache_hits
+    r.Cmswitch.dp_stats.Segment.candidates
+    r.Cmswitch.dp_stats.Segment.pruned_infeasible;
+  line "- compile time: %.3f s" r.Cmswitch.compile_seconds;
+  line "";
+  line "## Segments";
+  line "";
+  line "| # | operators | compute | memory | intra cycles |";
+  line "|---|-----------|---------|--------|--------------|";
+  List.iter
+    (fun (i, sp, com, mem, intra) ->
+      line "| %d | %s | %d | %d | %.0f |" i sp com mem intra)
+    (segment_rows r);
+  line "";
+  line "## Mode switches per segment";
+  line "";
+  line "| # | to compute | to memory |";
+  line "|---|------------|-----------|";
+  List.iteri
+    (fun i (sp : Placement.seg_place) ->
+      line "| %d | %d | %d |" (i + 1)
+        (List.length sp.Placement.to_compute)
+        (List.length sp.Placement.to_memory))
+    r.Cmswitch.places;
+  Buffer.contents b

@@ -1,0 +1,10 @@
+(** Human-readable compilation reports: a Markdown account of what the
+    compiler decided (segments, allocations, switches, solver effort) for a
+    single {!Cmswitch.result}. Written by the CLI's [--report] flag. *)
+
+val to_markdown : Cmswitch.result -> string
+
+val segment_rows : Cmswitch.result -> (int * string * int * int * float) list
+(** (index, operator span, compute arrays, memory arrays, intra cycles) per
+    segment — the data behind the report's main table, exposed for tests
+    and for the experiment harness. *)

@@ -1,0 +1,131 @@
+module Chip = Cim_arch.Chip
+
+type options = {
+  alloc : Alloc.options;
+  max_segment_ops : int;
+  memoize : bool;
+}
+
+let default_options =
+  { alloc = Alloc.default_options; max_segment_ops = 10; memoize = true }
+
+type stats = {
+  mip_solves : int;
+  mip_cache_hits : int;
+  candidates : int;
+  pruned_infeasible : int;
+}
+
+(* Structural signature of a segment: identical windows (same per-op cost
+   constants and same internal dependency pattern) have identical MIP
+   solutions, so transformer layers hit the cache. Byte-exact constants go
+   into the key. *)
+let signature (ops : Opinfo.t array) ~lo ~hi =
+  let buf = Buffer.create 128 in
+  for i = lo to hi do
+    let op = ops.(i) in
+    Buffer.add_string buf
+      (Printf.sprintf "%h:%h:%d:%d:%d:%d;" op.Opinfo.macs op.Opinfo.ai
+         op.Opinfo.min_compute_arrays op.Opinfo.in_bytes op.Opinfo.out_bytes
+         op.Opinfo.weight_bytes);
+    List.iter
+      (fun d ->
+        if d >= lo && d < i then
+          Buffer.add_string buf (Printf.sprintf "d%d," (i - d)))
+      op.Opinfo.deps;
+    Buffer.add_char buf '|'
+  done;
+  Buffer.contents buf
+
+let run ?(options = default_options) chip (ops : Opinfo.t array) =
+  let m = Array.length ops in
+  let ctx = Plan.make_ctx ops in
+  let cache : (string, Plan.seg_plan option) Hashtbl.t = Hashtbl.create 256 in
+  let solves = ref 0 and hits = ref 0 and cands = ref 0 and pruned = ref 0 in
+  let intra ~lo ~hi =
+    if options.memoize then begin
+      let key = signature ops ~lo ~hi in
+      match Hashtbl.find_opt cache key with
+      | Some cached ->
+        incr hits;
+        (* re-anchor the cached plan at this window's uids *)
+        Option.map
+          (fun (p : Plan.seg_plan) ->
+            let shift = lo - p.Plan.lo in
+            {
+              p with
+              Plan.lo;
+              hi;
+              allocs =
+                List.map
+                  (fun (a : Plan.op_alloc) -> { a with Plan.uid = a.Plan.uid + shift })
+                  p.Plan.allocs;
+              reuse = List.map (fun (i, j, r) -> (i + shift, j + shift, r)) p.Plan.reuse;
+            })
+          cached
+      | None ->
+        incr solves;
+        let r = Alloc.solve ~options:options.alloc chip ops ~lo ~hi in
+        Hashtbl.replace cache key r;
+        r
+    end
+    else begin
+      incr solves;
+      Alloc.solve ~options:options.alloc chip ops ~lo ~hi
+    end
+  in
+  if m = 0 then ([], { mip_solves = 0; mip_cache_hits = 0; candidates = 0;
+                       pruned_infeasible = 0 })
+  else begin
+    (* best.(j) = minimal cost of scheduling ops 0..j-1 (so best.(0) = 0);
+       choice.(j) = (segment start i, plan) realising it. *)
+    let best = Array.make (m + 1) infinity in
+    let choice : (int * Plan.seg_plan) option array = Array.make (m + 1) None in
+    best.(0) <- 0.;
+    for j = 0 to m - 1 do
+      let i = ref j in
+      let stop = ref false in
+      while (not !stop) && !i >= 0 && j - !i < options.max_segment_ops do
+        incr cands;
+        if Opinfo.total_min_arrays ops ~lo:!i ~hi:j > chip.Chip.n_arrays then begin
+          (* growing the window leftwards only adds operators *)
+          incr pruned;
+          stop := true
+        end
+        else begin
+          (match intra ~lo:!i ~hi:j with
+          | None -> ()
+          | Some plan ->
+            if best.(!i) < infinity then begin
+              let prev =
+                if !i = 0 then None
+                else Option.map snd choice.(!i)
+              in
+              let ic = Plan.inter_segment_cost chip ctx ~prev ~cur:plan in
+              let cost =
+                best.(!i) +. plan.Plan.intra_cycles +. Plan.inter_total ic
+              in
+              if cost < best.(j + 1) then begin
+                best.(j + 1) <- cost;
+                choice.(j + 1) <- Some (!i, plan)
+              end
+            end);
+          decr i
+        end
+      done
+    done;
+    if best.(m) = infinity then
+      failwith "Segment.run: no feasible segmentation (operator exceeds chip)";
+    (* backtrack *)
+    let rec collect j acc =
+      if j = 0 then acc
+      else
+        match choice.(j) with
+        | None -> failwith "Segment.run: broken DP table"
+        | Some (i, plan) -> collect i (plan :: acc)
+    in
+    let segments = collect m [] in
+    ( segments,
+      { mip_solves = !solves; mip_cache_hits = !hits; candidates = !cands;
+        pruned_infeasible = !pruned } )
+  end

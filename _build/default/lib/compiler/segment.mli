@@ -1,0 +1,30 @@
+(** Dual-mode-aware network segmentation (§4.3.1, Eq. 3, Alg. 1): dynamic
+    programming over segment boundaries, where each candidate segment's
+    intra cost comes from the {!Alloc} MIP and the boundary cost from the
+    three-part inter-segment model (Fig. 10). *)
+
+type options = {
+  alloc : Alloc.options;
+  max_segment_ops : int;
+      (** window cap on segment length; the hard feasibility bound (Eq. 8 /
+          Alg. 1 line 9) still applies on top *)
+  memoize : bool;
+      (** cache MIP results by segment signature — identical transformer
+          blocks then cost one solve (the block-reuse of Fig. 18) *)
+}
+
+val default_options : options
+
+type stats = {
+  mip_solves : int;        (** MIP invocations actually performed *)
+  mip_cache_hits : int;
+  candidates : int;        (** (i, j) windows examined *)
+  pruned_infeasible : int; (** windows rejected by the Alg. 1 line 9 test *)
+}
+
+val run :
+  ?options:options -> Cim_arch.Chip.t -> Opinfo.t array ->
+  Plan.seg_plan list * stats
+(** Optimal segmentation of the whole operator list. Raises [Failure] when
+    some operator cannot be scheduled at all (does not fit the chip alone —
+    cannot happen for operator lists produced by {!Opinfo.extract}). *)

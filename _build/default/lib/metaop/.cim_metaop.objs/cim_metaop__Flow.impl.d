@@ -1,0 +1,1 @@
+lib/metaop/flow.ml: Cim_arch Format Hashtbl List Printf String

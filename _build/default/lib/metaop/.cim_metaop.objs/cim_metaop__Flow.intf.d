@@ -1,0 +1,1 @@
+lib/metaop/flow.mli: Cim_arch Format

@@ -1,0 +1,1 @@
+lib/metaop/parse.ml: Buffer Cim_arch Float Flow List Printf String

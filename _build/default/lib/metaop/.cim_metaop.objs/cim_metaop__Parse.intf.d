@@ -1,0 +1,1 @@
+lib/metaop/parse.mli: Flow

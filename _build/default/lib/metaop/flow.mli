@@ -1,0 +1,67 @@
+(** Meta-operator flow (§4.4, Fig. 13): the compiler's output language.
+    Alongside the paper's [CM.switch] operator and [parallel{}] grouping we
+    carry standard compute/memory operators; each instruction references the
+    source-graph node it implements so the functional simulator can check
+    results against the reference executor. *)
+
+type coord = Cim_arch.Chip.coord
+
+(** Where a tensor lives when an instruction touches it. *)
+type location =
+  | Main_memory
+  | Buffer                      (** the chip's original peripheral buffer *)
+  | Mem_arrays of coord list    (** scratchpad built from memory-mode arrays *)
+
+type slice = { lo : int; hi : int }
+(** Output-feature range [lo, hi) a sub-operator covers; the full operator
+    is the union of its sub-operators' slices. *)
+
+type instr =
+  | Switch of { target : Cim_arch.Mode.transition; arrays : coord list }
+      (** [CM.switch(TOM|TOC, addr)] batched over arrays. *)
+  | Write_weights of {
+      label : string;
+      node_id : int;
+      arrays : coord list;
+      slice : slice;
+      bytes : int;
+      in_place : bool;
+          (** the arrays already hold the stationary data from a previous
+              segment's memory-mode residency (§5.3): the write is a free
+              relabel, not a reprogramming *)
+    }  (** program a compute array group with (a slice of) an operator's
+           stationary matrix *)
+  | Load of { tensor : string; src : location; dst : location; bytes : int }
+  | Store of { tensor : string; src : location; dst : location; bytes : int }
+  | Compute of {
+      label : string;
+      node_id : int;
+      arrays : coord list;        (** compute-mode arrays used *)
+      mem_arrays : coord list;    (** memory-mode arrays feeding it *)
+      inputs : string list;
+      output : string;
+      slice : slice;
+      macs : float;
+      ai : float;
+    }
+  | Vector_op of { label : string; node_id : int; inputs : string list; output : string }
+      (** non-CIM operator executed on the peripheral vector unit *)
+  | Parallel of instr list
+      (** operators of one network segment, executed pipelined *)
+
+type program = { source : string; instrs : instr list }
+
+val switched_arrays : program -> (Cim_arch.Mode.transition * coord) list
+(** Every (transition, array) pair in program order — the raw CM.switch
+    stream. *)
+
+val count_switches : program -> int
+
+val validate : Cim_arch.Chip.t -> program -> (unit, string) result
+(** Structural checks: coordinates in range, no array used in both modes
+    inside one [Parallel] block, slices well-formed, no nested [Parallel]. *)
+
+val pp : Format.formatter -> program -> unit
+(** Concrete syntax (grammar of Fig. 13); parseable by {!Parse}. *)
+
+val to_string : program -> string

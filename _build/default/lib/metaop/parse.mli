@@ -1,0 +1,8 @@
+(** Parser for the meta-operator concrete syntax emitted by {!Flow.pp}, so
+    flows can be stored, inspected and fed back to the simulator (and so the
+    syntax of Fig. 13 is round-trip tested). *)
+
+exception Error of string
+
+val program_of_string : string -> Flow.program
+(** Raises [Error] on malformed input. *)

@@ -1,0 +1,1 @@
+lib/models/cnn.ml: Cim_nnir Cim_tensor List Option Printf

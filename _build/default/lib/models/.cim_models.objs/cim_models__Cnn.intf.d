@@ -1,0 +1,1 @@
+lib/models/cnn.mli: Cim_nnir Cim_util

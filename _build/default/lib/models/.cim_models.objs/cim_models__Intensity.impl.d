@@ -1,0 +1,1 @@
+lib/models/intensity.ml: Cim_nnir Cim_tensor Hashtbl List

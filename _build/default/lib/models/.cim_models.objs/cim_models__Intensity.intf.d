@@ -1,0 +1,1 @@
+lib/models/intensity.mli: Cim_nnir

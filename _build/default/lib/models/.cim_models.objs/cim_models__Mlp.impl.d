@@ -1,0 +1,1 @@
+lib/models/mlp.ml: Cim_nnir Cim_tensor List Printf

@@ -1,0 +1,1 @@
+lib/models/mlp.mli: Cim_nnir Cim_util

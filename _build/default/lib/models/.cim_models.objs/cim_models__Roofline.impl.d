@@ -1,0 +1,1 @@
+lib/models/roofline.ml: Cim_arch Float Intensity List

@@ -1,0 +1,1 @@
+lib/models/roofline.mli: Cim_arch Cim_nnir

@@ -1,0 +1,1 @@
+lib/models/transformer.ml: Cim_nnir Cim_tensor Printf Workload

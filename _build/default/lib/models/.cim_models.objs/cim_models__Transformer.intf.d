@@ -1,0 +1,1 @@
+lib/models/transformer.mli: Cim_nnir Workload

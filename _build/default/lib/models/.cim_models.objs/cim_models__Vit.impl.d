@@ -1,0 +1,1 @@
+lib/models/vit.ml: Cim_nnir Cim_tensor Printf Transformer Workload

@@ -1,0 +1,1 @@
+lib/models/vit.mli: Cim_nnir Transformer

@@ -1,0 +1,1 @@
+lib/models/zoo.ml: Cim_nnir Cnn Lazy List Transformer Vit Workload

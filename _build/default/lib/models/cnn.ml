@@ -1,0 +1,168 @@
+module B = Cim_nnir.Builder
+module Shape = Cim_tensor.Shape
+module Tensor = Cim_tensor.Tensor
+
+let conv_layer ?rng b x ~in_c ~out_c ~k ~stride ~pad ?(groups = 1) ~prefix () =
+  let wshape = Shape.of_list [ out_c; in_c / groups; k; k ] in
+  let value = Option.map (fun rng -> Tensor.rand rng wshape ~lo:(-0.3) ~hi:0.3) rng in
+  let w = B.weight ?value b (prefix ^ "_w") wshape in
+  B.conv ~name:prefix b x w ~stride ~pad ~groups ()
+
+let conv_relu ?rng b x ~in_c ~out_c ~k ~stride ~pad ?groups ~prefix () =
+  B.relu b (conv_layer ?rng b x ~in_c ~out_c ~k ~stride ~pad ?groups ~prefix ())
+
+(* MobileNet's activation is ReLU6 = Clip(0, 6) *)
+let conv_relu6 ?rng b x ~in_c ~out_c ~k ~stride ~pad ?groups ~prefix () =
+  B.relu6 b (conv_layer ?rng b x ~in_c ~out_c ~k ~stride ~pad ?groups ~prefix ())
+
+(* --- VGG-16: 13 convs in 5 stages + 3 FC --- *)
+
+let vgg16 ~batch =
+  let b = B.create (Printf.sprintf "VGG-16_b%d" batch) in
+  let x = B.input b "image" (Shape.of_list [ batch; 3; 224; 224 ]) in
+  let stage x ~in_c ~out_c ~convs ~prefix =
+    let cur = ref x and c = ref in_c in
+    for i = 1 to convs do
+      cur :=
+        conv_relu b !cur ~in_c:!c ~out_c ~k:3 ~stride:1 ~pad:1
+          ~prefix:(Printf.sprintf "%s_conv%d" prefix i) ();
+      c := out_c
+    done;
+    B.maxpool b !cur ~k:2 ~stride:2 ()
+  in
+  let x = stage x ~in_c:3 ~out_c:64 ~convs:2 ~prefix:"s1" in
+  let x = stage x ~in_c:64 ~out_c:128 ~convs:2 ~prefix:"s2" in
+  let x = stage x ~in_c:128 ~out_c:256 ~convs:3 ~prefix:"s3" in
+  let x = stage x ~in_c:256 ~out_c:512 ~convs:3 ~prefix:"s4" in
+  let x = stage x ~in_c:512 ~out_c:512 ~convs:3 ~prefix:"s5" in
+  let x = B.reshape b x [ batch; 512 * 7 * 7 ] in
+  let x = B.relu b (B.linear ~bias:false b x ~in_dim:(512 * 7 * 7) ~out_dim:4096 ~prefix:"fc6") in
+  let x = B.relu b (B.linear ~bias:false b x ~in_dim:4096 ~out_dim:4096 ~prefix:"fc7") in
+  let logits = B.linear ~bias:false b x ~in_dim:4096 ~out_dim:1000 ~prefix:"fc8" in
+  B.finish b ~outputs:[ logits ]
+
+(* --- ResNet --- *)
+
+let basic_block b x ~in_c ~out_c ~stride ~prefix =
+  let main =
+    conv_relu b x ~in_c ~out_c ~k:3 ~stride ~pad:1 ~prefix:(prefix ^ "_a") ()
+  in
+  let main = conv_layer b main ~in_c:out_c ~out_c ~k:3 ~stride:1 ~pad:1 ~prefix:(prefix ^ "_b") () in
+  let shortcut =
+    if stride <> 1 || in_c <> out_c then
+      conv_layer b x ~in_c ~out_c ~k:1 ~stride ~pad:0 ~prefix:(prefix ^ "_sc") ()
+    else x
+  in
+  B.relu b (B.add b main shortcut)
+
+let bottleneck b x ~in_c ~mid_c ~out_c ~stride ~prefix =
+  let main = conv_relu b x ~in_c ~out_c:mid_c ~k:1 ~stride:1 ~pad:0 ~prefix:(prefix ^ "_a") () in
+  let main = conv_relu b main ~in_c:mid_c ~out_c:mid_c ~k:3 ~stride ~pad:1 ~prefix:(prefix ^ "_b") () in
+  let main = conv_layer b main ~in_c:mid_c ~out_c ~k:1 ~stride:1 ~pad:0 ~prefix:(prefix ^ "_c") () in
+  let shortcut =
+    if stride <> 1 || in_c <> out_c then
+      conv_layer b x ~in_c ~out_c ~k:1 ~stride ~pad:0 ~prefix:(prefix ^ "_sc") ()
+    else x
+  in
+  B.relu b (B.add b main shortcut)
+
+let resnet_stem b x ~batch:_ =
+  let x = conv_relu b x ~in_c:3 ~out_c:64 ~k:7 ~stride:2 ~pad:3 ~prefix:"stem" () in
+  B.maxpool b x ~k:3 ~stride:2 ~pad:1 ()
+
+let resnet18 ~batch =
+  let b = B.create (Printf.sprintf "ResNet-18_b%d" batch) in
+  let x = B.input b "image" (Shape.of_list [ batch; 3; 224; 224 ]) in
+  let x = resnet_stem b x ~batch in
+  let stage x ~in_c ~out_c ~blocks ~stride ~prefix =
+    let cur = ref x and c = ref in_c in
+    for i = 1 to blocks do
+      let s = if i = 1 then stride else 1 in
+      cur := basic_block b !cur ~in_c:!c ~out_c ~stride:s
+               ~prefix:(Printf.sprintf "%s_b%d" prefix i);
+      c := out_c
+    done;
+    !cur
+  in
+  let x = stage x ~in_c:64 ~out_c:64 ~blocks:2 ~stride:1 ~prefix:"st1" in
+  let x = stage x ~in_c:64 ~out_c:128 ~blocks:2 ~stride:2 ~prefix:"st2" in
+  let x = stage x ~in_c:128 ~out_c:256 ~blocks:2 ~stride:2 ~prefix:"st3" in
+  let x = stage x ~in_c:256 ~out_c:512 ~blocks:2 ~stride:2 ~prefix:"st4" in
+  let x = B.global_avg_pool b x in
+  let logits = B.linear ~bias:false b x ~in_dim:512 ~out_dim:1000 ~prefix:"fc" in
+  B.finish b ~outputs:[ logits ]
+
+let resnet50 ~batch =
+  let b = B.create (Printf.sprintf "ResNet-50_b%d" batch) in
+  let x = B.input b "image" (Shape.of_list [ batch; 3; 224; 224 ]) in
+  let x = resnet_stem b x ~batch in
+  let stage x ~in_c ~mid_c ~out_c ~blocks ~stride ~prefix =
+    let cur = ref x and c = ref in_c in
+    for i = 1 to blocks do
+      let s = if i = 1 then stride else 1 in
+      cur := bottleneck b !cur ~in_c:!c ~mid_c ~out_c ~stride:s
+               ~prefix:(Printf.sprintf "%s_b%d" prefix i);
+      c := out_c
+    done;
+    !cur
+  in
+  let x = stage x ~in_c:64 ~mid_c:64 ~out_c:256 ~blocks:3 ~stride:1 ~prefix:"st1" in
+  let x = stage x ~in_c:256 ~mid_c:128 ~out_c:512 ~blocks:4 ~stride:2 ~prefix:"st2" in
+  let x = stage x ~in_c:512 ~mid_c:256 ~out_c:1024 ~blocks:6 ~stride:2 ~prefix:"st3" in
+  let x = stage x ~in_c:1024 ~mid_c:512 ~out_c:2048 ~blocks:3 ~stride:2 ~prefix:"st4" in
+  let x = B.global_avg_pool b x in
+  let logits = B.linear ~bias:false b x ~in_dim:2048 ~out_dim:1000 ~prefix:"fc" in
+  B.finish b ~outputs:[ logits ]
+
+(* --- MobileNetV2: inverted residual blocks with depthwise convolutions --- *)
+
+let inverted_residual b x ~in_c ~out_c ~stride ~expand ~prefix =
+  let mid = in_c * expand in
+  let h =
+    if expand = 1 then x
+    else conv_relu6 b x ~in_c ~out_c:mid ~k:1 ~stride:1 ~pad:0 ~prefix:(prefix ^ "_exp") ()
+  in
+  let h =
+    conv_relu6 b h ~in_c:mid ~out_c:mid ~k:3 ~stride ~pad:1 ~groups:mid
+      ~prefix:(prefix ^ "_dw") ()
+  in
+  let h = conv_layer b h ~in_c:mid ~out_c ~k:1 ~stride:1 ~pad:0 ~prefix:(prefix ^ "_proj") () in
+  if stride = 1 && in_c = out_c then B.add b x h else h
+
+let mobilenet_v2 ~batch =
+  let b = B.create (Printf.sprintf "MobileNetV2_b%d" batch) in
+  let x = B.input b "image" (Shape.of_list [ batch; 3; 224; 224 ]) in
+  let x = conv_relu6 b x ~in_c:3 ~out_c:32 ~k:3 ~stride:2 ~pad:1 ~prefix:"stem" () in
+  (* (expand, out_c, repeats, first stride) per the MobileNetV2 paper *)
+  let settings =
+    [ (1, 16, 1, 1); (6, 24, 2, 2); (6, 32, 3, 2); (6, 64, 4, 2); (6, 96, 3, 1);
+      (6, 160, 3, 2); (6, 320, 1, 1) ]
+  in
+  let cur = ref x and c = ref 32 and idx = ref 0 in
+  List.iter
+    (fun (expand, out_c, repeats, stride) ->
+      for i = 1 to repeats do
+        let s = if i = 1 then stride else 1 in
+        incr idx;
+        cur :=
+          inverted_residual b !cur ~in_c:!c ~out_c ~stride:s ~expand
+            ~prefix:(Printf.sprintf "ir%d" !idx);
+        c := out_c
+      done)
+    settings;
+  let x = conv_relu6 b !cur ~in_c:320 ~out_c:1280 ~k:1 ~stride:1 ~pad:0 ~prefix:"head" () in
+  let x = B.global_avg_pool b x in
+  let logits = B.linear ~bias:false b x ~in_dim:1280 ~out_dim:1000 ~prefix:"fc" in
+  B.finish b ~outputs:[ logits ]
+
+let tiny_cnn ?rng ~batch () =
+  let b = B.create (Printf.sprintf "tiny-cnn_b%d" batch) in
+  let x = B.input b "image" (Shape.of_list [ batch; 2; 8; 8 ]) in
+  let x = conv_relu ?rng b x ~in_c:2 ~out_c:4 ~k:3 ~stride:1 ~pad:1 ~prefix:"c1" () in
+  let x = B.maxpool b x ~k:2 ~stride:2 () in
+  let x = conv_relu ?rng b x ~in_c:4 ~out_c:8 ~k:3 ~stride:1 ~pad:1 ~prefix:"c2" () in
+  let x = B.global_avg_pool b x in
+  let logits =
+    B.linear ~bias:false ?value_rng:rng b x ~in_dim:8 ~out_dim:10 ~prefix:"fc"
+  in
+  B.finish b ~outputs:[ logits ]

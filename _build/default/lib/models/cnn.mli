@@ -1,0 +1,11 @@
+(** Convolutional model builders for the ImageNet benchmarks in Fig. 14:
+    VGG-16, ResNet-18/50 and MobileNetV2, all at 224x224 NCHW input. *)
+
+val vgg16 : batch:int -> Cim_nnir.Graph.t
+val resnet18 : batch:int -> Cim_nnir.Graph.t
+val resnet50 : batch:int -> Cim_nnir.Graph.t
+val mobilenet_v2 : batch:int -> Cim_nnir.Graph.t
+
+val tiny_cnn : ?rng:Cim_util.Rng.t -> batch:int -> unit -> Cim_nnir.Graph.t
+(** A 3-conv 8x8-input CNN, optionally with concrete weights, small enough
+    for functional simulation. *)

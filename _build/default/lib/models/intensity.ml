@@ -1,0 +1,105 @@
+module Graph = Cim_nnir.Graph
+module Shape_infer = Cim_nnir.Shape_infer
+module Attr = Cim_nnir.Attr
+module Op = Cim_nnir.Op
+module Shape = Cim_tensor.Shape
+
+type kind = Static_weight | Dynamic_matmul
+
+type node_stats = {
+  node_id : int;
+  node_name : string;
+  kind : kind;
+  macs : float;
+  weight_bytes : float;
+  act_in_bytes : float;
+  act_out_bytes : float;
+}
+
+let f = float_of_int
+
+let matmul_macs a b =
+  match (a, b) with
+  | [ m; k ], [ _; n ] -> f m *. f k *. f n
+  | [ bd; m; k ], [ _; n ] -> f bd *. f m *. f k *. f n
+  | [ bd; m; k ], [ _; _; n ] -> f bd *. f m *. f k *. f n
+  | _ -> 0.
+
+let conv_macs attrs x w =
+  match (x, w) with
+  | [ n; _c; h; wd ], [ oc; cg; kh; kw ] ->
+    let stride = Attr.get_int_d attrs "stride" 1 in
+    let pad = Attr.get_int_d attrs "pad" 0 in
+    let oh = ((h + (2 * pad) - kh) / stride) + 1 in
+    let ow = ((wd + (2 * pad) - kw) / stride) + 1 in
+    f n *. f oc *. f oh *. f ow *. f cg *. f kh *. f kw
+  | _ -> 0.
+
+let node_stats (g : Graph.t) =
+  let shapes = Shape_infer.infer g in
+  let shape_of n = Hashtbl.find shapes n in
+  (* Attention scores flow through softmax entirely on chip: the paper's
+     in-place rule ("data that can be processed in place and will not be
+     reused, such as softmax results") exempts that traffic from the
+     operator's memory operations. *)
+  let via_softmax name =
+    match Graph.producer g name with
+    | Some p -> p.Graph.op = Op.Softmax
+    | None -> false
+  in
+  let feeds_only_softmax name =
+    match Graph.consumers g name with
+    | [] -> false
+    | cs -> List.for_all (fun (c : Graph.node) -> c.Graph.op = Op.Softmax) cs
+  in
+  let stats_of (nd : Graph.node) =
+    let ins = List.map shape_of nd.inputs in
+    let out_bytes =
+      List.fold_left
+        (fun acc o ->
+          if feeds_only_softmax o then acc else acc +. f (Shape.numel (shape_of o)))
+        0. nd.outputs
+    in
+    let weight_bytes, act_in_bytes =
+      List.fold_left
+        (fun (wb, ab) name ->
+          let sz = f (Shape.numel (shape_of name)) in
+          if Graph.is_initializer g name then (wb +. sz, ab)
+          else if via_softmax name then (wb, ab)
+          else (wb, ab +. sz))
+        (0., 0.) nd.inputs
+    in
+    let macs =
+      match (nd.op, ins) with
+      | Op.Conv, (x :: w :: _) -> conv_macs nd.attrs x w
+      | (Op.Mat_mul | Op.Gemm), (a :: b :: _) -> matmul_macs a b
+      | _ -> 0.
+    in
+    let kind =
+      match nd.op with
+      | Op.Mat_mul when weight_bytes = 0. -> Dynamic_matmul
+      | _ -> Static_weight
+    in
+    { node_id = nd.id; node_name = nd.name; kind; macs; weight_bytes;
+      act_in_bytes; act_out_bytes = out_bytes }
+  in
+  List.map stats_of (Graph.cim_nodes g)
+
+let ai_dynamic s =
+  let traffic = s.act_in_bytes +. s.act_out_bytes in
+  if traffic = 0. then 0. else s.macs /. traffic
+
+let ai_total s =
+  let traffic = s.act_in_bytes +. s.act_out_bytes +. s.weight_bytes in
+  if traffic = 0. then 0. else s.macs /. traffic
+
+let sum_over g extract_traffic =
+  let stats = node_stats g in
+  let macs = List.fold_left (fun acc s -> acc +. s.macs) 0. stats in
+  let traffic = List.fold_left (fun acc s -> acc +. extract_traffic s) 0. stats in
+  if traffic = 0. then 0. else macs /. traffic
+
+let model_ai g =
+  sum_over g (fun s -> s.act_in_bytes +. s.act_out_bytes +. s.weight_bytes)
+
+let model_ai_dynamic g = sum_over g (fun s -> s.act_in_bytes +. s.act_out_bytes)

@@ -1,0 +1,35 @@
+(** Arithmetic-intensity analysis (Figs. 1(b), 5(c), 6). MAC counts and data
+    traffic are derived from inferred shapes; int8 means one byte per
+    element. *)
+
+type kind =
+  | Static_weight   (** Gemm/Conv/MatMul with an initializer operand (FC-like) *)
+  | Dynamic_matmul  (** MatMul between two activations (QK^T, probs x V) *)
+
+type node_stats = {
+  node_id : int;
+  node_name : string;
+  kind : kind;
+  macs : float;
+  weight_bytes : float;   (** static weight footprint; 0 for Dynamic_matmul *)
+  act_in_bytes : float;   (** dynamic input bytes, incl. KV-cache operands *)
+  act_out_bytes : float;
+}
+
+val node_stats : Cim_nnir.Graph.t -> node_stats list
+(** One entry per CIM-supported node, topological order. Raises
+    [Cim_nnir.Shape_infer.Error] on malformed graphs. *)
+
+val ai_dynamic : node_stats -> float
+(** MACs per byte of dynamic traffic — the [AI_{O_i}] of Eq. 10, where
+    static weights are excluded because their programming cost is charged
+    separately (Eq. 2). *)
+
+val ai_total : node_stats -> float
+(** MACs per byte of *all* traffic including weights — the FLOPs/MemOP
+    measure behind Fig. 5(c) (LLaMA2 ~ 2, ResNet-50 ~ 66). *)
+
+val model_ai : Cim_nnir.Graph.t -> float
+(** Whole-model [ai_total]: total MACs over total traffic. *)
+
+val model_ai_dynamic : Cim_nnir.Graph.t -> float

@@ -1,0 +1,21 @@
+module B = Cim_nnir.Builder
+module Shape = Cim_tensor.Shape
+
+let build ?rng ?(name = "mlp") ~batch ~dims () =
+  match dims with
+  | [] | [ _ ] -> invalid_arg "Mlp.build: need at least two dims"
+  | d0 :: rest ->
+    let b = B.create (Printf.sprintf "%s_b%d" name batch) in
+    let x = ref (B.input b "x" (Shape.of_list [ batch; d0 ])) in
+    let d = ref d0 in
+    let n = List.length rest in
+    List.iteri
+      (fun i dn ->
+        let prefix = Printf.sprintf "fc%d" (i + 1) in
+        let y =
+          B.linear ~bias:false ?value_rng:rng b !x ~in_dim:!d ~out_dim:dn ~prefix
+        in
+        x := if i = n - 1 then y else B.relu b y;
+        d := dn)
+      rest;
+    B.finish b ~outputs:[ !x ]

@@ -1,0 +1,11 @@
+(** Plain multi-layer perceptrons: the minimal workload for quickstarts,
+    tests and the Fig. 4 mapping-contrast demo. Batch 1 inference through
+    wide layers is strongly bandwidth-bound, which is exactly where dual
+    mode shows its value on a small example. *)
+
+val build :
+  ?rng:Cim_util.Rng.t -> ?name:string -> batch:int -> dims:int list -> unit ->
+  Cim_nnir.Graph.t
+(** [build ~batch ~dims:[d0; d1; ...; dn] ()] chains [n] Gemm+ReLU layers
+    (no activation after the last). [dims] needs at least two entries.
+    With [rng], concrete weights are attached for functional simulation. *)

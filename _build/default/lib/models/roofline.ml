@@ -1,0 +1,55 @@
+module Chip = Cim_arch.Chip
+
+type bound = Compute_bound | Memory_bound
+
+type point = {
+  label : string;
+  ai : float;
+  macs : float;
+  attainable : float;
+  bound : bound;
+}
+
+type summary = {
+  points : point list;
+  ridge_ai : float;
+  peak : float;
+  memory_bound_macs : float;
+}
+
+let analyze chip g =
+  let peak = float_of_int chip.Chip.n_arrays *. chip.Chip.op_cim in
+  let bw = Chip.d_main chip in
+  let ridge_ai = peak /. bw in
+  let stats = Intensity.node_stats g in
+  let points =
+    List.filter_map
+      (fun (s : Intensity.node_stats) ->
+        if s.Intensity.macs <= 0. then None
+        else begin
+          let ai = Intensity.ai_total s in
+          let memory_rate = ai *. bw in
+          let attainable = Float.min peak memory_rate in
+          Some
+            {
+              label = s.Intensity.node_name;
+              ai;
+              macs = s.Intensity.macs;
+              attainable;
+              bound = (if memory_rate < peak then Memory_bound else Compute_bound);
+            }
+        end)
+      stats
+  in
+  let total = List.fold_left (fun acc p -> acc +. p.macs) 0. points in
+  let mem =
+    List.fold_left
+      (fun acc p -> if p.bound = Memory_bound then acc +. p.macs else acc)
+      0. points
+  in
+  {
+    points;
+    ridge_ai;
+    peak;
+    memory_bound_macs = (if total > 0. then mem /. total else 0.);
+  }

@@ -1,0 +1,24 @@
+(** Roofline analysis of a network against a fixed-mode chip: for each CIM
+    operator, its arithmetic intensity and the attainable MAC rate
+    [min(peak_compute, AI * D_main)] with every array in compute mode. The
+    memory-bound share of work is exactly the opportunity dual-mode
+    compilation feeds on (Figs. 1(b), 5). *)
+
+type bound = Compute_bound | Memory_bound
+
+type point = {
+  label : string;
+  ai : float;                (** MACs per byte, weights included *)
+  macs : float;
+  attainable : float;        (** MACs/cycle under the fixed-mode roofline *)
+  bound : bound;
+}
+
+type summary = {
+  points : point list;
+  ridge_ai : float;          (** AI at which the roofline flattens *)
+  peak : float;              (** peak compute rate, MACs/cycle *)
+  memory_bound_macs : float; (** MAC fraction below the ridge *)
+}
+
+val analyze : Cim_arch.Chip.t -> Cim_nnir.Graph.t -> summary

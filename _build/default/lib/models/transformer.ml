@@ -1,0 +1,179 @@
+module B = Cim_nnir.Builder
+module Shape = Cim_tensor.Shape
+
+type norm = Layernorm | Rmsnorm
+type activation = Gelu_act | Silu_gated
+
+type config = {
+  model_name : string;
+  n_layers : int;
+  d_model : int;
+  n_heads : int;
+  d_ffn : int;
+  vocab : int;
+  norm : norm;
+  act : activation;
+  causal : bool;
+}
+
+let bert_large =
+  { model_name = "BERT-large"; n_layers = 24; d_model = 1024; n_heads = 16;
+    d_ffn = 4096; vocab = 30522; norm = Layernorm; act = Gelu_act; causal = false }
+
+let opt_6_7b =
+  { model_name = "OPT-6.7B"; n_layers = 32; d_model = 4096; n_heads = 32;
+    d_ffn = 16384; vocab = 50272; norm = Layernorm; act = Gelu_act; causal = true }
+
+let opt_13b =
+  { model_name = "OPT-13B"; n_layers = 40; d_model = 5120; n_heads = 40;
+    d_ffn = 20480; vocab = 50272; norm = Layernorm; act = Gelu_act; causal = true }
+
+let gpt2_xl =
+  { model_name = "GPT-2 XL"; n_layers = 48; d_model = 1600; n_heads = 25;
+    d_ffn = 6400; vocab = 50257; norm = Layernorm; act = Gelu_act; causal = true }
+
+let llama2_7b =
+  { model_name = "LLaMA2-7B"; n_layers = 32; d_model = 4096; n_heads = 32;
+    d_ffn = 11008; vocab = 32000; norm = Rmsnorm; act = Silu_gated; causal = true }
+
+let param_count cfg =
+  let d = cfg.d_model and f = cfg.d_ffn in
+  let attn = 4 * d * d in
+  let ffn = match cfg.act with Gelu_act -> 2 * d * f | Silu_gated -> 3 * d * f in
+  let norms = match cfg.norm with Layernorm -> 4 * d | Rmsnorm -> 2 * d in
+  let final_norm = match cfg.norm with Layernorm -> 2 * d | Rmsnorm -> d in
+  (cfg.vocab * d) + (cfg.n_layers * (attn + ffn + norms)) + final_norm
+  + (cfg.vocab * d)
+
+let apply_norm cfg b x ~prefix =
+  let d = cfg.d_model in
+  match cfg.norm with
+  | Layernorm ->
+    let gamma = B.weight b (prefix ^ "_ln_g") (Shape.of_list [ d ]) in
+    let beta = B.weight b (prefix ^ "_ln_b") (Shape.of_list [ d ]) in
+    B.layernorm b x ~gamma ~beta
+  | Rmsnorm ->
+    let gamma = B.weight b (prefix ^ "_rms_g") (Shape.of_list [ d ]) in
+    B.rmsnorm b x ~gamma
+
+let ffn cfg b x ~prefix =
+  let d = cfg.d_model and f = cfg.d_ffn in
+  match cfg.act with
+  | Gelu_act ->
+    let h1 = B.linear ~bias:false b x ~in_dim:d ~out_dim:f ~prefix:(prefix ^ "_fc1") in
+    let h1 = B.gelu b h1 in
+    B.linear ~bias:false b h1 ~in_dim:f ~out_dim:d ~prefix:(prefix ^ "_fc2")
+  | Silu_gated ->
+    let gate = B.linear ~bias:false b x ~in_dim:d ~out_dim:f ~prefix:(prefix ^ "_gate") in
+    let up = B.linear ~bias:false b x ~in_dim:d ~out_dim:f ~prefix:(prefix ^ "_up") in
+    let h = B.mul b (B.silu b gate) up in
+    B.linear ~bias:false b h ~in_dim:f ~out_dim:d ~prefix:(prefix ^ "_down")
+
+(* One attention + FFN block operating on hidden states [bt; d] where
+   bt = batch * tokens_this_step. For decode steps the past keys/values
+   arrive as graph inputs shaped [batch*heads; kv; d_head] and the current
+   token's K/V are concatenated on — the concat output is what a serving
+   runtime would write back into the cache. *)
+let block cfg (w : Workload.t) b hidden ~prefix ~kv_inputs =
+  let d = cfg.d_model and h = cfg.n_heads in
+  let dh = d / h in
+  let t = Workload.tokens_this_step w in
+  let batch = w.Workload.batch in
+  let bt = batch * t in
+  let bh = batch * h in
+  let x = apply_norm cfg b hidden ~prefix:(prefix ^ "_attn") in
+  let q = B.linear ~bias:false b x ~in_dim:d ~out_dim:d ~prefix:(prefix ^ "_q") in
+  let k = B.linear ~bias:false b x ~in_dim:d ~out_dim:d ~prefix:(prefix ^ "_k") in
+  let v = B.linear ~bias:false b x ~in_dim:d ~out_dim:d ~prefix:(prefix ^ "_v") in
+  (* [bt; d] -> [bh; t; dh] *)
+  let heads y =
+    let y = B.reshape b y [ batch; t; h; dh ] in
+    let y = B.transpose b y [ 0; 2; 1; 3 ] in
+    B.reshape b y [ bh; t; dh ]
+  in
+  let q3 = heads q and k3 = heads k and v3 = heads v in
+  let kfull, vfull =
+    match kv_inputs with
+    | None -> (k3, v3)
+    | Some (kc, vc) -> (B.concat b kc k3 ~axis:1, B.concat b vc v3 ~axis:1)
+  in
+  (* scores: [bh; t; ctx] = q3 x kfull^T ; both operands are activations, so
+     this MatMul is the dynamic-weight kind the dual-mode compiler cares
+     about (the K cache can live in memory-mode arrays). *)
+  let kt = B.transpose b kfull [ 0; 2; 1 ] in
+  let scores = B.matmul b q3 kt in
+  let probs = B.softmax b scores in
+  let ctx = B.matmul b probs vfull in
+  (* back to [bt; d] *)
+  let ctx =
+    let y = B.reshape b ctx [ batch; h; t; dh ] in
+    let y = B.transpose b y [ 0; 2; 1; 3 ] in
+    B.reshape b y [ bt; d ]
+  in
+  let attn_out =
+    B.linear ~bias:false b ctx ~in_dim:d ~out_dim:d ~prefix:(prefix ^ "_o")
+  in
+  let hidden = B.add b hidden attn_out in
+  let x2 = apply_norm cfg b hidden ~prefix:(prefix ^ "_ffn") in
+  let ffn_out = ffn cfg b x2 ~prefix in
+  B.add b hidden ffn_out
+
+let kv_cache_inputs cfg (w : Workload.t) b ~prefix =
+  match w.Workload.phase with
+  | Workload.Prefill _ -> None
+  | Workload.Decode { kv_len } ->
+    if kv_len = 0 then None
+    else begin
+      let bh = w.Workload.batch * cfg.n_heads in
+      let dh = cfg.d_model / cfg.n_heads in
+      let shape = Shape.of_list [ bh; kv_len; dh ] in
+      let kc = B.input b (prefix ^ "_k_cache") shape in
+      let vc = B.input b (prefix ^ "_v_cache") shape in
+      Some (kc, vc)
+    end
+
+let append_blocks cfg (w : Workload.t) b hidden ~start ~count =
+  let cur = ref hidden in
+  for l = start to start + count - 1 do
+    let prefix = Printf.sprintf "l%d" l in
+    let kv = kv_cache_inputs cfg w b ~prefix in
+    cur := block cfg w b !cur ~prefix ~kv_inputs:kv
+  done;
+  !cur
+
+let build_layer cfg (w : Workload.t) ~layer_index =
+  if cfg.d_model mod cfg.n_heads <> 0 then
+    invalid_arg "Transformer: d_model must divide by n_heads";
+  let b = B.create (Printf.sprintf "%s_layer%d_%s" cfg.model_name layer_index
+                      (Workload.to_string w)) in
+  let bt = w.Workload.batch * Workload.tokens_this_step w in
+  let hidden = B.input b "hidden" (Shape.of_list [ bt; cfg.d_model ]) in
+  let prefix = Printf.sprintf "l%d" layer_index in
+  let kv = kv_cache_inputs cfg w b ~prefix in
+  let out = block cfg w b hidden ~prefix ~kv_inputs:kv in
+  B.finish b ~outputs:[ out ]
+
+let build cfg (w : Workload.t) =
+  if cfg.d_model mod cfg.n_heads <> 0 then
+    invalid_arg "Transformer: d_model must divide by n_heads";
+  let b = B.create (Printf.sprintf "%s_%s" cfg.model_name (Workload.to_string w)) in
+  let bt = w.Workload.batch * Workload.tokens_this_step w in
+  let ids = B.input b "ids" (Shape.of_list [ bt ]) in
+  let emb_w = B.weight b "tok_emb" (Shape.of_list [ cfg.vocab; cfg.d_model ]) in
+  let hidden = B.embedding b ids emb_w in
+  let hidden = ref hidden in
+  for l = 0 to cfg.n_layers - 1 do
+    let prefix = Printf.sprintf "l%d" l in
+    let kv = kv_cache_inputs cfg w b ~prefix in
+    hidden := block cfg w b !hidden ~prefix ~kv_inputs:kv
+  done;
+  let normed = apply_norm cfg b !hidden ~prefix:"final" in
+  let logits =
+    B.linear ~bias:false b normed ~in_dim:cfg.d_model ~out_dim:cfg.vocab
+      ~prefix:"lm_head"
+  in
+  B.finish b ~outputs:[ logits ]
+
+let tiny ?(name = "tiny-transformer") () =
+  { model_name = name; n_layers = 2; d_model = 16; n_heads = 2; d_ffn = 32;
+    vocab = 50; norm = Layernorm; act = Gelu_act; causal = true }

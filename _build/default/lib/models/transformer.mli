@@ -1,0 +1,50 @@
+(** Transformer model builders (the paper's BERT-large, OPT-6.7B/13B and
+    LLaMA2-7B benchmarks), expressed in the graph IR with explicit QKV
+    projections, per-head attention matmuls, softmax and FFN — the same
+    decomposition an ONNX export produces. *)
+
+type norm = Layernorm | Rmsnorm
+type activation = Gelu_act | Silu_gated  (** Silu_gated = LLaMA SwiGLU FFN *)
+
+type config = {
+  model_name : string;
+  n_layers : int;
+  d_model : int;
+  n_heads : int;
+  d_ffn : int;
+  vocab : int;
+  norm : norm;
+  act : activation;
+  causal : bool;  (** decoder-only models *)
+}
+
+val bert_large : config
+val opt_6_7b : config
+val opt_13b : config
+val llama2_7b : config
+val gpt2_xl : config
+
+val param_count : config -> int
+(** Analytic parameter count (embeddings + layers + head). *)
+
+val build_layer : config -> Workload.t -> layer_index:int -> Cim_nnir.Graph.t
+(** One encoder/decoder block as a standalone graph. Inputs: hidden states
+    [[batch*tokens; d_model]]; for decode also the per-head KV caches
+    [[batch*heads; kv; d_head]]. Compiling one block and reusing it across
+    layers is exactly the block-reuse the paper relies on (Fig. 18). *)
+
+val build : config -> Workload.t -> Cim_nnir.Graph.t
+(** The full network: embedding, [n_layers] blocks, final norm and LM/CLS
+    head. Large — prefer [build_layer] plus analytic replication for
+    compilation studies. *)
+
+val append_blocks :
+  config -> Workload.t -> Cim_nnir.Builder.t -> string -> start:int ->
+  count:int -> string
+(** Append [count] encoder/decoder blocks to an existing builder, starting
+    from the given hidden-state tensor name — the hook composite models
+    (e.g. ViT's patch embedding followed by encoder blocks) build on. *)
+
+val tiny : ?name:string -> unit -> config
+(** A miniature config (2 layers, d_model 16) whose graphs are small enough
+    for functional simulation tests. *)

@@ -1,0 +1,53 @@
+module B = Cim_nnir.Builder
+module Shape = Cim_tensor.Shape
+
+let patch = 16
+let image = 224
+let tokens = image / patch * (image / patch) (* 196 *)
+
+let config =
+  {
+    Transformer.model_name = "ViT-Base/16";
+    n_layers = 12;
+    d_model = 768;
+    n_heads = 12;
+    d_ffn = 3072;
+    vocab = 1000; (* classification head width *)
+    norm = Transformer.Layernorm;
+    act = Transformer.Gelu_act;
+    causal = false;
+  }
+
+let build ~batch =
+  let d = config.Transformer.d_model in
+  let b = B.create (Printf.sprintf "ViT-Base16_b%d" batch) in
+  let x = B.input b "image" (Shape.of_list [ batch; 3; image; image ]) in
+  (* patch embedding: Conv 16x16 stride 16 -> [b; d; 14; 14] *)
+  let pw = B.weight b "patch_w" (Shape.of_list [ d; 3; patch; patch ]) in
+  let h = B.conv ~name:"patch_embed" b x pw ~stride:patch ~pad:0 () in
+  (* NCHW -> token-major [b*196; d] *)
+  let h = B.reshape b h [ batch; d; tokens ] in
+  let h = B.transpose b h [ 0; 2; 1 ] in
+  let h = B.reshape b h [ batch * tokens; d ] in
+  (* the encoder sees a prefill workload of 196 tokens *)
+  let w = Workload.prefill ~batch tokens in
+  let h =
+    Transformer.append_blocks config w b h ~start:0 ~count:config.Transformer.n_layers
+  in
+  (* final norm, mean-pool tokens via the NCHW global pool, classify *)
+  let gamma = B.weight b "final_ln_g" (Shape.of_list [ d ]) in
+  let beta = B.weight b "final_ln_b" (Shape.of_list [ d ]) in
+  let h = B.layernorm b h ~gamma ~beta in
+  let h = B.reshape b h [ batch; tokens; d ] in
+  let h = B.transpose b h [ 0; 2; 1 ] in
+  let side = image / patch in
+  let h = B.reshape b h [ batch; d; side; side ] in
+  let h = B.global_avg_pool b h in
+  let logits = B.linear ~bias:false b h ~in_dim:d ~out_dim:1000 ~prefix:"head" in
+  B.finish b ~outputs:[ logits ]
+
+let param_count () =
+  let d = config.Transformer.d_model and f = config.Transformer.d_ffn in
+  let per_layer = (4 * d * d) + (2 * d * f) + (4 * d) in
+  (d * 3 * patch * patch) + (config.Transformer.n_layers * per_layer) + (2 * d)
+  + (d * 1000)

@@ -1,0 +1,12 @@
+(** Vision Transformer (ViT-B/16): the paper's motivation cites image
+    transformers among the diverse architectures a dual-mode compiler must
+    serve. A 16x16 convolutional patch embedding feeds 12 standard encoder
+    blocks; classification uses mean pooling over the patch tokens. *)
+
+val config : Transformer.config
+(** d_model 768, 12 heads, FFN 3072, 12 layers. *)
+
+val build : batch:int -> Cim_nnir.Graph.t
+(** 224x224 NCHW input; 196 patch tokens per image. *)
+
+val param_count : unit -> int

@@ -1,0 +1,22 @@
+type phase = Prefill of { seq : int } | Decode of { kv_len : int }
+type t = { batch : int; phase : phase }
+
+let prefill ?(batch = 1) seq =
+  if seq <= 0 then invalid_arg "Workload.prefill: seq must be positive";
+  if batch <= 0 then invalid_arg "Workload.prefill: batch must be positive";
+  { batch; phase = Prefill { seq } }
+
+let decode ?(batch = 1) kv_len =
+  if kv_len < 0 then invalid_arg "Workload.decode: negative kv_len";
+  if batch <= 0 then invalid_arg "Workload.decode: batch must be positive";
+  { batch; phase = Decode { kv_len } }
+
+let tokens_this_step t = match t.phase with Prefill { seq } -> seq | Decode _ -> 1
+
+let context_len t =
+  match t.phase with Prefill { seq } -> seq | Decode { kv_len } -> kv_len + 1
+
+let to_string t =
+  match t.phase with
+  | Prefill { seq } -> Printf.sprintf "prefill(batch=%d, seq=%d)" t.batch seq
+  | Decode { kv_len } -> Printf.sprintf "decode(batch=%d, kv=%d)" t.batch kv_len

@@ -1,0 +1,23 @@
+(** Workload descriptors: the knobs the paper sweeps in §5.4 (batch size,
+    input/output sequence lengths, prefill vs. decode stage). *)
+
+type phase =
+  | Prefill of { seq : int }
+      (** process [seq] input tokens at once (BERT encode is always this) *)
+  | Decode of { kv_len : int }
+      (** generate one token with a KV cache of [kv_len] past tokens *)
+
+type t = { batch : int; phase : phase }
+
+val prefill : ?batch:int -> int -> t
+val decode : ?batch:int -> int -> t
+(** [decode ?batch kv_len]. *)
+
+val tokens_this_step : t -> int
+(** Tokens processed by one forward pass: [seq] or [1]. *)
+
+val context_len : t -> int
+(** Sequence length visible to attention: [seq] for prefill, [kv_len + 1]
+    for decode. *)
+
+val to_string : t -> string

@@ -1,0 +1,66 @@
+type family = Cnn | Encoder_only | Decoder_only
+
+type entry = {
+  key : string;
+  display : string;
+  family : family;
+  build : Workload.t -> Cim_nnir.Graph.t;
+  layer : (Workload.t -> Cim_nnir.Graph.t) option;
+  n_layers : int;
+  params : int;
+}
+
+let cnn_params build =
+  (* Parameter count straight off the graph, computed once at first use. *)
+  let memo = lazy (Cim_nnir.Graph.param_count (build ~batch:1)) in
+  fun () -> Lazy.force memo
+
+let cnn key display build =
+  let params = cnn_params build in
+  {
+    key;
+    display;
+    family = Cnn;
+    build = (fun (w : Workload.t) -> build ~batch:w.Workload.batch);
+    layer = None;
+    n_layers = 1;
+    params = params ();
+  }
+
+let transformer key (cfg : Transformer.config) family =
+  {
+    key;
+    display = cfg.Transformer.model_name;
+    family;
+    build = (fun w -> Transformer.build cfg w);
+    layer = Some (fun w -> Transformer.build_layer cfg w ~layer_index:0);
+    n_layers = cfg.Transformer.n_layers;
+    params = Transformer.param_count cfg;
+  }
+
+let all =
+  [
+    cnn "mobilenetv2" "MobileNetV2" Cnn.mobilenet_v2;
+    cnn "resnet18" "ResNet-18" Cnn.resnet18;
+    cnn "resnet50" "ResNet-50" Cnn.resnet50;
+    cnn "vgg16" "VGG-16" Cnn.vgg16;
+    transformer "bert-large" Transformer.bert_large Encoder_only;
+    {
+      key = "vit-base";
+      display = "ViT-Base/16";
+      family = Encoder_only;
+      build = (fun (w : Workload.t) -> Vit.build ~batch:w.Workload.batch);
+      layer = Some (fun (w : Workload.t) ->
+          Transformer.build_layer Vit.config
+            (Workload.prefill ~batch:w.Workload.batch 196) ~layer_index:0);
+      n_layers = Vit.config.Transformer.n_layers;
+      params = Vit.param_count ();
+    };
+    transformer "gpt2-xl" Transformer.gpt2_xl Decoder_only;
+    transformer "llama2-7b" Transformer.llama2_7b Decoder_only;
+    transformer "opt-6.7b" Transformer.opt_6_7b Decoder_only;
+    transformer "opt-13b" Transformer.opt_13b Decoder_only;
+  ]
+
+let find key = List.find_opt (fun e -> e.key = key) all
+let names = List.map (fun e -> e.key) all

@@ -1,0 +1,20 @@
+(** Named registry over every benchmark network, as consumed by the CLI and
+    the experiment harness. *)
+
+type family = Cnn | Encoder_only | Decoder_only
+
+type entry = {
+  key : string;                 (** CLI name, e.g. "resnet18" *)
+  display : string;             (** paper name, e.g. "ResNet-18" *)
+  family : family;
+  build : Workload.t -> Cim_nnir.Graph.t;
+      (** CNNs ignore the phase and use only [batch]. *)
+  layer : (Workload.t -> Cim_nnir.Graph.t) option;
+      (** Single repeated block, for block-reuse compilation. *)
+  n_layers : int;               (** how many times [layer] repeats; 1 for CNNs *)
+  params : int;                 (** analytic parameter count *)
+}
+
+val all : entry list
+val find : string -> entry option
+val names : string list

@@ -1,0 +1,1 @@
+lib/nnir/attr.ml: List Option Printf String

@@ -1,0 +1,1 @@
+lib/nnir/builder.ml: Attr Cim_tensor Graph Hashtbl List Op Option Printf

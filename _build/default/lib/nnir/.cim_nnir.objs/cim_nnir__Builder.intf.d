@@ -1,0 +1,1 @@
+lib/nnir/builder.mli: Attr Cim_tensor Cim_util Graph Op

@@ -1,0 +1,1 @@
+lib/nnir/exec.ml: Attr Cim_tensor Graph Hashtbl List Op Printf Shape_infer

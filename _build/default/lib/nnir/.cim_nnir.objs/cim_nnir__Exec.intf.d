@@ -1,0 +1,1 @@
+lib/nnir/exec.mli: Cim_tensor Graph Hashtbl

@@ -1,0 +1,1 @@
+lib/nnir/graph.ml: Array Attr Cim_tensor Format Hashtbl Int List Op Option Printf Set String

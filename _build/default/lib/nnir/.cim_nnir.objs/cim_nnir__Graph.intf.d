@@ -1,0 +1,1 @@
+lib/nnir/graph.mli: Attr Cim_tensor Format Op

@@ -1,0 +1,1 @@
+lib/nnir/passes.ml: Attr Cim_tensor Fun Graph Hashtbl List Op Option Printf Shape_infer String

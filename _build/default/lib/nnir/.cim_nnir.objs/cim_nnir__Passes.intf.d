@@ -1,0 +1,1 @@
+lib/nnir/passes.mli: Graph

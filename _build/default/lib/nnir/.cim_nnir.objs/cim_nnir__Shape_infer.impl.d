@@ -1,0 +1,1 @@
+lib/nnir/shape_infer.ml: Attr Cim_tensor Fun Graph Hashtbl List Op Printf

@@ -1,0 +1,1 @@
+lib/nnir/shape_infer.mli: Attr Cim_tensor Graph Hashtbl Op

@@ -1,0 +1,1 @@
+lib/nnir/text.ml: Attr Buffer Cim_tensor Graph List Op Printf String

@@ -1,0 +1,1 @@
+lib/nnir/text.mli: Graph

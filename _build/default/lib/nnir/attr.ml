@@ -1,0 +1,24 @@
+type t = Int of int | Float of float | Ints of int list | Str of string
+
+let to_string = function
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%g" f
+  | Ints l -> "[" ^ String.concat "," (List.map string_of_int l) ^ "]"
+  | Str s -> "\"" ^ s ^ "\""
+
+let get_int attrs name =
+  match List.assoc_opt name attrs with Some (Int i) -> Some i | _ -> None
+
+let get_int_d attrs name d = Option.value (get_int attrs name) ~default:d
+
+let get_ints attrs name =
+  match List.assoc_opt name attrs with Some (Ints l) -> Some l | _ -> None
+
+let get_float_d attrs name d =
+  match List.assoc_opt name attrs with
+  | Some (Float f) -> f
+  | Some (Int i) -> float_of_int i
+  | _ -> d
+
+let get_str attrs name =
+  match List.assoc_opt name attrs with Some (Str s) -> Some s | _ -> None

@@ -1,0 +1,13 @@
+(** Node attributes, mirroring ONNX attribute kinds. *)
+
+type t = Int of int | Float of float | Ints of int list | Str of string
+
+val to_string : t -> string
+
+val get_int : (string * t) list -> string -> int option
+val get_int_d : (string * t) list -> string -> int -> int
+(** With default. *)
+
+val get_ints : (string * t) list -> string -> int list option
+val get_float_d : (string * t) list -> string -> float -> float
+val get_str : (string * t) list -> string -> string option

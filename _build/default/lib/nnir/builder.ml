@@ -1,0 +1,104 @@
+module Shape = Cim_tensor.Shape
+module Tensor = Cim_tensor.Tensor
+
+type t = {
+  name : string;
+  mutable nodes : Graph.node list; (* reversed *)
+  mutable inputs : (string * Shape.t) list; (* reversed *)
+  mutable inits : Graph.initializer_ list; (* reversed *)
+  mutable next_id : int;
+  used : (string, unit) Hashtbl.t;
+}
+
+let create name =
+  { name; nodes = []; inputs = []; inits = []; next_id = 0; used = Hashtbl.create 64 }
+
+let fresh b hint =
+  let rec go i =
+    let candidate = if i = 0 then hint else Printf.sprintf "%s_%d" hint i in
+    if Hashtbl.mem b.used candidate then go (i + 1) else candidate
+  in
+  let n = go 0 in
+  Hashtbl.replace b.used n ();
+  n
+
+let input b name shape =
+  if Hashtbl.mem b.used name then invalid_arg ("Builder.input: name taken: " ^ name);
+  Hashtbl.replace b.used name ();
+  b.inputs <- (name, shape) :: b.inputs;
+  name
+
+let weight ?value b hint shape =
+  let n = fresh b hint in
+  b.inits <- { Graph.init_name = n; init_shape = shape; value } :: b.inits;
+  n
+
+let node b op ?(attrs = []) ?name inputs =
+  let id = b.next_id in
+  b.next_id <- id + 1;
+  let name =
+    match name with Some n -> fresh b n | None -> fresh b (Op.to_string op ^ "_n")
+  in
+  let out = fresh b (name ^ "_out") in
+  b.nodes <-
+    { Graph.id; name; op; inputs; outputs = [ out ]; attrs } :: b.nodes;
+  out
+
+let matmul ?name b a c = node b Op.Mat_mul ?name [ a; c ]
+
+let gemm ?name ?bias b a w =
+  match bias with
+  | None -> node b Op.Gemm ?name [ a; w ]
+  | Some bi -> node b Op.Gemm ?name [ a; w; bi ]
+
+let conv ?name b x w ?bias ~stride ~pad ?(groups = 1) () =
+  let attrs =
+    [ ("stride", Attr.Int stride); ("pad", Attr.Int pad); ("groups", Attr.Int groups) ]
+  in
+  let inputs = match bias with None -> [ x; w ] | Some bi -> [ x; w; bi ] in
+  node b Op.Conv ?name ~attrs inputs
+
+let relu b x = node b Op.Relu [ x ]
+
+let relu6 b x =
+  node b Op.Clip ~attrs:[ ("min", Attr.Float 0.); ("max", Attr.Float 6.) ] [ x ]
+let gelu b x = node b Op.Gelu [ x ]
+let silu b x = node b Op.Silu [ x ]
+let softmax b x = node b Op.Softmax [ x ]
+let layernorm b x ~gamma ~beta = node b Op.Layer_norm [ x; gamma; beta ]
+let rmsnorm b x ~gamma = node b Op.Rms_norm [ x; gamma ]
+let add b a c = node b Op.Add [ a; c ]
+let mul b a c = node b Op.Mul [ a; c ]
+
+let maxpool b x ~k ~stride ?(pad = 0) () =
+  node b Op.Max_pool
+    ~attrs:[ ("k", Attr.Int k); ("stride", Attr.Int stride); ("pad", Attr.Int pad) ]
+    [ x ]
+
+let avgpool b x ~k ~stride ?(pad = 0) () =
+  node b Op.Avg_pool
+    ~attrs:[ ("k", Attr.Int k); ("stride", Attr.Int stride); ("pad", Attr.Int pad) ]
+    [ x ]
+
+let global_avg_pool b x = node b Op.Global_avg_pool [ x ]
+let reshape b x shape = node b Op.Reshape ~attrs:[ ("shape", Attr.Ints shape) ] [ x ]
+let transpose b x perm = node b Op.Transpose ~attrs:[ ("perm", Attr.Ints perm) ] [ x ]
+let concat b a c ~axis = node b Op.Concat ~attrs:[ ("axis", Attr.Int axis) ] [ a; c ]
+let embedding b ids w = node b Op.Embedding [ ids; w ]
+
+let linear ?(bias = true) ?value_rng b x ~in_dim ~out_dim ~prefix =
+  let mk shape =
+    Option.map (fun rng -> Tensor.rand rng shape ~lo:(-0.5) ~hi:0.5) value_rng
+  in
+  let wshape = Shape.of_list [ in_dim; out_dim ] in
+  let w = weight ?value:(mk wshape) b (prefix ^ "_w") wshape in
+  if bias then begin
+    let bshape = Shape.of_list [ out_dim ] in
+    let bi = weight ?value:(mk bshape) b (prefix ^ "_b") bshape in
+    gemm ~name:prefix ~bias:bi b x w
+  end
+  else gemm ~name:prefix b x w
+
+let finish b ~outputs =
+  Graph.create ~name:b.name ~nodes:(List.rev b.nodes)
+    ~inputs:(List.rev b.inputs) ~outputs ~initializers:(List.rev b.inits)

@@ -1,0 +1,50 @@
+(** Imperative graph-construction DSL used by the model zoo. Tensor names
+    are generated; every combinator returns the name of its output tensor. *)
+
+type t
+
+val create : string -> t
+
+val input : t -> string -> Cim_tensor.Shape.t -> string
+(** Declare a graph input; returns its (given) name. *)
+
+val weight : ?value:Cim_tensor.Tensor.t -> t -> string -> Cim_tensor.Shape.t -> string
+(** Declare an initializer with a unique name derived from the hint. *)
+
+val node :
+  t -> Op.t -> ?attrs:(string * Attr.t) list -> ?name:string -> string list -> string
+(** Generic single-output node. *)
+
+val matmul : ?name:string -> t -> string -> string -> string
+val gemm : ?name:string -> ?bias:string -> t -> string -> string -> string
+val conv :
+  ?name:string -> t -> string -> string -> ?bias:string -> stride:int ->
+  pad:int -> ?groups:int -> unit -> string
+val relu : t -> string -> string
+
+val relu6 : t -> string -> string
+(** Clip(0, 6), MobileNet's activation. *)
+
+val gelu : t -> string -> string
+val silu : t -> string -> string
+val softmax : t -> string -> string
+val layernorm : t -> string -> gamma:string -> beta:string -> string
+val rmsnorm : t -> string -> gamma:string -> string
+val add : t -> string -> string -> string
+val mul : t -> string -> string -> string
+val maxpool : t -> string -> k:int -> stride:int -> ?pad:int -> unit -> string
+val avgpool : t -> string -> k:int -> stride:int -> ?pad:int -> unit -> string
+val global_avg_pool : t -> string -> string
+val reshape : t -> string -> int list -> string
+val transpose : t -> string -> int list -> string
+val concat : t -> string -> string -> axis:int -> string
+val embedding : t -> string -> string -> string
+
+val linear :
+  ?bias:bool -> ?value_rng:Cim_util.Rng.t -> t -> string -> in_dim:int ->
+  out_dim:int -> prefix:string -> string
+(** Fully-connected layer: creates the weight (and bias) initializers and the
+    Gemm node. When [value_rng] is given, concrete weight values are attached
+    (for small functionally-simulated models). *)
+
+val finish : t -> outputs:string list -> Graph.t

@@ -1,0 +1,20 @@
+(** Reference interpreter: executes a graph with [lib/tensor] float
+    operators. This is the golden model the CIM functional simulator is
+    checked against. All initializers must carry values. *)
+
+exception Error of string
+
+val eval_node : Graph.node -> Cim_tensor.Tensor.t list -> Cim_tensor.Tensor.t
+(** Evaluate a single node on already-computed input tensors (in node-input
+    order). Used by the CIM functional simulator for vector operators. *)
+
+val run :
+  Graph.t -> (string * Cim_tensor.Tensor.t) list ->
+  (string, Cim_tensor.Tensor.t) Hashtbl.t
+(** [run g inputs] returns the full tensor environment (every intermediate
+    included). Raises [Error] on missing inputs/values. *)
+
+val run_outputs :
+  Graph.t -> (string * Cim_tensor.Tensor.t) list ->
+  (string * Cim_tensor.Tensor.t) list
+(** Just the graph outputs, in graph order. *)

@@ -1,0 +1,157 @@
+module Shape = Cim_tensor.Shape
+module Tensor = Cim_tensor.Tensor
+
+type node = {
+  id : int;
+  name : string;
+  op : Op.t;
+  inputs : string list;
+  outputs : string list;
+  attrs : (string * Attr.t) list;
+}
+
+type initializer_ = {
+  init_name : string;
+  init_shape : Shape.t;
+  value : Tensor.t option;
+}
+
+type t = {
+  graph_name : string;
+  nodes : node list;
+  graph_inputs : (string * Shape.t) list;
+  graph_outputs : string list;
+  initializers : initializer_ list;
+}
+
+exception Invalid of string
+
+let invalid fmt = Printf.ksprintf (fun s -> raise (Invalid s)) fmt
+
+(* Kahn topological sort, stable w.r.t. the input order. *)
+let topo_sort nodes produced_by =
+  let n = List.length nodes in
+  let arr = Array.of_list nodes in
+  let index_of_id = Hashtbl.create n in
+  Array.iteri (fun i nd -> Hashtbl.replace index_of_id nd.id i) arr;
+  let succs = Array.make n [] in
+  let indeg = Array.make n 0 in
+  Array.iteri
+    (fun i nd ->
+      List.iter
+        (fun input ->
+          match Hashtbl.find_opt produced_by input with
+          | Some pid when pid <> nd.id ->
+            let p = Hashtbl.find index_of_id pid in
+            succs.(p) <- i :: succs.(p);
+            indeg.(i) <- indeg.(i) + 1
+          | _ -> ())
+        nd.inputs)
+    arr;
+  (* min-heap over original index keeps the sort stable *)
+  let module IS = Set.Make (Int) in
+  let ready = ref IS.empty in
+  Array.iteri (fun i _ -> if indeg.(i) = 0 then ready := IS.add i !ready) arr;
+  let out = ref [] in
+  let emitted = ref 0 in
+  while not (IS.is_empty !ready) do
+    let i = IS.min_elt !ready in
+    ready := IS.remove i !ready;
+    out := arr.(i) :: !out;
+    incr emitted;
+    List.iter
+      (fun s ->
+        indeg.(s) <- indeg.(s) - 1;
+        if indeg.(s) = 0 then ready := IS.add s !ready)
+      succs.(i)
+  done;
+  if !emitted <> n then invalid "graph contains a cycle";
+  List.rev !out
+
+let create ~name ~nodes ~inputs ~outputs ~initializers =
+  (* Unique node ids. *)
+  let seen_ids = Hashtbl.create 64 in
+  List.iter
+    (fun nd ->
+      if Hashtbl.mem seen_ids nd.id then invalid "duplicate node id %d" nd.id;
+      Hashtbl.replace seen_ids nd.id ())
+    nodes;
+  (* SSA: each tensor name produced exactly once. *)
+  let produced_by = Hashtbl.create 64 in
+  let define src n =
+    if Hashtbl.mem produced_by n then invalid "tensor %s defined twice" n;
+    Hashtbl.replace produced_by n src
+  in
+  List.iter (fun (n, _) -> define (-1) n) inputs;
+  List.iter (fun init -> define (-2) init.init_name) initializers;
+  List.iter (fun nd -> List.iter (define nd.id) nd.outputs) nodes;
+  (* Every consumed name must exist. *)
+  List.iter
+    (fun nd ->
+      List.iter
+        (fun input ->
+          if not (Hashtbl.mem produced_by input) then
+            invalid "node %s consumes undefined tensor %s" nd.name input)
+        nd.inputs)
+    nodes;
+  List.iter
+    (fun o ->
+      if not (Hashtbl.mem produced_by o) then invalid "graph output %s is undefined" o)
+    outputs;
+  List.iter
+    (fun init ->
+      match init.value with
+      | Some v when not (Shape.equal (Tensor.shape v) init.init_shape) ->
+        invalid "initializer %s value shape mismatch" init.init_name
+      | _ -> ())
+    initializers;
+  let node_producers = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun n src -> if src >= 0 then Hashtbl.replace node_producers n src)
+    produced_by;
+  let sorted = topo_sort nodes node_producers in
+  { graph_name = name; nodes = sorted; graph_inputs = inputs;
+    graph_outputs = outputs; initializers }
+
+let node_count g = List.length g.nodes
+
+let find_node g id =
+  match List.find_opt (fun nd -> nd.id = id) g.nodes with
+  | Some nd -> nd
+  | None -> invalid "no node with id %d" id
+
+let find_init g name =
+  List.find_opt (fun i -> i.init_name = name) g.initializers
+
+let is_initializer g name = find_init g name <> None
+
+let initializer_shape g name =
+  Option.map (fun i -> i.init_shape) (find_init g name)
+
+let initializer_value g name = Option.bind (find_init g name) (fun i -> i.value)
+
+let producer g tensor =
+  List.find_opt (fun nd -> List.mem tensor nd.outputs) g.nodes
+
+let consumers g tensor =
+  List.filter (fun nd -> List.mem tensor nd.inputs) g.nodes
+
+let depends g i j =
+  let ni = find_node g i and nj = find_node g j in
+  List.exists (fun o -> List.mem o nj.inputs) ni.outputs
+
+let param_count g =
+  List.fold_left (fun acc i -> acc + Shape.numel i.init_shape) 0 g.initializers
+
+let cim_nodes g = List.filter (fun nd -> Op.is_cim_supported nd.op) g.nodes
+
+let pp ppf g =
+  Format.fprintf ppf "graph %s (%d nodes, %d params)@." g.graph_name
+    (node_count g) (param_count g);
+  List.iter
+    (fun nd ->
+      Format.fprintf ppf "  %3d %-18s %-12s (%s) -> (%s)@." nd.id nd.name
+        (Op.to_string nd.op)
+        (String.concat ", " nd.inputs)
+        (String.concat ", " nd.outputs))
+    g.nodes

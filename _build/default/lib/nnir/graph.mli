@@ -1,0 +1,64 @@
+(** The computation-graph IR that the compiler consumes — the ONNX substitute.
+    Tensors are identified by name (SSA: each name produced exactly once). *)
+
+type node = {
+  id : int;               (** dense, unique within the graph *)
+  name : string;
+  op : Op.t;
+  inputs : string list;
+  outputs : string list;
+  attrs : (string * Attr.t) list;
+}
+
+type initializer_ = {
+  init_name : string;
+  init_shape : Cim_tensor.Shape.t;
+  value : Cim_tensor.Tensor.t option;
+      (** Concrete weights for functional simulation; [None] for the large
+          models where only shapes matter to the compiler. *)
+}
+
+type t = private {
+  graph_name : string;
+  nodes : node list;                               (** topologically sorted *)
+  graph_inputs : (string * Cim_tensor.Shape.t) list;
+  graph_outputs : string list;
+  initializers : initializer_ list;
+}
+
+exception Invalid of string
+
+val create :
+  name:string ->
+  nodes:node list ->
+  inputs:(string * Cim_tensor.Shape.t) list ->
+  outputs:string list ->
+  initializers:initializer_ list ->
+  t
+(** Validates SSA-ness, that every node input is defined (graph input,
+    initializer or earlier node output — cycles rejected), that every graph
+    output is produced, and topologically sorts the nodes (stable: ties keep
+    the given order). Raises [Invalid]. *)
+
+val node_count : t -> int
+val find_node : t -> int -> node
+val is_initializer : t -> string -> bool
+val initializer_shape : t -> string -> Cim_tensor.Shape.t option
+val initializer_value : t -> string -> Cim_tensor.Tensor.t option
+
+val producer : t -> string -> node option
+(** The node producing a tensor name, if any. *)
+
+val consumers : t -> string -> node list
+
+val depends : t -> int -> int -> bool
+(** [depends g i j] is true when node [j] consumes (directly) an output of
+    node [i] — the paper's dependency relation w_{i,j}. *)
+
+val param_count : t -> int
+(** Total number of weight elements across initializers. *)
+
+val cim_nodes : t -> node list
+(** Nodes whose op is CIM-supported, in topological order. *)
+
+val pp : Format.formatter -> t -> unit

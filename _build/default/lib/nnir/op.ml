@@ -1,0 +1,54 @@
+type t =
+  | Mat_mul
+  | Gemm
+  | Conv
+  | Relu
+  | Clip
+  | Gelu
+  | Silu
+  | Softmax
+  | Layer_norm
+  | Rms_norm
+  | Add
+  | Mul
+  | Max_pool
+  | Avg_pool
+  | Global_avg_pool
+  | Reshape
+  | Transpose
+  | Concat
+  | Embedding
+
+let to_string = function
+  | Mat_mul -> "MatMul"
+  | Gemm -> "Gemm"
+  | Conv -> "Conv"
+  | Relu -> "Relu"
+  | Clip -> "Clip"
+  | Gelu -> "Gelu"
+  | Silu -> "Silu"
+  | Softmax -> "Softmax"
+  | Layer_norm -> "LayerNorm"
+  | Rms_norm -> "RMSNorm"
+  | Add -> "Add"
+  | Mul -> "Mul"
+  | Max_pool -> "MaxPool"
+  | Avg_pool -> "AveragePool"
+  | Global_avg_pool -> "GlobalAveragePool"
+  | Reshape -> "Reshape"
+  | Transpose -> "Transpose"
+  | Concat -> "Concat"
+  | Embedding -> "Embedding"
+
+let all =
+  [ Mat_mul; Gemm; Conv; Relu; Clip; Gelu; Silu; Softmax; Layer_norm; Rms_norm;
+    Add; Mul; Max_pool; Avg_pool; Global_avg_pool; Reshape; Transpose; Concat;
+    Embedding ]
+
+let of_string s = List.find_opt (fun op -> to_string op = s) all
+
+let is_cim_supported = function
+  | Mat_mul | Gemm | Conv -> true
+  | Relu | Clip | Gelu | Silu | Softmax | Layer_norm | Rms_norm | Add | Mul
+  | Max_pool | Avg_pool | Global_avg_pool | Reshape | Transpose | Concat
+  | Embedding -> false

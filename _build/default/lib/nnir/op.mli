@@ -1,0 +1,33 @@
+(** Operator vocabulary, a subset of ONNX sufficient for the paper's model
+    zoo (CNNs + transformers). *)
+
+type t =
+  | Mat_mul        (** inputs A [.., m, k] and B [k, n]; B may be a weight or an
+                       activation (attention score/context matmuls) *)
+  | Gemm           (** A [m, k], weight B [k, n], optional bias [n] *)
+  | Conv           (** NCHW conv; attrs kh, kw, stride, pad, groups *)
+  | Relu
+  | Clip           (** attrs min, max (floats); ReLU6 is Clip(0, 6) *)
+  | Gelu
+  | Silu
+  | Softmax
+  | Layer_norm     (** inputs x, gamma, beta *)
+  | Rms_norm       (** inputs x, gamma *)
+  | Add
+  | Mul
+  | Max_pool       (** attrs k, stride, pad *)
+  | Avg_pool       (** attrs k, stride, pad *)
+  | Global_avg_pool
+  | Reshape        (** attr "shape" *)
+  | Transpose      (** attr "perm" *)
+  | Concat         (** attr "axis" *)
+  | Embedding      (** lookup table: weight [vocab, d], int ids input *)
+
+val to_string : t -> string
+val of_string : string -> t option
+val all : t list
+
+val is_cim_supported : t -> bool
+(** True for operators the CIM array executes in compute mode (MMM/MVM
+    family: Mat_mul, Gemm, Conv). Everything else runs on the peripheral
+    vector unit / is a data-movement no-op. *)

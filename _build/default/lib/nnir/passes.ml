@@ -1,0 +1,190 @@
+module Shape = Cim_tensor.Shape
+
+(* Rebuild a graph from a transformed node list, dropping initializers that
+   are no longer referenced. [rename] maps tensor names consumers (and the
+   output list) should now use. *)
+let rebuild (g : Graph.t) nodes ~rename =
+  let subst n = Option.value (Hashtbl.find_opt rename n) ~default:n in
+  (* follow rename chains (a -> b -> c) *)
+  let rec resolve n =
+    let n' = subst n in
+    if n' = n then n else resolve n'
+  in
+  let nodes =
+    List.map
+      (fun (nd : Graph.node) -> { nd with Graph.inputs = List.map resolve nd.inputs })
+      nodes
+  in
+  let outputs = List.map resolve g.Graph.graph_outputs in
+  let referenced = Hashtbl.create 64 in
+  List.iter
+    (fun (nd : Graph.node) ->
+      List.iter (fun i -> Hashtbl.replace referenced i ()) nd.Graph.inputs)
+    nodes;
+  List.iter (fun o -> Hashtbl.replace referenced o ()) outputs;
+  let initializers =
+    List.filter
+      (fun (i : Graph.initializer_) -> Hashtbl.mem referenced i.Graph.init_name)
+      g.Graph.initializers
+  in
+  Graph.create ~name:g.Graph.graph_name ~nodes ~inputs:g.Graph.graph_inputs
+    ~outputs ~initializers
+
+let dead_code_elimination (g : Graph.t) =
+  let live_tensors = Hashtbl.create 64 in
+  List.iter (fun o -> Hashtbl.replace live_tensors o ()) g.Graph.graph_outputs;
+  (* nodes are topologically sorted; walk backwards *)
+  let live_nodes =
+    List.fold_left
+      (fun acc (nd : Graph.node) ->
+        if List.exists (Hashtbl.mem live_tensors) nd.Graph.outputs then begin
+          List.iter (fun i -> Hashtbl.replace live_tensors i ()) nd.Graph.inputs;
+          nd :: acc
+        end
+        else acc)
+      []
+      (List.rev g.Graph.nodes)
+  in
+  rebuild g live_nodes ~rename:(Hashtbl.create 0)
+
+let single_consumer (g : Graph.t) tensor =
+  match Graph.consumers g tensor with [ c ] -> Some c | _ -> None
+
+let is_output (g : Graph.t) tensor = List.mem tensor g.Graph.graph_outputs
+
+(* Fuse producer->consumer pairs of the same unary op kind. [combine a b]
+   returns the replacement for the consumer (None = the pair cancels and
+   consumers read the producer's input directly). *)
+let fuse_pairs (g : Graph.t) ~candidate ~combine =
+  let rename = Hashtbl.create 8 in
+  let drop = Hashtbl.create 8 in
+  let replacement = Hashtbl.create 8 in
+  List.iter
+    (fun (nd : Graph.node) ->
+      if candidate nd && not (Hashtbl.mem drop nd.Graph.id) then begin
+        match nd.Graph.outputs with
+        | [ out ] when not (is_output g out) -> begin
+          match single_consumer g out with
+          | Some consumer
+            when candidate consumer && not (Hashtbl.mem drop consumer.Graph.id) -> begin
+            match combine nd consumer with
+            | Some fused ->
+              Hashtbl.replace replacement consumer.Graph.id fused;
+              Hashtbl.replace drop nd.Graph.id ()
+            | None ->
+              (* the pair is the identity: erase both *)
+              Hashtbl.replace drop nd.Graph.id ();
+              Hashtbl.replace drop consumer.Graph.id ();
+              Hashtbl.replace rename
+                (List.hd consumer.Graph.outputs)
+                (List.hd nd.Graph.inputs)
+          end
+          | _ -> ()
+        end
+        | _ -> ()
+      end)
+    g.Graph.nodes;
+  let nodes =
+    List.filter_map
+      (fun (nd : Graph.node) ->
+        if Hashtbl.mem drop nd.Graph.id then None
+        else
+          match Hashtbl.find_opt replacement nd.Graph.id with
+          | Some fused -> Some fused
+          | None -> Some nd)
+      g.Graph.nodes
+  in
+  rebuild g nodes ~rename
+
+let fuse_transposes (g : Graph.t) =
+  let candidate (nd : Graph.node) = nd.Graph.op = Op.Transpose in
+  let combine (a : Graph.node) (b : Graph.node) =
+    match (Attr.get_ints a.Graph.attrs "perm", Attr.get_ints b.Graph.attrs "perm") with
+    | Some pa, Some pb when List.length pa = List.length pb ->
+      let pc = List.map (fun i -> List.nth pa i) pb in
+      if pc = List.init (List.length pc) Fun.id then None
+      else
+        Some
+          { b with
+            Graph.inputs = a.Graph.inputs;
+            attrs = [ ("perm", Attr.Ints pc) ] }
+    | _ -> Some b (* malformed; leave untouched *)
+  in
+  fuse_pairs g ~candidate ~combine
+
+let fuse_reshapes (g : Graph.t) =
+  let candidate (nd : Graph.node) = nd.Graph.op = Op.Reshape in
+  let combine (a : Graph.node) (b : Graph.node) =
+    Some { b with Graph.inputs = a.Graph.inputs }
+  in
+  fuse_pairs g ~candidate ~combine
+
+let eliminate_identity_reshapes (g : Graph.t) =
+  let shapes = Shape_infer.infer g in
+  let rename = Hashtbl.create 8 in
+  let nodes =
+    List.filter
+      (fun (nd : Graph.node) ->
+        match (nd.Graph.op, nd.Graph.inputs, nd.Graph.outputs) with
+        | Op.Reshape, [ i ], [ o ]
+          when Shape.equal (Hashtbl.find shapes i) (Hashtbl.find shapes o)
+               && not (is_output g o) ->
+          Hashtbl.replace rename o i;
+          false
+        | _ -> true)
+      g.Graph.nodes
+  in
+  rebuild g nodes ~rename
+
+let common_subexpression_elimination (g : Graph.t) =
+  let seen : (string, string) Hashtbl.t = Hashtbl.create 32 in
+  (* key -> representative output *)
+  let rename = Hashtbl.create 8 in
+  let resolve n = Option.value (Hashtbl.find_opt rename n) ~default:n in
+  let nodes =
+    List.filter
+      (fun (nd : Graph.node) ->
+        match nd.Graph.outputs with
+        | [ out ] when not (is_output g out) ->
+          let key =
+            Printf.sprintf "%s|%s|%s" (Op.to_string nd.Graph.op)
+              (String.concat ";"
+                 (List.map (fun (k, v) -> k ^ "=" ^ Attr.to_string v) nd.Graph.attrs))
+              (String.concat "," (List.map resolve nd.Graph.inputs))
+          in
+          (match Hashtbl.find_opt seen key with
+          | Some rep ->
+            Hashtbl.replace rename out rep;
+            false
+          | None ->
+            Hashtbl.replace seen key out;
+            true)
+        | _ -> true)
+      g.Graph.nodes
+  in
+  rebuild g nodes ~rename
+
+let optimize g =
+  let step g =
+    g
+    |> common_subexpression_elimination
+    |> fuse_transposes
+    |> fuse_reshapes
+    |> eliminate_identity_reshapes
+    |> dead_code_elimination
+  in
+  let rec fixpoint g budget =
+    if budget = 0 then g
+    else begin
+      let g' = step g in
+      if Graph.node_count g' = Graph.node_count g then g'
+      else fixpoint g' (budget - 1)
+    end
+  in
+  fixpoint g 8
+
+let stats before after =
+  Printf.sprintf "%d -> %d nodes, %d -> %d initializers"
+    (Graph.node_count before) (Graph.node_count after)
+    (List.length before.Graph.initializers)
+    (List.length after.Graph.initializers)

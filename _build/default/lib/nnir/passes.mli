@@ -1,0 +1,30 @@
+(** Graph clean-up passes run after the ONNX-style import and before
+    compilation (the "computation graph expression" lowering of Fig. 7).
+    All passes preserve the graph's observable outputs. *)
+
+val dead_code_elimination : Graph.t -> Graph.t
+(** Remove nodes (and initializers) that do not reach any graph output. *)
+
+val fuse_transposes : Graph.t -> Graph.t
+(** Collapse a Transpose feeding a single Transpose into one node (or into
+    nothing when the composition is the identity permutation). *)
+
+val fuse_reshapes : Graph.t -> Graph.t
+(** Collapse a Reshape feeding a single Reshape into the outer Reshape. *)
+
+val eliminate_identity_reshapes : Graph.t -> Graph.t
+(** Drop Reshape nodes whose output shape equals their input shape,
+    rewiring consumers. Needs shape inference; raises
+    [Shape_infer.Error] on malformed graphs. *)
+
+val common_subexpression_elimination : Graph.t -> Graph.t
+(** Merge structurally identical nodes (same op, attributes and inputs),
+    rewiring consumers to a single representative. Safe because every
+    operator in this IR is pure. *)
+
+val optimize : Graph.t -> Graph.t
+(** The standard pipeline: CSE, transpose/reshape fusion, identity-reshape
+    elimination, then DCE — iterated to a fixed point (bounded). *)
+
+val stats : Graph.t -> Graph.t -> string
+(** Human-readable before/after summary. *)

@@ -1,0 +1,132 @@
+module Shape = Cim_tensor.Shape
+
+exception Error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let conv_out h k stride pad = ((h + (2 * pad) - k) / stride) + 1
+
+let matmul_shape a b =
+  match (a, b) with
+  | [ m; k ], [ k'; n ] when k = k' -> [ m; n ]
+  | [ bd; m; k ], [ k'; n ] when k = k' -> [ bd; m; n ]
+  | [ bd; m; k ], [ bd'; k'; n ] when k = k' && bd = bd' -> [ bd; m; n ]
+  | _ ->
+    err "MatMul: incompatible %s x %s" (Shape.to_string a) (Shape.to_string b)
+
+let output_shape op attrs input_shapes =
+  match (op, input_shapes) with
+  | Op.Mat_mul, [ a; b ] -> [ matmul_shape a b ]
+  | Op.Gemm, ([ a; b ] | [ a; b; _ ]) -> [ matmul_shape a b ]
+  | Op.Conv, ([ x; w ] | [ x; w; _ ]) -> begin
+    match (x, w) with
+    | [ n; c; h; wd ], [ oc; cg; kh; kw ] ->
+      let groups = Attr.get_int_d attrs "groups" 1 in
+      let stride = Attr.get_int_d attrs "stride" 1 in
+      let pad = Attr.get_int_d attrs "pad" 0 in
+      if cg * groups <> c then
+        err "Conv: channels %d do not match weight %d x groups %d" c cg groups;
+      [ [ n; oc; conv_out h kh stride pad; conv_out wd kw stride pad ] ]
+    | _ -> err "Conv: expected NCHW x OIHW"
+  end
+  | (Op.Relu | Op.Clip | Op.Gelu | Op.Silu | Op.Softmax), [ x ] -> [ x ]
+  | Op.Layer_norm, [ x; g; b ] ->
+    let d = Shape.dim x (-1) in
+    if Shape.numel g <> d || Shape.numel b <> d then
+      err "LayerNorm: gamma/beta mismatch";
+    [ x ]
+  | Op.Rms_norm, [ x; g ] ->
+    if Shape.numel g <> Shape.dim x (-1) then err "RMSNorm: gamma mismatch";
+    [ x ]
+  | (Op.Add | Op.Mul), [ a; b ] -> begin
+    match Shape.broadcast a b with
+    | Some s -> [ s ]
+    | None ->
+      err "%s: shapes %s and %s do not broadcast" (Op.to_string op)
+        (Shape.to_string a) (Shape.to_string b)
+  end
+  | (Op.Max_pool | Op.Avg_pool), [ x ] -> begin
+    match x with
+    | [ n; c; h; w ] ->
+      let k = Attr.get_int_d attrs "k" 2 in
+      let stride = Attr.get_int_d attrs "stride" k in
+      let pad = Attr.get_int_d attrs "pad" 0 in
+      [ [ n; c; conv_out h k stride pad; conv_out w k stride pad ] ]
+    | _ -> err "%s: expected NCHW" (Op.to_string op)
+  end
+  | Op.Global_avg_pool, [ x ] -> begin
+    match x with
+    | [ n; c; _; _ ] -> [ [ n; c ] ]
+    | _ -> err "GlobalAveragePool: expected NCHW"
+  end
+  | Op.Reshape, [ x ] -> begin
+    match Attr.get_ints attrs "shape" with
+    | None -> err "Reshape: missing shape attribute"
+    | Some dims ->
+      (* A single -1 dimension is inferred from the remaining ones. *)
+      let holes = List.length (List.filter (fun d -> d = -1) dims) in
+      if holes > 1 then err "Reshape: more than one -1 dimension";
+      let known = List.fold_left (fun acc d -> if d = -1 then acc else acc * d) 1 dims in
+      let total = Shape.numel x in
+      let dims =
+        if holes = 0 then dims
+        else begin
+          if known = 0 || total mod known <> 0 then
+            err "Reshape: cannot infer -1 dimension";
+          List.map (fun d -> if d = -1 then total / known else d) dims
+        end
+      in
+      if List.fold_left ( * ) 1 dims <> total then
+        err "Reshape: element count mismatch (%s -> %s)" (Shape.to_string x)
+          (Shape.to_string dims);
+      [ Shape.of_list dims ]
+  end
+  | Op.Transpose, [ x ] -> begin
+    match Attr.get_ints attrs "perm" with
+    | None -> err "Transpose: missing perm attribute"
+    | Some perm ->
+      if List.sort compare perm <> List.init (Shape.rank x) Fun.id then
+        err "Transpose: invalid permutation";
+      [ List.map (fun i -> Shape.dim x i) perm ]
+  end
+  | Op.Concat, [ a; b ] -> begin
+    let axis = Attr.get_int_d attrs "axis" 0 in
+    match Shape.concat_dim a b ~axis with
+    | Some s -> [ s ]
+    | None ->
+      err "Concat: incompatible %s and %s on axis %d" (Shape.to_string a)
+        (Shape.to_string b) axis
+  end
+  | Op.Embedding, [ ids; w ] -> begin
+    match w with
+    | [ _vocab; d ] -> [ ids @ [ d ] ]
+    | _ -> err "Embedding: weight must be [vocab; d]"
+  end
+  | _, shapes ->
+    err "%s: unexpected arity %d" (Op.to_string op) (List.length shapes)
+
+let infer (g : Graph.t) =
+  let env = Hashtbl.create 128 in
+  List.iter (fun (n, s) -> Hashtbl.replace env n s) g.graph_inputs;
+  List.iter
+    (fun (i : Graph.initializer_) -> Hashtbl.replace env i.init_name i.init_shape)
+    g.initializers;
+  List.iter
+    (fun (nd : Graph.node) ->
+      let ins =
+        List.map
+          (fun n ->
+            match Hashtbl.find_opt env n with
+            | Some s -> s
+            | None -> err "node %s: input %s has no shape" nd.name n)
+          nd.inputs
+      in
+      let outs =
+        try output_shape nd.op nd.attrs ins
+        with Error m -> err "node %s: %s" nd.name m
+      in
+      if List.length outs <> List.length nd.outputs then
+        err "node %s: output arity mismatch" nd.name;
+      List.iter2 (fun n s -> Hashtbl.replace env n s) nd.outputs outs)
+    g.nodes;
+  env

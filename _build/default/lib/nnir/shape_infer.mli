@@ -1,0 +1,16 @@
+(** Whole-graph shape inference. Every operator's output shape is derived
+    from its inputs and attributes; the result maps every tensor name
+    (inputs, initializers, intermediates) to its shape. *)
+
+exception Error of string
+
+val infer : Graph.t -> (string, Cim_tensor.Shape.t) Hashtbl.t
+(** Raises [Error] when an operator is applied to incompatible shapes. *)
+
+val output_shape :
+  Op.t ->
+  (string * Attr.t) list ->
+  Cim_tensor.Shape.t list ->
+  Cim_tensor.Shape.t list
+(** Shape rule for a single node: input shapes (in node-input order) to
+    output shapes. Raises [Error]. *)

@@ -1,0 +1,21 @@
+(** Textual (de)serialisation of graphs — the ONNX-file substitute. Weight
+    values are not serialised, only shapes (like an ONNX model stripped of
+    initializer payloads).
+
+    Format example:
+    {v
+    graph "mlp" {
+      input x 1x8
+      init fc_w 8x4
+      node 0 "fc" Gemm (x, fc_w) -> (y) { }
+      node 1 "act" Relu (y) -> (z) { }
+      output z
+    }
+    v} *)
+
+exception Parse_error of string
+
+val to_string : Graph.t -> string
+val of_string : string -> Graph.t
+(** Raises [Parse_error] on malformed input and [Graph.Invalid] on
+    semantically invalid graphs. *)

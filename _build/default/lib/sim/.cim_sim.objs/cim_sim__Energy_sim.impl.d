@@ -1,0 +1,1 @@
+lib/sim/energy_sim.ml: Cim_arch Cim_metaop Format List Timing

@@ -1,0 +1,1 @@
+lib/sim/energy_sim.mli: Cim_arch Cim_metaop Format

@@ -1,0 +1,1 @@
+lib/sim/functional.ml: Array Cim_arch Cim_metaop Cim_nnir Cim_tensor Float Hashtbl List Machine Printf

@@ -1,0 +1,1 @@
+lib/sim/functional.mli: Cim_arch Cim_metaop Cim_nnir Cim_tensor

@@ -1,0 +1,1 @@
+lib/sim/serving.ml: Array Cim_util Float List

@@ -1,0 +1,1 @@
+lib/sim/serving.mli: Cim_util

@@ -1,0 +1,1 @@
+lib/sim/timing.ml: Cim_arch Cim_metaop Cim_util Float Format Hashtbl List Option

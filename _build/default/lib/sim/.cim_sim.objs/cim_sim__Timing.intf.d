@@ -1,0 +1,1 @@
+lib/sim/timing.mli: Cim_arch Cim_metaop Format

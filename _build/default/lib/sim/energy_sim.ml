@@ -1,0 +1,93 @@
+module Chip = Cim_arch.Chip
+module Energy = Cim_arch.Energy
+module Flow = Cim_metaop.Flow
+
+type breakdown = {
+  mac_uj : float;
+  operand_uj : float;
+  weight_uj : float;
+  switch_uj : float;
+  static_uj : float;
+  total_uj : float;
+}
+
+type result = {
+  energy : breakdown;
+  cycles : float;
+  edp_uj_ms : float;
+  profile : Energy.profile;
+}
+
+let pj_to_uj x = x /. 1e6
+
+let run ?profile chip (p : Flow.program) =
+  let prof = match profile with Some pr -> pr | None -> Energy.for_chip chip in
+  let mac = ref 0. and operand = ref 0. and weight = ref 0. and switch = ref 0. in
+  let rec walk (i : Flow.instr) =
+    match i with
+    | Flow.Parallel is -> List.iter walk is
+    | Flow.Switch { arrays; _ } ->
+      switch := !switch +. (prof.Energy.switch_pj *. float_of_int (List.length arrays))
+    | Flow.Write_weights { bytes; _ } ->
+      weight := !weight +. (prof.Energy.weight_write_pj_per_byte *. float_of_int bytes)
+    | Flow.Load { bytes; dst; _ } ->
+      (* data crosses the DRAM pins and lands in its destination *)
+      let dst_cost =
+        match dst with
+        | Flow.Mem_arrays _ -> prof.Energy.cim_read_pj_per_byte
+        | Flow.Buffer -> prof.Energy.buffer_pj_per_byte
+        | Flow.Main_memory -> 0.
+      in
+      operand :=
+        !operand +. ((prof.Energy.dram_pj_per_byte +. dst_cost) *. float_of_int bytes)
+    | Flow.Store { bytes; src; dst; _ } ->
+      let src_cost =
+        match src with
+        | Flow.Mem_arrays _ -> prof.Energy.cim_read_pj_per_byte
+        | Flow.Buffer -> prof.Energy.buffer_pj_per_byte
+        | Flow.Main_memory -> 0.
+      in
+      let dst_cost =
+        match dst with
+        | Flow.Main_memory -> prof.Energy.dram_pj_per_byte
+        | Flow.Buffer -> prof.Energy.buffer_pj_per_byte
+        | Flow.Mem_arrays _ -> prof.Energy.cim_read_pj_per_byte
+      in
+      operand := !operand +. ((src_cost +. dst_cost) *. float_of_int bytes)
+    | Flow.Compute { macs; ai; mem_arrays; _ } ->
+      mac := !mac +. (prof.Energy.mac_pj *. macs);
+      (* the operator's streamed traffic (its AI denominator) moves through
+         memory arrays when it has them, the buffer otherwise *)
+      let traffic = if ai > 0. then macs /. ai else 0. in
+      let per_byte =
+        if mem_arrays <> [] then prof.Energy.cim_read_pj_per_byte
+        else prof.Energy.buffer_pj_per_byte
+      in
+      operand := !operand +. (per_byte *. traffic)
+    | Flow.Vector_op _ -> ()
+  in
+  List.iter walk p.Flow.instrs;
+  let t = Timing.run chip p in
+  let cycles = t.Timing.cycles.Timing.total in
+  let seconds = cycles /. (chip.Chip.freq_mhz *. 1e6) in
+  let static_uj = prof.Energy.static_mw *. seconds *. 1e3 in
+  let mac_uj = pj_to_uj !mac
+  and operand_uj = pj_to_uj !operand
+  and weight_uj = pj_to_uj !weight
+  and switch_uj = pj_to_uj !switch in
+  let total_uj = mac_uj +. operand_uj +. weight_uj +. switch_uj +. static_uj in
+  {
+    energy = { mac_uj; operand_uj; weight_uj; switch_uj; static_uj; total_uj };
+    cycles;
+    edp_uj_ms = total_uj *. (seconds *. 1e3);
+    profile = prof;
+  }
+
+let pp ppf r =
+  Format.fprintf ppf
+    "@[<v>energy (%s): %.3f uJ total@,\
+     mac %.3f | operands %.3f | weights %.3f | switch %.4f | static %.3f@,\
+     EDP %.4f uJ*ms over %.0f cycles@]"
+    r.profile.Energy.profile_name r.energy.total_uj r.energy.mac_uj
+    r.energy.operand_uj r.energy.weight_uj r.energy.switch_uj
+    r.energy.static_uj r.edp_uj_ms r.cycles

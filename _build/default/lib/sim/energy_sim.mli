@@ -1,0 +1,30 @@
+(** Energy accounting over a meta-operator flow, complementing the timing
+    simulator: dynamic energy per event class plus static energy from the
+    timed cycle count, and the energy-delay product. All reported in
+    microjoules. *)
+
+type breakdown = {
+  mac_uj : float;        (** compute-array MAC energy *)
+  operand_uj : float;    (** operand movement: scratchpad + buffer + DRAM *)
+  weight_uj : float;     (** weight programming *)
+  switch_uj : float;     (** CM.switch events *)
+  static_uj : float;     (** leakage over the timed execution *)
+  total_uj : float;
+}
+
+type result = {
+  energy : breakdown;
+  cycles : float;            (** from the timing simulator *)
+  edp_uj_ms : float;         (** energy-delay product: uJ x ms *)
+  profile : Cim_arch.Energy.profile;
+}
+
+val run :
+  ?profile:Cim_arch.Energy.profile -> Cim_arch.Chip.t ->
+  Cim_metaop.Flow.program -> result
+(** Walks the program once for dynamic energy (each [Compute]'s MACs and
+    AI-implied operand traffic, loads/stores by destination, weight writes,
+    switches) and uses {!Timing.run} for the cycle count behind the static
+    term. The default profile is {!Cim_arch.Energy.for_chip}. *)
+
+val pp : Format.formatter -> result -> unit

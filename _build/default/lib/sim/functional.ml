@@ -1,0 +1,219 @@
+module Chip = Cim_arch.Chip
+module Flow = Cim_metaop.Flow
+module Graph = Cim_nnir.Graph
+module Exec = Cim_nnir.Exec
+module Attr = Cim_nnir.Attr
+module Op = Cim_nnir.Op
+module Tensor = Cim_tensor.Tensor
+module Shape = Cim_tensor.Shape
+module Ops = Cim_tensor.Ops
+module Quant = Cim_tensor.Quant
+
+type report = {
+  outputs : (string * Tensor.t) list;
+  reference : (string * Tensor.t) list;
+  max_abs_err : float;
+  max_rel_err : float;
+  compute_instrs : int;
+  vector_instrs : int;
+  switches : int * int;
+}
+
+exception Error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+(* int8 matrix multiply as the compute array performs it, lifted back to
+   float tensors; handles the batched layouts of Ops.matmul. *)
+let qmatmul a b =
+  let mm2 x y = Quant.dequantize (Quant.matmul (Quant.quantize x) (Quant.quantize y)) in
+  match (Tensor.shape a, Tensor.shape b) with
+  | [ _; _ ], [ _; _ ] -> mm2 a b
+  | [ bd; m; k ], [ k'; n ] when k = k' ->
+    let out = Tensor.zeros (Shape.of_list [ bd; m; n ]) in
+    for bi = 0 to bd - 1 do
+      let sub =
+        Tensor.create (Shape.of_list [ m; k ]) (Array.sub (Tensor.data a) (bi * m * k) (m * k))
+      in
+      Array.blit (Tensor.data (mm2 sub b)) 0 (Tensor.data out) (bi * m * n) (m * n)
+    done;
+    out
+  | [ bd; m; k ], [ bd'; k'; n ] when k = k' && bd = bd' ->
+    let out = Tensor.zeros (Shape.of_list [ bd; m; n ]) in
+    for bi = 0 to bd - 1 do
+      let suba =
+        Tensor.create (Shape.of_list [ m; k ]) (Array.sub (Tensor.data a) (bi * m * k) (m * k))
+      in
+      let subb =
+        Tensor.create (Shape.of_list [ k; n ]) (Array.sub (Tensor.data b) (bi * k * n) (k * n))
+      in
+      Array.blit (Tensor.data (mm2 suba subb)) 0 (Tensor.data out) (bi * m * n) (m * n)
+    done;
+    out
+  | sa, sb ->
+    err "qmatmul: incompatible shapes %s x %s" (Shape.to_string sa) (Shape.to_string sb)
+
+(* Evaluate a CIM node with int8 array arithmetic. *)
+let quant_eval (nd : Graph.node) ins =
+  match (nd.Graph.op, ins) with
+  | Op.Mat_mul, [ a; b ] | Op.Gemm, [ a; b ] -> qmatmul a b
+  | Op.Gemm, [ a; b; bias ] -> Ops.add (qmatmul a b) bias
+  | Op.Conv, ([ x; w ] | [ x; w; _ ]) ->
+    let stride = Attr.get_int_d nd.attrs "stride" 1 in
+    let pad = Attr.get_int_d nd.attrs "pad" 0 in
+    let groups = Attr.get_int_d nd.attrs "groups" 1 in
+    let bias = match ins with [ _; _; b ] -> Some b | _ -> None in
+    Ops.conv2d_with ~matmul:qmatmul x ~weight:w ?bias ~stride ~pad ~groups ()
+  | op, _ -> err "quant_eval: %s is not a CIM operator" (Op.to_string op)
+
+(* Interval set per node to check the sub-operator slices cover the whole
+   output width. *)
+type coverage = { width : int; mutable intervals : (int * int) list }
+
+let covered cov =
+  let merged =
+    List.sort compare cov.intervals
+    |> List.fold_left
+         (fun acc (lo, hi) ->
+           match acc with
+           | (plo, phi) :: rest when lo <= phi -> (plo, max phi hi) :: rest
+           | _ -> (lo, hi) :: acc)
+         []
+  in
+  match merged with [ (0, hi) ] -> hi >= cov.width | _ -> false
+
+let run chip (g : Graph.t) (p : Flow.program) ~inputs =
+  (match Flow.validate chip p with
+  | Ok () -> ()
+  | Error m -> err "invalid program: %s" m);
+  let env : (string, Tensor.t) Hashtbl.t = Hashtbl.create 64 in
+  List.iter (fun (n, t) -> Hashtbl.replace env n t) inputs;
+  List.iter
+    (fun (i : Graph.initializer_) ->
+      match i.Graph.value with
+      | Some v -> Hashtbl.replace env i.Graph.init_name v
+      | None -> err "initializer %s has no value" i.Graph.init_name)
+    g.Graph.initializers;
+  let lookup name =
+    match Hashtbl.find_opt env name with
+    | Some t -> t
+    | None -> err "tensor %s used before it is computed" name
+  in
+  let node_of id =
+    try Graph.find_node g id with Graph.Invalid m -> err "%s" m
+  in
+  let machine = Machine.create chip () in
+  let node_results : (int, Tensor.t) Hashtbl.t = Hashtbl.create 32 in
+  let coverages : (int, coverage) Hashtbl.t = Hashtbl.create 32 in
+  let computes = ref 0 and vectors = ref 0 in
+  let rec exec (i : Flow.instr) =
+    match i with
+    | Flow.Parallel is -> List.iter exec is
+    | Flow.Switch { target; arrays } ->
+      List.iter (Machine.switch machine target) arrays
+    | Flow.Write_weights { node_id; arrays; slice; _ } ->
+      List.iter
+        (fun c ->
+          Machine.write_weights machine c ~node_id ~lo:slice.Flow.lo ~hi:slice.Flow.hi)
+        arrays
+    | Flow.Load { tensor; dst; _ } -> begin
+      ignore (lookup tensor);
+      match dst with
+      | Flow.Mem_arrays cs ->
+        List.iter (fun c -> Machine.stage_data machine c tensor) cs
+      | Flow.Main_memory | Flow.Buffer -> ()
+    end
+    | Flow.Store { src; _ } -> begin
+      match src with
+      | Flow.Mem_arrays cs -> List.iter (Machine.check_memory machine) cs
+      | Flow.Main_memory | Flow.Buffer -> ()
+    end
+    | Flow.Vector_op { node_id; inputs; output; _ } ->
+      incr vectors;
+      let nd = node_of node_id in
+      let ins = List.map lookup inputs in
+      Hashtbl.replace env output (Exec.eval_node nd ins)
+    | Flow.Compute { node_id; arrays; mem_arrays; output; slice; _ } ->
+      incr computes;
+      List.iter (fun c -> Machine.check_compute machine c ~node_id) arrays;
+      List.iter (Machine.check_memory machine) mem_arrays;
+      let nd = node_of node_id in
+      (* full-node int8 result, computed once and shared by sub-operators *)
+      let result =
+        match Hashtbl.find_opt node_results node_id with
+        | Some r -> r
+        | None ->
+          let ins = List.map lookup nd.Graph.inputs in
+          let r = quant_eval nd ins in
+          Hashtbl.replace node_results node_id r;
+          r
+      in
+      (* a Conv sub-operator slices output channels (axis 1 of NCHW);
+         matmul/gemm sub-operators slice the last (feature) axis *)
+      let shape = Tensor.shape result in
+      let axis = match nd.Graph.op with Op.Conv -> 1 | _ -> Shape.rank shape - 1 in
+      let width = Shape.dim shape axis in
+      let cov =
+        match Hashtbl.find_opt coverages node_id with
+        | Some c -> c
+        | None ->
+          let c = { width; intervals = [] } in
+          Hashtbl.replace coverages node_id c;
+          c
+      in
+      cov.intervals <- (slice.Flow.lo, min width slice.Flow.hi) :: cov.intervals;
+      (* publish the slice into the (possibly partial) output tensor *)
+      let out =
+        match Hashtbl.find_opt env output with
+        | Some t when Shape.equal (Tensor.shape t) shape -> t
+        | Some _ | None ->
+          let t = Tensor.zeros shape in
+          Hashtbl.replace env output t;
+          t
+      in
+      let dims = Array.of_list shape in
+      let inner = ref 1 in
+      for a = axis + 1 to Array.length dims - 1 do
+        inner := !inner * dims.(a)
+      done;
+      let outer = Tensor.numel result / (width * !inner) in
+      let rd = Tensor.data result and od = Tensor.data out in
+      let lo = slice.Flow.lo and hi = min width slice.Flow.hi in
+      for o = 0 to outer - 1 do
+        let base = o * width * !inner in
+        Array.blit rd (base + (lo * !inner)) od (base + (lo * !inner)) ((hi - lo) * !inner)
+      done
+  in
+  List.iter exec p.Flow.instrs;
+  (* every partitioned operator must have covered its full output width *)
+  Hashtbl.iter
+    (fun node_id cov ->
+      if not (covered cov) then
+        err "node %d: sub-operator slices do not cover its output" node_id)
+    coverages;
+  let outputs =
+    List.map
+      (fun o ->
+        match Hashtbl.find_opt env o with
+        | Some t -> (o, t)
+        | None -> err "graph output %s was never produced" o)
+      g.Graph.graph_outputs
+  in
+  let reference = Exec.run_outputs g inputs in
+  let max_abs = ref 0. and max_rel = ref 0. in
+  List.iter2
+    (fun (_, sim) (_, ref_) ->
+      let d = Tensor.max_abs_diff sim ref_ in
+      let scale = Tensor.fold (fun acc x -> Float.max acc (Float.abs x)) 0. ref_ in
+      max_abs := Float.max !max_abs d;
+      if scale > 0. then max_rel := Float.max !max_rel (d /. scale))
+    outputs reference;
+  {
+    outputs;
+    reference;
+    max_abs_err = !max_abs;
+    max_rel_err = !max_rel;
+    compute_instrs = !computes;
+    vector_instrs = !vectors;
+    switches = Machine.switch_counts machine;
+  }

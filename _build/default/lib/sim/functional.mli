@@ -1,0 +1,29 @@
+(** Functional simulator: executes a meta-operator flow against the source
+    graph, modelling the int8 arithmetic the CIM arrays actually perform,
+    and diffs the results against the float reference executor — the role
+    the CIM-MLC functional simulator + PyTorch comparison plays in §5.1.
+
+    Checks enforced while executing:
+    - every [CIM.compute] runs on compute-mode arrays programmed with that
+      operator's weights, and its memory operands sit in memory-mode arrays;
+    - mode switches are never redundant;
+    - the output slices of an operator's sub-operators cover its full output
+      (nothing silently missing from a partitioned matmul). *)
+
+type report = {
+  outputs : (string * Cim_tensor.Tensor.t) list;   (** simulated, int8 path *)
+  reference : (string * Cim_tensor.Tensor.t) list; (** float reference *)
+  max_abs_err : float;
+  max_rel_err : float;  (** relative to the reference tensor's max |value| *)
+  compute_instrs : int;
+  vector_instrs : int;
+  switches : int * int; (** realised (m->c, c->m) *)
+}
+
+exception Error of string
+
+val run :
+  Cim_arch.Chip.t -> Cim_nnir.Graph.t -> Cim_metaop.Flow.program ->
+  inputs:(string * Cim_tensor.Tensor.t) list -> report
+(** Requires every initializer of the graph to carry values. Raises [Error]
+    (or {!Machine.Fault}) on illegal programs. *)

@@ -1,0 +1,82 @@
+module Chip = Cim_arch.Chip
+module Mode = Cim_arch.Mode
+
+type content =
+  | Empty
+  | Weights of { node_id : int; lo : int; hi : int }
+  | Data of string
+
+type t = {
+  chip : Chip.t;
+  modes : Mode.t array;
+  contents : content array;
+  mutable m2c : int;
+  mutable c2m : int;
+}
+
+exception Fault of string
+
+let fault fmt = Printf.ksprintf (fun s -> raise (Fault s)) fmt
+
+let create chip ?(initial_mode = Mode.Memory) () =
+  {
+    chip;
+    modes = Array.make chip.Chip.n_arrays initial_mode;
+    contents = Array.make chip.Chip.n_arrays Empty;
+    m2c = 0;
+    c2m = 0;
+  }
+
+let idx t c =
+  try Chip.index_of_coord t.chip c
+  with Chip.Invalid_config m -> fault "machine: %s" m
+
+let mode t c = t.modes.(idx t c)
+let content t c = t.contents.(idx t c)
+
+let switch t transition c =
+  let i = idx t c in
+  let target = Mode.apply transition in
+  if t.modes.(i) = target then
+    fault "redundant switch of array (%d,%d) to %s" c.Chip.x c.Chip.y
+      (Mode.to_string target);
+  (match transition with
+  | Mode.To_compute -> t.m2c <- t.m2c + 1
+  | Mode.To_memory -> t.c2m <- t.c2m + 1);
+  t.modes.(i) <- target;
+  (* mode change loses the scratchpad view of the cells but the physical
+     weight charge survives *)
+  (match t.contents.(i) with
+  | Data _ -> t.contents.(i) <- Empty
+  | Empty | Weights _ -> ())
+
+let write_weights t c ~node_id ~lo ~hi =
+  let i = idx t c in
+  if t.modes.(i) <> Mode.Compute then
+    fault "weight write to array (%d,%d) while in memory mode" c.Chip.x c.Chip.y;
+  t.contents.(i) <- Weights { node_id; lo; hi }
+
+let stage_data t c name =
+  let i = idx t c in
+  if t.modes.(i) <> Mode.Memory then
+    fault "data load into array (%d,%d) while in compute mode" c.Chip.x c.Chip.y;
+  t.contents.(i) <- Data name
+
+let check_compute t c ~node_id =
+  let i = idx t c in
+  if t.modes.(i) <> Mode.Compute then
+    fault "compute on array (%d,%d) in memory mode" c.Chip.x c.Chip.y;
+  match t.contents.(i) with
+  | Weights w when w.node_id = node_id -> ()
+  | Weights w ->
+    fault "array (%d,%d) holds weights of node %d, not %d" c.Chip.x c.Chip.y
+      w.node_id node_id
+  | Empty | Data _ ->
+    fault "array (%d,%d) computes without programmed weights" c.Chip.x c.Chip.y
+
+let check_memory t c =
+  let i = idx t c in
+  if t.modes.(i) <> Mode.Memory then
+    fault "memory access to array (%d,%d) in compute mode" c.Chip.x c.Chip.y
+
+let switch_counts t = (t.m2c, t.c2m)

@@ -1,0 +1,42 @@
+(** Per-array state machine for the dual-mode chip: every array's current
+    mode and contents. The functional simulator uses it to reject programs
+    that compute on arrays in the wrong mode or with stale weights, and the
+    timing simulator to count realised switches. *)
+
+type content =
+  | Empty
+  | Weights of { node_id : int; lo : int; hi : int }
+  | Data of string  (** tensor name staged in a memory-mode array *)
+
+type t
+
+val create : Cim_arch.Chip.t -> ?initial_mode:Cim_arch.Mode.t -> unit -> t
+
+val mode : t -> Cim_arch.Chip.coord -> Cim_arch.Mode.t
+val content : t -> Cim_arch.Chip.coord -> content
+
+exception Fault of string
+(** Raised on illegal transitions/uses; the message names the array. *)
+
+val switch : t -> Cim_arch.Mode.transition -> Cim_arch.Chip.coord -> unit
+(** Faults if the array is already in the target mode (a redundant switch is
+    a compiler bug: it wastes cycles). Switching clears [Data] contents —
+    the scratchpad view is lost — but keeps [Weights] (the DynaPlasia cells
+    physically retain their charge across mode changes). *)
+
+val write_weights :
+  t -> Cim_arch.Chip.coord -> node_id:int -> lo:int -> hi:int -> unit
+(** Faults unless the array is in compute mode. *)
+
+val stage_data : t -> Cim_arch.Chip.coord -> string -> unit
+(** Faults unless the array is in memory mode. *)
+
+val check_compute : t -> Cim_arch.Chip.coord -> node_id:int -> unit
+(** Faults unless the array is in compute mode holding that node's
+    weights. *)
+
+val check_memory : t -> Cim_arch.Chip.coord -> unit
+(** Faults unless the array is in memory mode. *)
+
+val switch_counts : t -> int * int
+(** (memory->compute, compute->memory) switches performed so far. *)

@@ -1,0 +1,83 @@
+type request = { arrival : float; prompt : int; output : int }
+
+type cost_profile = {
+  prefill_cycles : int -> float;
+  decode_cycles : int -> float;
+}
+
+type stats = {
+  completed : int;
+  makespan : float;
+  mean_latency : float;
+  p95_latency : float;
+  mean_ttft : float;
+  tokens : int;
+  tokens_per_megacycle : float;
+}
+
+let interpolate samples =
+  if samples = [] then invalid_arg "Serving.interpolate: no samples";
+  let sorted = List.sort_uniq compare samples in
+  let arr = Array.of_list sorted in
+  fun x ->
+    let n = Array.length arr in
+    let xf = float_of_int x in
+    if x <= fst arr.(0) then snd arr.(0)
+    else if x >= fst arr.(n - 1) then snd arr.(n - 1)
+    else begin
+      (* find the bracketing pair *)
+      let i = ref 0 in
+      while fst arr.(!i + 1) < x do
+        incr i
+      done;
+      let x0, y0 = arr.(!i) and x1, y1 = arr.(!i + 1) in
+      let t = (xf -. float_of_int x0) /. float_of_int (x1 - x0) in
+      y0 +. (t *. (y1 -. y0))
+    end
+
+let run profile requests =
+  if requests = [] then invalid_arg "Serving.run: empty trace";
+  let requests = List.sort (fun a b -> compare a.arrival b.arrival) requests in
+  let now = ref 0. in
+  let latencies = ref [] and ttfts = ref [] in
+  let tokens = ref 0 in
+  List.iter
+    (fun r ->
+      if r.prompt <= 0 || r.output < 0 then
+        invalid_arg "Serving.run: malformed request";
+      let start = Float.max !now r.arrival in
+      let after_prefill = start +. profile.prefill_cycles r.prompt in
+      ttfts := (after_prefill -. r.arrival) :: !ttfts;
+      let finish = ref after_prefill in
+      for t = 0 to r.output - 1 do
+        finish := !finish +. profile.decode_cycles (r.prompt + t)
+      done;
+      now := !finish;
+      tokens := !tokens + r.output + 1;
+      latencies := (!finish -. r.arrival) :: !latencies)
+    requests;
+  let latencies = !latencies in
+  {
+    completed = List.length requests;
+    makespan = !now;
+    mean_latency = Cim_util.Stats.mean latencies;
+    p95_latency = Cim_util.Stats.percentile 95. latencies;
+    mean_ttft = Cim_util.Stats.mean !ttfts;
+    tokens = !tokens;
+    tokens_per_megacycle =
+      (if !now > 0. then float_of_int !tokens /. (!now /. 1e6) else 0.);
+  }
+
+let poisson_trace rng ~n ~mean_gap ~prompt ~output =
+  if n <= 0 then invalid_arg "Serving.poisson_trace: n must be positive";
+  let t = ref 0. in
+  List.init n (fun _ ->
+      let u =
+        let rec draw () =
+          let u = Cim_util.Rng.float rng 1. in
+          if u = 0. then draw () else u
+        in
+        draw ()
+      in
+      t := !t +. (-.mean_gap *. log u);
+      { arrival = !t; prompt; output })

@@ -1,0 +1,42 @@
+(** Request-level serving simulation: drives a compiled model's cost
+    profile with a trace of inference requests (prompt + generation
+    lengths, arrival times) through a single CIM chip, FCFS. This is the
+    system-level view behind the paper's LLM motivation: decode steps
+    dominate wall-clock, and their bandwidth-bound nature is what dual-mode
+    compilation accelerates. *)
+
+type request = {
+  arrival : float;   (** cycles since trace start *)
+  prompt : int;      (** tokens pre-filled at once *)
+  output : int;      (** tokens generated, one decode step each *)
+}
+
+type cost_profile = {
+  prefill_cycles : int -> float;     (** prompt length -> cycles *)
+  decode_cycles : int -> float;      (** kv length -> cycles per token *)
+}
+
+type stats = {
+  completed : int;
+  makespan : float;            (** cycles until the last request finishes *)
+  mean_latency : float;        (** request arrival -> completion, cycles *)
+  p95_latency : float;
+  mean_ttft : float;           (** time to first token, cycles *)
+  tokens : int;
+  tokens_per_megacycle : float;
+}
+
+val interpolate : (int * float) list -> int -> float
+(** Piecewise-linear interpolation through sample points (sorted
+    internally, constant extrapolation outside). Raises
+    [Invalid_argument] on an empty list. *)
+
+val run : cost_profile -> request list -> stats
+(** FCFS, no batching across requests: each request runs prefill then its
+    decode steps with a growing KV length. Raises [Invalid_argument] on an
+    empty trace. *)
+
+val poisson_trace :
+  Cim_util.Rng.t -> n:int -> mean_gap:float -> prompt:int -> output:int ->
+  request list
+(** Synthetic trace: exponential inter-arrival gaps, fixed shape. *)

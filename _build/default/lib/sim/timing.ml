@@ -1,0 +1,167 @@
+module Chip = Cim_arch.Chip
+module Cost = Cim_arch.Cost
+module Flow = Cim_metaop.Flow
+
+type breakdown = {
+  compute : float;
+  switch : float;
+  rewrite : float;
+  writeback : float;
+  total : float;
+}
+
+type result = {
+  cycles : breakdown;
+  microseconds : float;
+  segments : int;
+  switch_count : int * int;
+  dma_bytes : int;
+  switch_share : float;
+}
+
+(* Dirty tensors living only in memory-mode arrays: name -> (arrays,
+   bytes). Data *loaded* into memory arrays is a clean copy (main memory
+   still has it), so displacing it is free; data *stored* into memory
+   arrays exists nowhere else and must be flushed to main memory when a
+   switch or a new resident reclaims those arrays. *)
+type residency = {
+  mutable staged : (string * (Flow.coord list * int)) list;
+}
+
+let coords_overlap a b = List.exists (fun c -> List.mem c b) a
+
+let run chip (p : Flow.program) =
+  let compute = ref 0. and switch = ref 0. and rewrite = ref 0. in
+  let writeback = ref 0. in
+  let m2c = ref 0 and c2m = ref 0 in
+  let dma = ref 0 in
+  let segments = ref 0 in
+  let res = { staged = [] } in
+  let flush_overlapping coords =
+    (* displaced scratchpad contents go back to main memory *)
+    let displaced, kept =
+      List.partition (fun (_, (cs, _)) -> coords_overlap cs coords) res.staged
+    in
+    List.iter
+      (fun (_, (_, bytes)) ->
+        writeback := !writeback +. Cost.writeback_latency chip ~bytes)
+      displaced;
+    res.staged <- kept
+  in
+  let exec_top (i : Flow.instr) =
+    match i with
+    | Flow.Switch { target; arrays } ->
+      flush_overlapping arrays;
+      let n = List.length arrays in
+      (match target with
+      | Cim_arch.Mode.To_compute ->
+        m2c := !m2c + n;
+        switch := !switch +. Cost.switch_latency chip ~m2c:n ~c2m:0
+      | Cim_arch.Mode.To_memory ->
+        c2m := !c2m + n;
+        switch := !switch +. Cost.switch_latency chip ~m2c:0 ~c2m:n)
+    | Flow.Load { bytes; dst; _ } ->
+      dma := !dma + bytes;
+      (match dst with
+      | Flow.Mem_arrays cs -> flush_overlapping cs
+      | Flow.Main_memory | Flow.Buffer -> ())
+    | Flow.Store { bytes; tensor; dst; _ } ->
+      dma := !dma + bytes;
+      (match dst with
+      | Flow.Mem_arrays cs ->
+        flush_overlapping cs;
+        res.staged <- (tensor, (cs, bytes)) :: res.staged
+      | Flow.Main_memory | Flow.Buffer ->
+        (* written back: the on-chip copy is clean now *)
+        res.staged <- List.filter (fun (n, _) -> n <> tensor) res.staged)
+    | Flow.Write_weights { arrays; in_place; _ } ->
+      (* an in-place relabel (§5.3) streams nothing: free *)
+      if not in_place then
+        rewrite :=
+          !rewrite +. Cost.weight_rewrite_latency chip ~max_com:(List.length arrays)
+    | Flow.Compute { macs; ai; arrays; mem_arrays; _ } ->
+      compute :=
+        !compute
+        +. Cost.op_latency chip ~ops:macs ~ai ~com:(List.length arrays)
+             ~mem:(List.length mem_arrays)
+    | Flow.Vector_op _ -> ()
+    | Flow.Parallel body ->
+      incr segments;
+      (* pipelined segment: per-operator chains run concurrently; the
+         segment costs its slowest chain. Weight programming of distinct
+         operators also proceeds in parallel, so Eq. 2's max applies. *)
+      (* chains are keyed by sub-operator label: sub-operators of one node
+         run in parallel on disjoint arrays, so they are separate chains *)
+      let chain : (string, float * float) Hashtbl.t = Hashtbl.create 8 in
+      let bump label ~rw ~cp =
+        let r, c = Option.value (Hashtbl.find_opt chain label) ~default:(0., 0.) in
+        Hashtbl.replace chain label (r +. rw, c +. cp)
+      in
+      List.iter
+        (fun (instr : Flow.instr) ->
+          match instr with
+          | Flow.Write_weights { label; arrays; in_place; _ } ->
+            if not in_place then
+              bump label
+                ~rw:(Cost.weight_rewrite_latency chip ~max_com:(List.length arrays))
+                ~cp:0.
+          | Flow.Compute { label; macs; ai; arrays; mem_arrays; _ } ->
+            bump label ~rw:0.
+              ~cp:
+                (Cost.op_latency chip ~ops:macs ~ai ~com:(List.length arrays)
+                   ~mem:(List.length mem_arrays))
+          | Flow.Load { bytes; dst; _ } -> begin
+            dma := !dma + bytes;
+            match dst with
+            | Flow.Mem_arrays cs -> flush_overlapping cs
+            | Flow.Main_memory | Flow.Buffer -> ()
+          end
+          | Flow.Store { bytes; tensor; dst; _ } -> begin
+            dma := !dma + bytes;
+            match dst with
+            | Flow.Main_memory | Flow.Buffer ->
+              res.staged <- List.filter (fun (n, _) -> n <> tensor) res.staged
+            | Flow.Mem_arrays cs ->
+              flush_overlapping cs;
+              res.staged <- (tensor, (cs, bytes)) :: res.staged
+          end
+          | Flow.Switch { target; arrays } ->
+            flush_overlapping arrays;
+            let n = List.length arrays in
+            (match target with
+            | Cim_arch.Mode.To_compute ->
+              m2c := !m2c + n;
+              switch := !switch +. Cost.switch_latency chip ~m2c:n ~c2m:0
+            | Cim_arch.Mode.To_memory ->
+              c2m := !c2m + n;
+              switch := !switch +. Cost.switch_latency chip ~m2c:0 ~c2m:n)
+          | Flow.Vector_op _ | Flow.Parallel _ -> ())
+        body;
+      let seg_rw = Hashtbl.fold (fun _ (r, _) acc -> Float.max acc r) chain 0. in
+      let seg_cp = Hashtbl.fold (fun _ (_, c) acc -> Float.max acc c) chain 0. in
+      rewrite := !rewrite +. seg_rw;
+      compute := !compute +. seg_cp
+  in
+  List.iter exec_top p.Flow.instrs;
+  let total = !compute +. !switch +. !rewrite +. !writeback in
+  {
+    cycles =
+      { compute = !compute; switch = !switch; rewrite = !rewrite;
+        writeback = !writeback; total };
+    microseconds = Chip.cycles_to_us chip total;
+    segments = !segments;
+    switch_count = (!m2c, !c2m);
+    dma_bytes = !dma;
+    switch_share = (if total > 0. then (!switch +. !writeback) /. total else 0.);
+  }
+
+let pp ppf r =
+  Format.fprintf ppf
+    "@[<v>timing: %.0f cycles (%.2f us), %d segments@,\
+     compute %.0f | switch %.0f | rewrite %.0f | writeback %.0f@,\
+     switches m->c %d, c->m %d; DMA %s; switch share %.1f%%@]"
+    r.cycles.total r.microseconds r.segments r.cycles.compute r.cycles.switch
+    r.cycles.rewrite r.cycles.writeback (fst r.switch_count)
+    (snd r.switch_count)
+    (Cim_util.Bytesize.to_string r.dma_bytes)
+    (100. *. r.switch_share)

@@ -1,0 +1,40 @@
+(** Timing simulator: cycle accounting over a meta-operator flow using the
+    DEHA cost model — the MNSIM/NeuroSim-derived latency simulator of §5.1,
+    extended with the dual-mode switch (the [CM.switch] cost and the
+    compute/memory-mode operation costs of §4.2).
+
+    Each [parallel{}] block is a pipelined network segment: its latency is
+    the slowest operator chain (per-operator weight programming followed by
+    Eq. 10 execution). Switches are charged per array. Loads and stores
+    whose bytes already flow through an operator's arithmetic-intensity term
+    are not double-charged; only boundary write-backs of *dirty*
+    memory-array contents displaced by the next segment are. Since the
+    generated flows store operator outputs back eagerly (their cost lives in
+    the AI traffic term), the simulated total can undercut the compiler's
+    schedule by at most its conservative Eq. 4 write-back estimate:
+    [timing <= schedule <= timing + schedule.writeback]. *)
+
+type breakdown = {
+  compute : float;    (** pipelined segment execution (Eq. 9/10) *)
+  switch : float;     (** CM.switch cost (Eq. 1) *)
+  rewrite : float;    (** weight (re)programming (Eq. 2) *)
+  writeback : float;  (** displaced scratchpad data flushed to main memory *)
+  total : float;
+}
+
+type result = {
+  cycles : breakdown;
+  microseconds : float;
+  segments : int;
+  switch_count : int * int;        (** realised (m->c, c->m) *)
+  dma_bytes : int;                 (** explicit load/store traffic *)
+  switch_share : float;            (** (switch + writeback) / total — the
+                                       §5.5 "dual-mode switch" overhead: the
+                                       cost the switching mechanism itself
+                                       adds (weight programming is paid by
+                                       fixed-mode compilers too) *)
+}
+
+val run : Cim_arch.Chip.t -> Cim_metaop.Flow.program -> result
+
+val pp : Format.formatter -> result -> unit

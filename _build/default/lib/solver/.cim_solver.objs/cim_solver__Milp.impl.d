@@ -1,0 +1,1 @@
+lib/solver/milp.ml: Array Float List Lp Option Stack

@@ -1,0 +1,1 @@
+lib/solver/model.ml: Array Float Format List Lp Milp Option

@@ -1,0 +1,26 @@
+(** Dense two-phase primal simplex for small linear programs.
+
+    Problems are stated as: maximise [c . x] subject to row constraints and
+    per-variable bounds. Lower bounds must be finite (every CMSwitch model
+    has natural 0 lower bounds); upper bounds may be [infinity]. *)
+
+type op = Le | Ge | Eq
+
+type problem = {
+  n_vars : int;
+  maximize : float array;                       (** length n_vars *)
+  rows : (float array * op * float) list;       (** coeffs, op, rhs *)
+  lower : float array;
+  upper : float array;
+}
+
+type solution = { values : float array; objective : float }
+type result = Optimal of solution | Infeasible | Unbounded
+
+exception Ill_formed of string
+
+val solve : ?eps:float -> ?max_iters:int -> problem -> result
+(** [eps] is the feasibility/optimality tolerance (default 1e-9).
+    Raises [Ill_formed] on dimension mismatches or infinite lower bounds;
+    raises [Failure] if the iteration limit is hit (default 20_000,
+    generous for the problem sizes CMSwitch generates). *)

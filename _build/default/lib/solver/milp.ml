@@ -1,0 +1,163 @@
+type kind = Continuous | Integer
+
+type result =
+  | Optimal of Lp.solution
+  | Infeasible
+  | Unbounded
+  | Node_limit of Lp.solution option
+
+(* Most-fractional branching: pick the integer variable whose relaxation
+   value is farthest from an integer. *)
+let most_fractional ~eps kinds (values : float array) =
+  let best = ref (-1) and best_frac = ref eps in
+  Array.iteri
+    (fun j k ->
+      match k with
+      | Continuous -> ()
+      | Integer ->
+        let v = values.(j) in
+        let frac = Float.abs (v -. Float.round v) in
+        if frac > !best_frac then begin
+          best := j;
+          best_frac := frac
+        end)
+    kinds;
+  if !best < 0 then None else Some !best
+
+let round_integral ~eps kinds (sol : Lp.solution) =
+  let values =
+    Array.mapi
+      (fun j v ->
+        match kinds.(j) with
+        | Continuous -> v
+        | Integer ->
+          let r = Float.round v in
+          if Float.abs (v -. r) <= eps then r else v)
+      sol.Lp.values
+  in
+  { sol with Lp.values = values }
+
+(* Root heuristic: pin every integer variable to a rounding of its
+   relaxation value and re-solve the LP over the continuous remainder. A
+   feasible result seeds the incumbent so pruning bites immediately. Three
+   rounding policies are tried because different constraint systems tolerate
+   different directions (e.g. capacity rows favour floor, covering rows
+   favour ceil). *)
+let rounding_incumbent ~kinds (p : Lp.problem) (root : Lp.solution) =
+  let attempt round =
+    let lower = Array.copy p.Lp.lower and upper = Array.copy p.Lp.upper in
+    Array.iteri
+      (fun j k ->
+        if k = Integer then begin
+          let v = round root.Lp.values.(j) in
+          let v = Float.max p.Lp.lower.(j) (Float.min p.Lp.upper.(j) v) in
+          lower.(j) <- v;
+          upper.(j) <- v
+        end)
+      kinds;
+    match Lp.solve { p with Lp.lower; upper } with
+    | Lp.Optimal s -> Some s
+    | Lp.Infeasible | Lp.Unbounded -> None
+  in
+  List.fold_left
+    (fun best round ->
+      match attempt round with
+      | None -> best
+      | Some s -> begin
+        match best with
+        | Some (b : Lp.solution) when b.Lp.objective >= s.Lp.objective -> best
+        | Some _ | None -> Some s
+      end)
+    None
+    [ Float.round; Float.floor; Float.ceil ]
+
+let solve ?(eps = 1e-6) ?(max_nodes = 100_000) ?(gap = 1e-6) (p : Lp.problem) ~kinds =
+  if Array.length kinds <> p.Lp.n_vars then
+    raise (Lp.Ill_formed "Milp.solve: kinds length mismatch");
+  let incumbent = ref None in
+  let better (s : Lp.solution) =
+    match !incumbent with
+    | None -> true
+    | Some (i : Lp.solution) -> s.Lp.objective > i.Lp.objective +. 1e-12
+  in
+  let nodes = ref 0 in
+  let truncated = ref false in
+  let root_unbounded = ref false in
+  (* DFS stack of (lower, upper) bound pairs. Depth-first keeps memory flat
+     and finds integral incumbents fast for these models. *)
+  let stack = Stack.create () in
+  Stack.push (p.Lp.lower, p.Lp.upper) stack;
+  while (not (Stack.is_empty stack)) && not !truncated do
+    let lower, upper = Stack.pop stack in
+    incr nodes;
+    if !nodes > max_nodes then truncated := true
+    else begin
+      let sub = { p with Lp.lower; upper } in
+      match Lp.solve sub with
+      | Lp.Infeasible -> ()
+      | Lp.Unbounded ->
+        (* Unbounded relaxation at the root means the MILP is unbounded or
+           needs bounds we cannot infer; surface it. *)
+        if !nodes = 1 then root_unbounded := true
+      | Lp.Optimal sol ->
+        if !nodes = 1 then begin
+          (* seed the incumbent from the root relaxation by rounding *)
+          match rounding_incumbent ~kinds p sol with
+          | Some s when better s -> incumbent := Some (round_integral ~eps kinds s)
+          | Some _ | None -> ()
+        end;
+        let prune =
+          match !incumbent with
+          | Some (i : Lp.solution) ->
+            (* relative optimality gap: bound the wasted search for
+               negligible improvements *)
+            sol.Lp.objective
+            <= i.Lp.objective +. 1e-9 +. (gap *. Float.abs i.Lp.objective)
+          | None -> false
+        in
+        if not prune then begin
+          match most_fractional ~eps kinds sol.Lp.values with
+          | None ->
+            let sol = round_integral ~eps kinds sol in
+            if better sol then incumbent := Some sol
+          | Some j ->
+            let v = sol.Lp.values.(j) in
+            let floor_v = Float.of_int (int_of_float (Float.floor v)) in
+            (* Branches whose tightened bound crosses the opposite bound are
+               empty (the relaxation value sat on a bound within tolerance)
+               and are skipped rather than pushed. Explore the side nearer
+               the relaxation value first. *)
+            let lo_branch =
+              let ub' = Float.min upper.(j) floor_v in
+              if ub' < lower.(j) then None
+              else begin
+                let upper' = Array.copy upper in
+                upper'.(j) <- ub';
+                Some (Array.copy lower, upper')
+              end
+            in
+            let hi_branch =
+              let lb' = Float.max lower.(j) (floor_v +. 1.) in
+              if lb' > upper.(j) then None
+              else begin
+                let lower' = Array.copy lower in
+                lower'.(j) <- lb';
+                Some (lower', Array.copy upper)
+              end
+            in
+            let push = Option.iter (fun b -> Stack.push b stack) in
+            if v -. floor_v > 0.5 then begin
+              push lo_branch;
+              push hi_branch
+            end
+            else begin
+              push hi_branch;
+              push lo_branch
+            end
+        end
+    end
+  done;
+  if !root_unbounded then Unbounded
+  else if !truncated then Node_limit !incumbent
+  else
+    match !incumbent with None -> Infeasible | Some s -> Optimal s

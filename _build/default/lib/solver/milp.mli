@@ -1,0 +1,23 @@
+(** Branch-and-bound mixed-integer solver over the simplex LP relaxation —
+    the role Gurobi plays in the paper (§4.3.2). Exact for the small models
+    CMSwitch generates (a few dozen variables per network segment). *)
+
+type kind = Continuous | Integer
+
+type result =
+  | Optimal of Lp.solution
+  | Infeasible
+  | Unbounded
+  | Node_limit of Lp.solution option
+      (** Search truncated; carries the incumbent if one was found. *)
+
+val solve :
+  ?eps:float -> ?max_nodes:int -> ?gap:float -> Lp.problem -> kinds:kind array ->
+  result
+(** [eps] is the integrality tolerance (default 1e-6); [max_nodes] bounds
+    the branch-and-bound tree (default 100_000); [gap] is the relative
+    optimality gap below which branches are pruned (default 1e-6). The root
+    relaxation is rounded and re-solved to seed the incumbent, so pruning is
+    effective from the first node. Maximisation, like {!Lp.solve}. Integer
+    variables must have finite bounds or bounds implied by constraints;
+    branching tightens variable bounds. *)

@@ -1,0 +1,1 @@
+lib/tensor/ops.ml: Array Float Fun List Printf Shape Tensor

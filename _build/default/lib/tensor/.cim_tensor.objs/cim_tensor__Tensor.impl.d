@@ -1,0 +1,1 @@
+lib/tensor/tensor.ml: Array Buffer Cim_util Float Printf Shape

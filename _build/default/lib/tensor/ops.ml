@@ -1,0 +1,321 @@
+let matmul2d a b m k n =
+  let da = Tensor.data a and db = Tensor.data b in
+  let out = Array.make (m * n) 0. in
+  for i = 0 to m - 1 do
+    for p = 0 to k - 1 do
+      let av = da.((i * k) + p) in
+      if av <> 0. then
+        for j = 0 to n - 1 do
+          out.((i * n) + j) <- out.((i * n) + j) +. (av *. db.((p * n) + j))
+        done
+    done
+  done;
+  out
+
+let matmul a b =
+  match (Tensor.shape a, Tensor.shape b) with
+  | [ m; k ], [ k'; n ] when k = k' ->
+    Tensor.create (Shape.of_list [ m; n ]) (matmul2d a b m k n)
+  | [ bdim; m; k ], [ k'; n ] when k = k' ->
+    let out = Tensor.zeros (Shape.of_list [ bdim; m; n ]) in
+    for bi = 0 to bdim - 1 do
+      let sub =
+        Tensor.create (Shape.of_list [ m; k ])
+          (Array.sub (Tensor.data a) (bi * m * k) (m * k))
+      in
+      let r = matmul2d sub b m k n in
+      Array.blit r 0 (Tensor.data out) (bi * m * n) (m * n)
+    done;
+    out
+  | [ bdim; m; k ], [ bdim'; k'; n ] when k = k' && bdim = bdim' ->
+    let out = Tensor.zeros (Shape.of_list [ bdim; m; n ]) in
+    for bi = 0 to bdim - 1 do
+      let suba =
+        Tensor.create (Shape.of_list [ m; k ])
+          (Array.sub (Tensor.data a) (bi * m * k) (m * k))
+      in
+      let subb =
+        Tensor.create (Shape.of_list [ k; n ])
+          (Array.sub (Tensor.data b) (bi * k * n) (k * n))
+      in
+      let r = matmul2d suba subb m k n in
+      Array.blit r 0 (Tensor.data out) (bi * m * n) (m * n)
+    done;
+    out
+  | sa, sb ->
+    invalid_arg
+      (Printf.sprintf "Ops.matmul: incompatible shapes %s x %s"
+         (Shape.to_string sa) (Shape.to_string sb))
+
+let broadcast_op name f a b =
+  match Shape.broadcast (Tensor.shape a) (Tensor.shape b) with
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Ops.%s: shapes %s and %s do not broadcast" name
+         (Shape.to_string (Tensor.shape a))
+         (Shape.to_string (Tensor.shape b)))
+  | Some shape ->
+    let rank = Shape.rank shape in
+    let pad s = List.init (rank - Shape.rank s) (fun _ -> 1) @ s in
+    let sa = pad (Tensor.shape a) and sb = pad (Tensor.shape b) in
+    let a = Tensor.reshape a (Shape.of_list sa)
+    and b = Tensor.reshape b (Shape.of_list sb) in
+    Tensor.init shape (fun idx ->
+        let clip s = List.map2 (fun i d -> if d = 1 then 0 else i) idx s in
+        f (Tensor.get a (clip sa)) (Tensor.get b (clip sb)))
+
+let add a b = broadcast_op "add" ( +. ) a b
+let mul a b = broadcast_op "mul" ( *. ) a b
+let relu = Tensor.map (fun x -> Float.max 0. x)
+
+let gelu =
+  let c = sqrt (2. /. Float.pi) in
+  Tensor.map (fun x -> 0.5 *. x *. (1. +. tanh (c *. (x +. (0.044715 *. x *. x *. x)))))
+
+let silu = Tensor.map (fun x -> x /. (1. +. exp (-.x)))
+
+(* Apply [f row] to each contiguous slice along the last axis. *)
+let along_last_axis t f =
+  let shape = Tensor.shape t in
+  let d = Shape.dim shape (-1) in
+  let rows = Shape.numel shape / d in
+  let out = Tensor.zeros shape in
+  let src = Tensor.data t and dst = Tensor.data out in
+  let row = Array.make d 0. in
+  for r = 0 to rows - 1 do
+    Array.blit src (r * d) row 0 d;
+    let res = f row in
+    Array.blit res 0 dst (r * d) d
+  done;
+  out
+
+let softmax t =
+  along_last_axis t (fun row ->
+      let m = Array.fold_left Float.max neg_infinity row in
+      let exps = Array.map (fun x -> exp (x -. m)) row in
+      let s = Array.fold_left ( +. ) 0. exps in
+      Array.map (fun e -> e /. s) exps)
+
+let layernorm ?(eps = 1e-5) t ~gamma ~beta =
+  let d = Shape.dim (Tensor.shape t) (-1) in
+  if Tensor.numel gamma <> d || Tensor.numel beta <> d then
+    invalid_arg "Ops.layernorm: gamma/beta length mismatch";
+  let g = Tensor.data gamma and b = Tensor.data beta in
+  along_last_axis t (fun row ->
+      let mu = Array.fold_left ( +. ) 0. row /. float_of_int d in
+      let var =
+        Array.fold_left (fun acc x -> acc +. ((x -. mu) ** 2.)) 0. row
+        /. float_of_int d
+      in
+      let denom = sqrt (var +. eps) in
+      Array.mapi (fun i x -> ((x -. mu) /. denom *. g.(i)) +. b.(i)) row)
+
+let rmsnorm ?(eps = 1e-5) t ~gamma =
+  let d = Shape.dim (Tensor.shape t) (-1) in
+  if Tensor.numel gamma <> d then invalid_arg "Ops.rmsnorm: gamma length mismatch";
+  let g = Tensor.data gamma in
+  along_last_axis t (fun row ->
+      let ms = Array.fold_left (fun acc x -> acc +. (x *. x)) 0. row /. float_of_int d in
+      let denom = sqrt (ms +. eps) in
+      Array.mapi (fun i x -> x /. denom *. g.(i)) row)
+
+let transpose2d t =
+  match Tensor.shape t with
+  | [ m; n ] ->
+    Tensor.init (Shape.of_list [ n; m ]) (fun idx ->
+        match idx with
+        | [ j; i ] -> Tensor.get t [ i; j ]
+        | _ -> assert false)
+  | s -> invalid_arg ("Ops.transpose2d: expected rank 2, got " ^ Shape.to_string s)
+
+let permute t perm =
+  let shape = Tensor.shape t in
+  let r = Shape.rank shape in
+  if List.sort compare perm <> List.init r Fun.id then
+    invalid_arg "Ops.permute: not a permutation of axes";
+  let out_shape = Shape.of_list (List.map (fun i -> Shape.dim shape i) perm) in
+  Tensor.init out_shape (fun idx ->
+      let src = Array.make r 0 in
+      List.iteri (fun out_axis in_axis -> src.(in_axis) <- List.nth idx out_axis) perm;
+      Tensor.get t (Array.to_list src))
+
+let out_dim h k stride pad = ((h + (2 * pad) - k) / stride) + 1
+
+let im2col t ~kh ~kw ~stride ~pad =
+  match Tensor.shape t with
+  | [ n; c; h; w ] ->
+    let oh = out_dim h kh stride pad and ow = out_dim w kw stride pad in
+    let cols = c * kh * kw in
+    let out = Tensor.zeros (Shape.of_list [ n * oh * ow; cols ]) in
+    let src = Tensor.data t and dst = Tensor.data out in
+    let row = ref 0 in
+    for ni = 0 to n - 1 do
+      for oy = 0 to oh - 1 do
+        for ox = 0 to ow - 1 do
+          let base = !row * cols in
+          for ci = 0 to c - 1 do
+            for ky = 0 to kh - 1 do
+              for kx = 0 to kw - 1 do
+                let iy = (oy * stride) + ky - pad and ix = (ox * stride) + kx - pad in
+                let v =
+                  if iy < 0 || iy >= h || ix < 0 || ix >= w then 0.
+                  else src.((((ni * c) + ci) * h * w) + (iy * w) + ix)
+                in
+                dst.(base + (ci * kh * kw) + (ky * kw) + kx) <- v
+              done
+            done
+          done;
+          incr row
+        done
+      done
+    done;
+    out
+  | s -> invalid_arg ("Ops.im2col: expected NCHW, got " ^ Shape.to_string s)
+
+let conv2d_with ~matmul:mm t ~weight ?bias ~stride ~pad ?(groups = 1) () =
+  match (Tensor.shape t, Tensor.shape weight) with
+  | [ n; c; h; w ], [ oc; cg; kh; kw ] when c = cg * groups && oc mod groups = 0 ->
+    let oh = out_dim h kh stride pad and ow = out_dim w kw stride pad in
+    let ocg = oc / groups in
+    let out = Tensor.zeros (Shape.of_list [ n; oc; oh; ow ]) in
+    let dst = Tensor.data out in
+    for g = 0 to groups - 1 do
+      (* slice the input channels of this group *)
+      let sub =
+        Tensor.init (Shape.of_list [ n; cg; h; w ]) (fun idx ->
+            match idx with
+            | [ ni; ci; yi; xi ] -> Tensor.get t [ ni; (g * cg) + ci; yi; xi ]
+            | _ -> assert false)
+      in
+      let patches = im2col sub ~kh ~kw ~stride ~pad in
+      (* weight rows for this group: [ocg; cg*kh*kw] transposed to [cg*kh*kw; ocg] *)
+      let wmat =
+        Tensor.init (Shape.of_list [ cg * kh * kw; ocg ]) (fun idx ->
+            match idx with
+            | [ ki; oi ] ->
+              let ci = ki / (kh * kw) in
+              let rest = ki mod (kh * kw) in
+              Tensor.get weight [ (g * ocg) + oi; ci; rest / kw; rest mod kw ]
+            | _ -> assert false)
+      in
+      let res = mm patches wmat in
+      (* res is [n*oh*ow; ocg]; scatter back to NCHW *)
+      let rd = Tensor.data res in
+      for ni = 0 to n - 1 do
+        for oi = 0 to ocg - 1 do
+          for oy = 0 to oh - 1 do
+            for ox = 0 to ow - 1 do
+              let ridx = (((ni * oh) + oy) * ow) + ox in
+              dst.(((((ni * oc) + (g * ocg) + oi) * oh) + oy) * ow + ox) <-
+                rd.((ridx * ocg) + oi)
+            done
+          done
+        done
+      done
+    done;
+    let out =
+      match bias with
+      | None -> out
+      | Some b ->
+        if Tensor.numel b <> oc then invalid_arg "Ops.conv2d: bias length mismatch";
+        let bd = Tensor.data b in
+        Tensor.init (Shape.of_list [ n; oc; oh; ow ]) (fun idx ->
+            match idx with
+            | [ ni; ci; yi; xi ] -> Tensor.get out [ ni; ci; yi; xi ] +. bd.(ci)
+            | _ -> assert false)
+    in
+    out
+  | si, sw ->
+    invalid_arg
+      (Printf.sprintf "Ops.conv2d: incompatible shapes %s (w %s, groups %d)"
+         (Shape.to_string si) (Shape.to_string sw) groups)
+
+let conv2d t ~weight ?bias ~stride ~pad ?groups () =
+  conv2d_with ~matmul t ~weight ?bias ~stride ~pad ?groups ()
+
+let clip t ~lo ~hi =
+  if hi < lo then invalid_arg "Ops.clip: hi < lo";
+  Tensor.map (fun x -> Float.min hi (Float.max lo x)) t
+
+let maxpool2d t ~k ~stride ?(pad = 0) () =
+  match Tensor.shape t with
+  | [ n; c; h; w ] ->
+    let oh = out_dim h k stride pad and ow = out_dim w k stride pad in
+    Tensor.init (Shape.of_list [ n; c; oh; ow ]) (fun idx ->
+        match idx with
+        | [ ni; ci; oy; ox ] ->
+          let best = ref neg_infinity in
+          for ky = 0 to k - 1 do
+            for kx = 0 to k - 1 do
+              let iy = (oy * stride) + ky - pad and ix = (ox * stride) + kx - pad in
+              if iy >= 0 && iy < h && ix >= 0 && ix < w then
+                best := Float.max !best (Tensor.get t [ ni; ci; iy; ix ])
+            done
+          done;
+          !best
+        | _ -> assert false)
+  | s -> invalid_arg ("Ops.maxpool2d: expected NCHW, got " ^ Shape.to_string s)
+
+let avgpool2d t ~k ~stride ?(pad = 0) () =
+  match Tensor.shape t with
+  | [ n; c; h; w ] ->
+    let oh = out_dim h k stride pad and ow = out_dim w k stride pad in
+    Tensor.init (Shape.of_list [ n; c; oh; ow ]) (fun idx ->
+        match idx with
+        | [ ni; ci; oy; ox ] ->
+          let acc = ref 0. in
+          for ky = 0 to k - 1 do
+            for kx = 0 to k - 1 do
+              let iy = (oy * stride) + ky - pad and ix = (ox * stride) + kx - pad in
+              if iy >= 0 && iy < h && ix >= 0 && ix < w then
+                acc := !acc +. Tensor.get t [ ni; ci; iy; ix ]
+            done
+          done;
+          !acc /. float_of_int (k * k)
+        | _ -> assert false)
+  | s -> invalid_arg ("Ops.avgpool2d: expected NCHW, got " ^ Shape.to_string s)
+
+let avgpool_global t =
+  match Tensor.shape t with
+  | [ n; c; h; w ] ->
+    Tensor.init (Shape.of_list [ n; c ]) (fun idx ->
+        match idx with
+        | [ ni; ci ] ->
+          let s = ref 0. in
+          for yi = 0 to h - 1 do
+            for xi = 0 to w - 1 do
+              s := !s +. Tensor.get t [ ni; ci; yi; xi ]
+            done
+          done;
+          !s /. float_of_int (h * w)
+        | _ -> assert false)
+  | s -> invalid_arg ("Ops.avgpool_global: expected NCHW, got " ^ Shape.to_string s)
+
+let concat a b ~axis =
+  match Shape.concat_dim (Tensor.shape a) (Tensor.shape b) ~axis with
+  | None -> invalid_arg "Ops.concat: incompatible shapes"
+  | Some shape ->
+    let da = Shape.dim (Tensor.shape a) axis in
+    Tensor.init shape (fun idx ->
+        let i = List.nth idx axis in
+        if i < da then Tensor.get a idx
+        else Tensor.get b (List.mapi (fun ax j -> if ax = axis then j - da else j) idx))
+
+let attention ~q ~k ~v ?(causal = false) () =
+  match (Tensor.shape q, Tensor.shape k, Tensor.shape v) with
+  | [ m; d ], [ l; d' ], [ l'; d'' ] when d = d' && l = l' && d = d'' ->
+    let scores = matmul q (transpose2d k) in
+    let scale = 1. /. sqrt (float_of_int d) in
+    let scores = Tensor.map (fun x -> x *. scale) scores in
+    let scores =
+      if not causal then scores
+      else
+        Tensor.init (Shape.of_list [ m; l ]) (fun idx ->
+            match idx with
+            | [ i; j ] ->
+              (* query i corresponds to absolute position l - m + i *)
+              if j > l - m + i then neg_infinity else Tensor.get scores [ i; j ]
+            | _ -> assert false)
+    in
+    matmul (softmax scores) v
+  | _ -> invalid_arg "Ops.attention: expects q:[m;d] k:[l;d] v:[l;d]"

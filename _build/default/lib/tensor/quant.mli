@@ -1,0 +1,30 @@
+(** Symmetric int8 quantisation: the paper evaluates every model with 8-bit
+    weights and activations, and the CIM arrays compute on int8 operands with
+    wide accumulation. *)
+
+type qtensor = {
+  values : int array;  (** each in [-128, 127] *)
+  scale : float;       (** real = scale * value *)
+  shape : Shape.t;
+}
+
+val quantize : Tensor.t -> qtensor
+(** Symmetric per-tensor quantisation; scale = max|x| / 127 (scale 1.0 for an
+    all-zero tensor). *)
+
+val dequantize : qtensor -> Tensor.t
+
+val clamp_i8 : int -> int
+(** Saturate to [-128, 127]. *)
+
+val requantize : int array -> Shape.t -> in_scale:float -> qtensor
+(** Take int32 accumulator values with an effective input scale and produce a
+    fresh int8 tensor with a new per-tensor scale. *)
+
+val matmul : qtensor -> qtensor -> qtensor
+(** [matmul a b] for a:[m;k] b:[k;n] (2-d only), int32 accumulation then
+    requantisation — the arithmetic a CIM compute array performs. *)
+
+val quant_error : Tensor.t -> float
+(** Max |x - dequant(quant(x))| — used by property tests to bound the
+    round-trip error to one quantisation step. *)

@@ -1,0 +1,83 @@
+type t = int list
+
+let scalar = []
+
+let of_list dims =
+  List.iter
+    (fun d -> if d <= 0 then invalid_arg "Shape.of_list: non-positive dimension")
+    dims;
+  dims
+
+let numel s = List.fold_left ( * ) 1 s
+let rank = List.length
+let equal (a : t) (b : t) = a = b
+
+let to_string = function
+  | [] -> "scalar"
+  | dims -> String.concat "x" (List.map string_of_int dims)
+
+let dim s i =
+  let r = rank s in
+  let i = if i < 0 then r + i else i in
+  if i < 0 || i >= r then invalid_arg "Shape.dim: index out of bounds";
+  List.nth s i
+
+let strides s =
+  let dims = Array.of_list s in
+  let n = Array.length dims in
+  let st = Array.make n 1 in
+  for i = n - 2 downto 0 do
+    st.(i) <- st.(i + 1) * dims.(i + 1)
+  done;
+  st
+
+let ravel s idx =
+  let dims = Array.of_list s in
+  let st = strides s in
+  if List.length idx <> Array.length dims then
+    invalid_arg "Shape.ravel: rank mismatch";
+  let off = ref 0 in
+  List.iteri
+    (fun i j ->
+      if j < 0 || j >= dims.(i) then invalid_arg "Shape.ravel: index out of bounds";
+      off := !off + (j * st.(i)))
+    idx;
+  !off
+
+let unravel s off =
+  if off < 0 || off >= numel s then invalid_arg "Shape.unravel: offset out of bounds";
+  let st = strides s in
+  let rec go i off acc =
+    if i >= Array.length st then List.rev acc
+    else go (i + 1) (off mod st.(i)) ((off / st.(i)) :: acc)
+  in
+  go 0 off []
+
+let broadcast a b =
+  let ra = rank a and rb = rank b in
+  let r = max ra rb in
+  let padded s rs = List.init (r - rs) (fun _ -> 1) @ s in
+  let a = padded a ra and b = padded b rb in
+  let rec go a b acc =
+    match (a, b) with
+    | [], [] -> Some (List.rev acc)
+    | da :: a', db :: b' ->
+      if da = db then go a' b' (da :: acc)
+      else if da = 1 then go a' b' (db :: acc)
+      else if db = 1 then go a' b' (da :: acc)
+      else None
+    | _ -> None
+  in
+  go a b []
+
+let concat_dim a b ~axis =
+  if rank a <> rank b then None
+  else if axis < 0 || axis >= rank a then None
+  else
+    let ok =
+      List.for_all2 ( = )
+        (List.filteri (fun i _ -> i <> axis) a)
+        (List.filteri (fun i _ -> i <> axis) b)
+    in
+    if not ok then None
+    else Some (List.mapi (fun i d -> if i = axis then d + dim b axis else d) a)

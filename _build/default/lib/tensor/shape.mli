@@ -1,0 +1,37 @@
+(** Tensor shapes: immutable lists of positive dimensions. The empty shape
+    denotes a scalar. *)
+
+type t = int list
+
+val scalar : t
+val of_list : int list -> t
+(** Validates that every dimension is positive. *)
+
+val numel : t -> int
+(** Number of elements; [1] for the scalar shape. *)
+
+val rank : t -> int
+
+val equal : t -> t -> bool
+val to_string : t -> string
+(** e.g. [ [2; 3; 4] -> "2x3x4" ], scalar renders as ["scalar"]. *)
+
+val dim : t -> int -> int
+(** [dim s i] supports negative indices Python-style; raises
+    [Invalid_argument] when out of bounds. *)
+
+val strides : t -> int array
+(** Row-major strides. *)
+
+val ravel : t -> int list -> int
+(** Multi-index to flat offset; bounds-checked. *)
+
+val unravel : t -> int -> int list
+(** Flat offset to multi-index; bounds-checked. *)
+
+val broadcast : t -> t -> t option
+(** Numpy broadcasting of two shapes; [None] when incompatible. *)
+
+val concat_dim : t -> t -> axis:int -> t option
+(** Resulting shape of concatenation along [axis], or [None] when the other
+    dimensions disagree. *)

@@ -1,0 +1,17 @@
+let kib n = n * 1024
+let mib n = n * 1024 * 1024
+let gib n = n * 1024 * 1024 * 1024
+
+let to_string n =
+  let f = float_of_int n in
+  if n >= gib 1 then Printf.sprintf "%.2f GiB" (f /. float_of_int (gib 1))
+  else if n >= mib 1 then Printf.sprintf "%.2f MiB" (f /. float_of_int (mib 1))
+  else if n >= kib 1 then Printf.sprintf "%.2f KiB" (f /. float_of_int (kib 1))
+  else Printf.sprintf "%d B" n
+
+let of_bits bits = (bits + 7) / 8
+
+let ceil_div a b =
+  if b <= 0 then invalid_arg "Bytesize.ceil_div: non-positive divisor";
+  if a < 0 then invalid_arg "Bytesize.ceil_div: negative dividend";
+  (a + b - 1) / b

@@ -1,0 +1,15 @@
+(** Byte-size arithmetic and formatting used throughout the hardware
+    abstraction and cost model. All sizes are in bytes and non-negative. *)
+
+val kib : int -> int
+val mib : int -> int
+val gib : int -> int
+
+val to_string : int -> string
+(** Human-readable, e.g. [80 KiB], [6.7 GiB]. *)
+
+val of_bits : int -> int
+(** Round bits up to whole bytes. *)
+
+val ceil_div : int -> int -> int
+(** [ceil_div a b] = ceiling of a/b for positive [b], non-negative [a]. *)

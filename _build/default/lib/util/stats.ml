@@ -1,0 +1,58 @@
+let fail_empty name = invalid_arg (name ^ ": empty list")
+
+let mean = function
+  | [] -> fail_empty "Stats.mean"
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let geomean = function
+  | [] -> fail_empty "Stats.geomean"
+  | xs ->
+    let log_sum =
+      List.fold_left
+        (fun acc x ->
+          if x <= 0. then invalid_arg "Stats.geomean: non-positive value"
+          else acc +. log x)
+        0. xs
+    in
+    exp (log_sum /. float_of_int (List.length xs))
+
+let stdev = function
+  | [] -> fail_empty "Stats.stdev"
+  | [ _ ] -> 0.
+  | xs ->
+    let m = mean xs in
+    let sq_sum = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs in
+    sqrt (sq_sum /. float_of_int (List.length xs - 1))
+
+let minimum = function
+  | [] -> fail_empty "Stats.minimum"
+  | x :: xs -> List.fold_left min x xs
+
+let maximum = function
+  | [] -> fail_empty "Stats.maximum"
+  | x :: xs -> List.fold_left max x xs
+
+let percentile p xs =
+  if xs = [] then fail_empty "Stats.percentile";
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of [0,100]";
+  let sorted = List.sort compare xs in
+  let arr = Array.of_list sorted in
+  let n = Array.length arr in
+  if n = 1 then arr.(0)
+  else begin
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    arr.(lo) +. (frac *. (arr.(hi) -. arr.(lo)))
+  end
+
+let median xs = percentile 50. xs
+
+let normalize_to_max = function
+  | [] -> []
+  | xs ->
+    let m = maximum xs in
+    if m = 0. then xs else List.map (fun x -> x /. m) xs
+
+let ratio a b = if b = 0. then invalid_arg "Stats.ratio: zero denominator" else a /. b

@@ -1,0 +1,29 @@
+(** Small statistics toolkit used by the benchmark harness and reports. *)
+
+val mean : float list -> float
+(** Arithmetic mean. Raises [Invalid_argument] on the empty list. *)
+
+val geomean : float list -> float
+(** Geometric mean of strictly positive values. Raises [Invalid_argument] on
+    the empty list or if any value is [<= 0.]. *)
+
+val stdev : float list -> float
+(** Sample standard deviation (n-1 denominator); [0.] for singleton lists.
+    Raises [Invalid_argument] on the empty list. *)
+
+val minimum : float list -> float
+val maximum : float list -> float
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [0, 100], linear interpolation between
+    order statistics. Raises [Invalid_argument] on the empty list or if [p]
+    is out of range. *)
+
+val median : float list -> float
+
+val normalize_to_max : float list -> float list
+(** Scale so the maximum becomes [1.]; the empty list maps to itself, and an
+    all-zero list is returned unchanged. *)
+
+val ratio : float -> float -> float
+(** [ratio a b = a /. b], raising [Invalid_argument] when [b = 0.]. *)

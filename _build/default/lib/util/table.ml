@@ -1,0 +1,137 @@
+type align = Left | Right | Center
+
+type row = Cells of string list | Rule
+
+type t = {
+  title : string option;
+  headers : string list;
+  aligns : align list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ?title columns =
+  { title; headers = List.map fst columns; aligns = List.map snd columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Table.add_row: arity mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+    | Center ->
+      let left = (width - n) / 2 in
+      String.make left ' ' ^ s ^ String.make (width - n - left) ' '
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths = Array.of_list (List.map String.length t.headers) in
+  List.iter
+    (function
+      | Rule -> ()
+      | Cells cells ->
+        List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells)
+    rows;
+  let buf = Buffer.create 256 in
+  let line ch =
+    Array.iter (fun w -> Buffer.add_string buf ("+" ^ String.make (w + 2) ch)) widths;
+    Buffer.add_string buf "+\n"
+  in
+  let emit aligns cells =
+    List.iteri
+      (fun i c ->
+        let a = List.nth aligns i in
+        Buffer.add_string buf ("| " ^ pad a widths.(i) c ^ " "))
+      cells;
+    Buffer.add_string buf "|\n"
+  in
+  (match t.title with
+  | Some title -> Buffer.add_string buf (title ^ "\n")
+  | None -> ());
+  line '-';
+  emit (List.map (fun _ -> Center) t.headers) t.headers;
+  line '=';
+  List.iter
+    (function Rule -> line '-' | Cells cells -> emit t.aligns cells)
+    rows;
+  line '-';
+  Buffer.contents buf
+
+let csv_cell c =
+  let needs_quote =
+    String.exists (fun ch -> ch = ',' || ch = '"' || ch = '\n') c
+  in
+  if not needs_quote then c
+  else begin
+    let buf = Buffer.create (String.length c + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun ch ->
+        if ch = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf ch)
+      c;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let render_csv t =
+  let buf = Buffer.create 256 in
+  let emit cells =
+    Buffer.add_string buf (String.concat "," (List.map csv_cell cells));
+    Buffer.add_char buf '\n'
+  in
+  emit t.headers;
+  List.iter (function Rule -> () | Cells cells -> emit cells) (List.rev t.rows);
+  Buffer.contents buf
+
+let csv_dir = ref None
+let csv_counter = ref 0
+
+let set_csv_dir d = csv_dir := d
+
+let slug_of_title t =
+  match t.title with
+  | None ->
+    incr csv_counter;
+    Printf.sprintf "table_%d" !csv_counter
+  | Some title ->
+    let b = Buffer.create (String.length title) in
+    String.iter
+      (fun ch ->
+        if (ch >= 'a' && ch <= 'z') || (ch >= '0' && ch <= '9') then
+          Buffer.add_char b ch
+        else if ch >= 'A' && ch <= 'Z' then
+          Buffer.add_char b (Char.lowercase_ascii ch)
+        else if Buffer.length b > 0 && Buffer.nth b (Buffer.length b - 1) <> '-'
+        then Buffer.add_char b '-')
+      title;
+    let s = Buffer.contents b in
+    let s = if String.length s > 60 then String.sub s 0 60 else s in
+    if s = "" then (incr csv_counter; Printf.sprintf "table_%d" !csv_counter) else s
+
+let print t =
+  print_string (render t);
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+    let path = Filename.concat dir (slug_of_title t ^ ".csv") in
+    let oc = open_out path in
+    output_string oc (render_csv t);
+    close_out oc
+
+let cell_f ?(digits = 2) x = Printf.sprintf "%.*f" digits x
+let cell_speedup x = Printf.sprintf "%.2fx" x
+let cell_pct x = Printf.sprintf "%.1f%%" (100. *. x)
+
+let cell_si x =
+  let ax = Float.abs x in
+  if ax >= 1e9 then Printf.sprintf "%.2fG" (x /. 1e9)
+  else if ax >= 1e6 then Printf.sprintf "%.2fM" (x /. 1e6)
+  else if ax >= 1e3 then Printf.sprintf "%.2fk" (x /. 1e3)
+  else Printf.sprintf "%.2f" x

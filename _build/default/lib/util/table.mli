@@ -1,0 +1,42 @@
+(** Plain-text tabular reports, used by the benchmark harness to print the
+    paper's tables and figure series. *)
+
+type align = Left | Right | Center
+
+type t
+
+val create : ?title:string -> (string * align) list -> t
+(** [create ~title columns] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a row; raises [Invalid_argument] if the arity differs from the
+    header. *)
+
+val add_rule : t -> unit
+(** Append a horizontal separator. *)
+
+val render : t -> string
+(** Render with box-drawing-free ASCII suitable for log capture. *)
+
+val render_csv : t -> string
+(** Header + rows as RFC-4180-ish CSV (cells quoted when they contain a
+    comma, quote or newline); rules are omitted. *)
+
+val set_csv_dir : string option -> unit
+(** When set, every {!print} additionally writes the table as
+    [<dir>/<slug-of-title>.csv] (untitled tables get numbered slugs). The
+    directory must exist. Used by the benchmark harness's [--csv] flag. *)
+
+val print : t -> unit
+
+val cell_f : ?digits:int -> float -> string
+(** Fixed-point float formatting, default 2 digits. *)
+
+val cell_speedup : float -> string
+(** e.g. [1.31x]. *)
+
+val cell_pct : float -> string
+(** [0.125] renders as [12.5%]. *)
+
+val cell_si : float -> string
+(** Engineering notation: 1.2k, 3.4M, 5.6G ... *)

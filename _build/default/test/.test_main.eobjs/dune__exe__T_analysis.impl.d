@@ -1,0 +1,1 @@
+test/t_analysis.ml: Alcotest Cim_arch Cim_compiler Cim_models Lazy List Option Printf String

@@ -1,0 +1,1 @@
+test/t_arch.ml: Alcotest Cim_arch List QCheck QCheck_alcotest

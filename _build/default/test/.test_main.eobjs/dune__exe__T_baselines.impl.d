@@ -1,0 +1,1 @@
+test/t_baselines.ml: Alcotest Array Cim_arch Cim_baselines Cim_compiler Cim_models Lazy List Option Printf

@@ -1,0 +1,1 @@
+test/t_codegen.ml: Alcotest Cim_arch Cim_compiler Cim_metaop Cim_models Cim_nnir Cim_tensor Cim_util Hashtbl List String

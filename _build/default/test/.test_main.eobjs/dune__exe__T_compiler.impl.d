@@ -1,0 +1,1 @@
+test/t_compiler.ml: Alcotest Array Cim_arch Cim_compiler Cim_models Float Hashtbl Lazy List Option Printf

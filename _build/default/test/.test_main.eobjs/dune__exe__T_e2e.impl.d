@@ -1,0 +1,1 @@
+test/t_e2e.ml: Alcotest Cim_arch Cim_baselines Cim_compiler Cim_metaop Cim_models Cim_sim Cim_util Float List Option Printf

@@ -1,0 +1,1 @@
+test/t_extensions.ml: Alcotest Array Cim_arch Cim_baselines Cim_compiler Cim_metaop Cim_models Cim_nnir Cim_sim Cim_util Float Lazy List Option Printf String

@@ -1,0 +1,1 @@
+test/t_fuzz_e2e.ml: Array Cim_arch Cim_compiler Cim_metaop Cim_models Cim_sim Float List Printf QCheck QCheck_alcotest String

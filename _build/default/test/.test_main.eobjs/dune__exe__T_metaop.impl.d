@@ -1,0 +1,1 @@
+test/t_metaop.ml: Alcotest Cim_arch Cim_metaop List QCheck QCheck_alcotest

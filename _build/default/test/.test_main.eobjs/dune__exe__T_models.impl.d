@@ -1,0 +1,1 @@
+test/t_models.ml: Alcotest Cim_models Cim_nnir Float List Option Printf

@@ -1,0 +1,1 @@
+test/t_nnir.ml: Alcotest Cim_models Cim_nnir Cim_tensor Cim_util Hashtbl List Option Printf QCheck QCheck_alcotest

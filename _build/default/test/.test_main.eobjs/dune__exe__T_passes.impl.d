@@ -1,0 +1,1 @@
+test/t_passes.ml: Alcotest Cim_arch Cim_compiler Cim_models Cim_nnir Cim_sim Cim_tensor Cim_util List Option QCheck QCheck_alcotest

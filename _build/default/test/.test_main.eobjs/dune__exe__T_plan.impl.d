@@ -1,0 +1,1 @@
+test/t_plan.ml: Alcotest Cim_arch Cim_compiler Cim_models Format List Printf String

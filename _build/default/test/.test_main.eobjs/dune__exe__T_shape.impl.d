@@ -1,0 +1,1 @@
+test/t_shape.ml: Alcotest Array Cim_tensor QCheck QCheck_alcotest

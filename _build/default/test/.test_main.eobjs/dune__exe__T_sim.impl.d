@@ -1,0 +1,1 @@
+test/t_sim.ml: Alcotest Array Cim_arch Cim_compiler Cim_metaop Cim_models Cim_nnir Cim_sim Cim_tensor Cim_util Float List Printf

@@ -1,0 +1,1 @@
+test/t_solver.ml: Alcotest Array Cim_solver Float Gen List Printf QCheck QCheck_alcotest String

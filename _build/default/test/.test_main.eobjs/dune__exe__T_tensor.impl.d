@@ -1,0 +1,1 @@
+test/t_tensor.ml: Alcotest Array Cim_tensor Cim_util Float Gen List Printf QCheck QCheck_alcotest

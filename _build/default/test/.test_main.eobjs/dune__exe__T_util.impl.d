@@ -1,0 +1,1 @@
+test/t_util.ml: Alcotest Array Bytesize Cim_util Float Gen List Printf QCheck QCheck_alcotest Rng Stats String Table

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest T_analysis T_arch T_baselines T_codegen T_compiler T_e2e T_extensions T_fuzz_e2e T_metaop T_models T_nnir T_passes T_plan T_shape T_sim T_solver T_tensor T_util

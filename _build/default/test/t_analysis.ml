@@ -1,0 +1,95 @@
+(* Tests for the analysis/reporting helpers: roofline classification and
+   the Markdown compilation report. *)
+
+module Chip = Cim_arch.Chip
+module Config = Cim_arch.Config
+module Roofline = Cim_models.Roofline
+module Workload = Cim_models.Workload
+module Zoo = Cim_models.Zoo
+module Cmswitch = Cim_compiler.Cmswitch
+module Report = Cim_compiler.Report
+module Plan = Cim_compiler.Plan
+
+let chip = Config.dynaplasia
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_roofline_basics () =
+  let g = Cim_models.Mlp.build ~batch:1 ~dims:[ 512; 512 ] () in
+  let s = Roofline.analyze chip g in
+  Alcotest.(check (float 1e-6)) "peak"
+    (float_of_int chip.Chip.n_arrays *. chip.Chip.op_cim)
+    s.Roofline.peak;
+  Alcotest.(check (float 1e-6)) "ridge" (s.Roofline.peak /. Chip.d_main chip)
+    s.Roofline.ridge_ai;
+  (match s.Roofline.points with
+  | [ p ] ->
+    (* a batch-1 FC has AI ~ 1 << ridge: memory bound, attainable = AI * bw *)
+    Alcotest.(check bool) "memory bound" true (p.Roofline.bound = Roofline.Memory_bound);
+    Alcotest.(check (float 1e-6)) "attainable follows the slope"
+      (p.Roofline.ai *. Chip.d_main chip)
+      p.Roofline.attainable
+  | _ -> Alcotest.fail "expected one point");
+  Alcotest.(check (float 1e-9)) "all MACs memory-bound" 1. s.Roofline.memory_bound_macs
+
+let test_roofline_orderings () =
+  (* on the full 96-array chip the ridge AI (480) exceeds every operator's
+     AI — everything is memory-bound, which is precisely the dual-mode
+     opportunity. Use a smaller array budget so the ridge discriminates. *)
+  let small = Cim_arch.Config.scaled chip ~n_arrays:16 in
+  let share key w =
+    let g = (Option.get (Zoo.find key)).Zoo.build w in
+    (Roofline.analyze small g).Roofline.memory_bound_macs
+  in
+  let llama = share "llama2-7b" (Workload.decode ~batch:1 64) in
+  let resnet = share "resnet50" (Workload.prefill ~batch:1 1) in
+  Alcotest.(check bool)
+    (Printf.sprintf "LLaMA decode (%.2f) more memory-bound than ResNet (%.2f)" llama resnet)
+    true (llama > resnet);
+  Alcotest.(check bool) "LLaMA decode almost fully memory-bound" true (llama > 0.9)
+
+let test_roofline_attainable_capped () =
+  List.iter
+    (fun (p : Roofline.point) ->
+      Alcotest.(check bool) "attainable <= peak" true
+        (p.Roofline.attainable
+        <= (float_of_int chip.Chip.n_arrays *. chip.Chip.op_cim) +. 1e-9))
+    (Roofline.analyze chip (Cim_models.Cnn.resnet18 ~batch:1)).Roofline.points
+
+let compiled =
+  lazy (Cmswitch.compile chip (Cim_models.Mlp.build ~batch:1 ~dims:[ 512; 1024; 256 ] ()))
+
+let test_report_rows_match_schedule () =
+  let r = Lazy.force compiled in
+  let rows = Report.segment_rows r in
+  Alcotest.(check int) "one row per segment"
+    (List.length r.Cmswitch.schedule.Plan.segments)
+    (List.length rows);
+  List.iter2
+    (fun (_, _, com, mem, intra) (seg : Plan.seg_plan) ->
+      Alcotest.(check int) "compute" (Plan.com_total seg) com;
+      Alcotest.(check int) "memory" (Plan.mem_total seg) mem;
+      Alcotest.(check (float 0.)) "intra" seg.Plan.intra_cycles intra)
+    rows r.Cmswitch.schedule.Plan.segments
+
+let test_report_markdown () =
+  let r = Lazy.force compiled in
+  let md = Report.to_markdown r in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true (contains md needle))
+    [ "# CMSwitch compilation report"; "## Segments"; "## Mode switches";
+      "memory-mode ratio"; "MIP solves" ]
+
+let suite =
+  ( "analysis",
+    [
+      Alcotest.test_case "roofline basics" `Quick test_roofline_basics;
+      Alcotest.test_case "roofline orderings" `Quick test_roofline_orderings;
+      Alcotest.test_case "roofline attainable capped" `Quick test_roofline_attainable_capped;
+      Alcotest.test_case "report rows = schedule" `Quick test_report_rows_match_schedule;
+      Alcotest.test_case "report markdown sections" `Quick test_report_markdown;
+    ] )

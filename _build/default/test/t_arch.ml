@@ -1,0 +1,127 @@
+(* Tests for the hardware abstraction (DEHA) and cost-model primitives. *)
+
+module Chip = Cim_arch.Chip
+module Config = Cim_arch.Config
+module Cost = Cim_arch.Cost
+module Mode = Cim_arch.Mode
+
+let chip = Config.dynaplasia
+
+let test_mode () =
+  Alcotest.(check string) "tom" "TOM" (Mode.transition_to_string Mode.To_memory);
+  Alcotest.(check string) "toc" "TOC" (Mode.transition_to_string Mode.To_compute);
+  Alcotest.(check bool) "no-op transition" true
+    (Mode.transition ~from:Mode.Memory ~to_:Mode.Memory = None);
+  (match Mode.transition ~from:Mode.Memory ~to_:Mode.Compute with
+  | Some t -> Alcotest.(check bool) "apply" true (Mode.apply t = Mode.Compute)
+  | None -> Alcotest.fail "expected a transition")
+
+let test_presets_valid () =
+  List.iter
+    (fun (_, c) -> ignore (Chip.validate c))
+    Config.presets;
+  Alcotest.(check int) "dynaplasia arrays (Table 2)" 96 chip.Chip.n_arrays;
+  Alcotest.(check int) "array size" 320 chip.Chip.rows;
+  Alcotest.(check int) "buffer 80 KiB" (80 * 1024) chip.Chip.buffer_bytes;
+  Alcotest.(check (float 0.)) "1-cycle switch" 1. chip.Chip.l_m2c
+
+let test_validation_failures () =
+  let expect name f =
+    match f () with
+    | exception Chip.Invalid_config _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_config" name
+  in
+  expect "zero arrays" (fun () -> Chip.validate { chip with Chip.n_arrays = 0 });
+  expect "negative bandwidth" (fun () ->
+      Chip.validate { chip with Chip.extern_bw = -1. });
+  expect "cell/weight mismatch" (fun () ->
+      Chip.validate { chip with Chip.cols = 321 });
+  expect "grid too wide" (fun () ->
+      Chip.validate { chip with Chip.grid_cols = 97 })
+
+let test_derived () =
+  Alcotest.(check (float 0.)) "d_main" 320. (Chip.d_main chip);
+  Alcotest.(check int) "weight cols" 40 (Chip.weight_cols chip);
+  Alcotest.(check int) "weights per array" (320 * 40) (Chip.array_weight_capacity chip);
+  Alcotest.(check int) "scratchpad bytes" (320 * 320 / 8) (Chip.array_mem_bytes chip);
+  Alcotest.(check int) "chip capacity" (96 * 320 * 40) (Chip.chip_weight_capacity chip);
+  Alcotest.(check (float 0.)) "cycles to us" 2. (Chip.cycles_to_us chip 2000.)
+
+let test_coords () =
+  let c0 = Chip.coord_of_index chip 0 in
+  Alcotest.(check bool) "origin" true (c0.Chip.x = 0 && c0.Chip.y = 0);
+  Alcotest.(check int) "all coords" 96 (List.length (Chip.all_coords chip));
+  match Chip.coord_of_index chip 96 with
+  | exception Chip.Invalid_config _ -> ()
+  | _ -> Alcotest.fail "expected out-of-range"
+
+let prop_coord_roundtrip =
+  QCheck.Test.make ~name:"coord index round-trip" ~count:200
+    QCheck.(int_bound (chip.Chip.n_arrays - 1))
+    (fun i -> Chip.index_of_coord chip (Chip.coord_of_index chip i) = i)
+
+let test_cost_op_latency () =
+  (* compute-bound: 1 array at OP_cim = 1600 MAC/cy over 16000 MACs *)
+  Alcotest.(check (float 1e-9)) "compute bound" 10.
+    (Cost.op_latency chip ~ops:16000. ~ai:1e9 ~com:1 ~mem:0);
+  (* memory-bound: ai 1, no memory arrays -> rate = d_main = 320 *)
+  Alcotest.(check (float 1e-9)) "memory bound" 100.
+    (Cost.op_latency chip ~ops:32000. ~ai:1. ~com:96 ~mem:0);
+  (* memory arrays raise the memory-side rate: (1*40 + 320) * 1 = 360 *)
+  Alcotest.(check (float 1e-6)) "one memory array" (32000. /. 360.)
+    (Cost.op_latency chip ~ops:32000. ~ai:1. ~com:96 ~mem:1);
+  Alcotest.(check (float 0.)) "zero work" 0.
+    (Cost.op_latency chip ~ops:0. ~ai:0. ~com:0 ~mem:0);
+  Alcotest.(check bool) "no compute arrays -> infinite" true
+    (Cost.op_latency chip ~ops:1. ~ai:1e9 ~com:0 ~mem:0 = infinity)
+
+let test_cost_other () =
+  Alcotest.(check (float 0.)) "switch (Eq. 1)" 7.
+    (Cost.switch_latency chip ~m2c:3 ~c2m:4);
+  Alcotest.(check (float 0.)) "rewrite (Eq. 2)" (16. *. 5.)
+    (Cost.weight_rewrite_latency chip ~max_com:5);
+  Alcotest.(check (float 0.)) "writeback" 10. (Cost.writeback_latency chip ~bytes:640);
+  Alcotest.(check (float 0.)) "dma" 10. (Cost.dma_load_latency chip ~bytes:640);
+  Alcotest.check_raises "negative switch count"
+    (Invalid_argument "Cost.switch_latency: negative count") (fun () ->
+      ignore (Cost.switch_latency chip ~m2c:(-1) ~c2m:0))
+
+let prop_latency_monotonic_in_mem =
+  QCheck.Test.make ~name:"latency non-increasing in memory arrays" ~count:200
+    QCheck.(triple (int_range 1 96) (int_range 0 95) (float_range 0.1 100.))
+    (fun (com, mem, ai) ->
+      let ops = 1e6 in
+      Cost.op_latency chip ~ops ~ai ~com ~mem:(mem + 1)
+      <= Cost.op_latency chip ~ops ~ai ~com ~mem +. 1e-9)
+
+let prop_latency_monotonic_in_com =
+  QCheck.Test.make ~name:"latency non-increasing in compute arrays" ~count:200
+    QCheck.(triple (int_range 1 95) (int_range 0 96) (float_range 0.1 100.))
+    (fun (com, mem, ai) ->
+      let ops = 1e6 in
+      Cost.op_latency chip ~ops ~ai ~com:(com + 1) ~mem
+      <= Cost.op_latency chip ~ops ~ai ~com ~mem +. 1e-9)
+
+let test_scaled () =
+  let c = Config.scaled chip ~n_arrays:100 in
+  Alcotest.(check int) "scaled arrays" 100 c.Chip.n_arrays;
+  Alcotest.(check bool) "same rates" true (c.Chip.op_cim = chip.Chip.op_cim);
+  Alcotest.(check int) "coords cover" 100 (List.length (Chip.all_coords c))
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let suite =
+  ( "arch",
+    [
+      Alcotest.test_case "modes" `Quick test_mode;
+      Alcotest.test_case "presets valid" `Quick test_presets_valid;
+      Alcotest.test_case "validation failures" `Quick test_validation_failures;
+      Alcotest.test_case "derived quantities" `Quick test_derived;
+      Alcotest.test_case "coordinates" `Quick test_coords;
+      qtest prop_coord_roundtrip;
+      Alcotest.test_case "op latency (Eq. 10)" `Quick test_cost_op_latency;
+      Alcotest.test_case "switch/rewrite/dma costs" `Quick test_cost_other;
+      qtest prop_latency_monotonic_in_mem;
+      qtest prop_latency_monotonic_in_com;
+      Alcotest.test_case "scaled preset" `Quick test_scaled;
+    ] )

@@ -1,0 +1,141 @@
+(* Tests for the baseline compilers: greedy segmentation packing, PUMA's
+   proportional duplication, OCC's serial latency, and their all-compute
+   discipline. *)
+
+module Chip = Cim_arch.Chip
+module Config = Cim_arch.Config
+module Workload = Cim_models.Workload
+module Zoo = Cim_models.Zoo
+module Opinfo = Cim_compiler.Opinfo
+module Alloc = Cim_compiler.Alloc
+module Plan = Cim_compiler.Plan
+module Baseline = Cim_baselines.Baseline
+
+let chip = Config.dynaplasia
+
+let graph = lazy (Cim_models.Mlp.build ~batch:1 ~dims:[ 512; 1024; 1024; 512; 256 ] ())
+
+let schedule which = Baseline.compile which chip (Lazy.force graph)
+
+let test_names () =
+  Alcotest.(check string) "occ" "OCC" (Baseline.name Baseline.Occ);
+  Alcotest.(check string) "puma" "PUMA" (Baseline.name Baseline.Puma);
+  Alcotest.(check string) "mlc" "CIM-MLC" (Baseline.name Baseline.Cim_mlc)
+
+let test_all_compute_discipline () =
+  List.iter
+    (fun which ->
+      let s = schedule which in
+      List.iter
+        (fun (seg : Plan.seg_plan) ->
+          Alcotest.(check int)
+            (Baseline.name which ^ " allocates no memory arrays")
+            0 (Plan.mem_total seg))
+        s.Plan.segments)
+    [ Baseline.Occ; Baseline.Puma; Baseline.Cim_mlc ]
+
+let test_segments_tile_ops () =
+  let ops = Opinfo.extract chip (Lazy.force graph) in
+  List.iter
+    (fun which ->
+      let s = schedule which in
+      let next = ref 0 in
+      List.iter
+        (fun (seg : Plan.seg_plan) ->
+          Alcotest.(check int) "contiguous" !next seg.Plan.lo;
+          next := seg.Plan.hi + 1)
+        s.Plan.segments;
+      Alcotest.(check int) "covers all ops" (Array.length ops) !next)
+    [ Baseline.Occ; Baseline.Puma; Baseline.Cim_mlc ]
+
+let test_greedy_packing_respects_capacity () =
+  List.iter
+    (fun which ->
+      let s = schedule which in
+      List.iter
+        (fun (seg : Plan.seg_plan) ->
+          Alcotest.(check bool) "within chip" true
+            (Plan.arrays_used seg <= chip.Chip.n_arrays))
+        s.Plan.segments)
+    [ Baseline.Occ; Baseline.Puma ]
+
+let test_occ_serial_vs_puma_pipeline () =
+  (* same segmentation, but OCC serialises operators while PUMA pipelines
+     and duplicates: within every shared segment OCC's intra is at least
+     the max-op latency and PUMA's equals its own allocation's max *)
+  let ops = Opinfo.extract chip (Lazy.force graph) in
+  let occ = schedule Baseline.Occ and puma = schedule Baseline.Puma in
+  Alcotest.(check int) "same greedy segment count"
+    (List.length occ.Plan.segments)
+    (List.length puma.Plan.segments);
+  List.iter2
+    (fun (so : Plan.seg_plan) (sp : Plan.seg_plan) ->
+      (* serial sum >= pipelined max under identical minimum allocations *)
+      Alcotest.(check bool) "OCC intra >= PUMA intra" true
+        (so.Plan.intra_cycles >= sp.Plan.intra_cycles -. 1e-9);
+      (* OCC's intra is exactly the sum of its per-op latencies *)
+      let sum =
+        List.fold_left
+          (fun acc (a : Plan.op_alloc) ->
+            acc +. Alloc.op_latency chip ops.(a.Plan.uid) a)
+          0. so.Plan.allocs
+      in
+      Alcotest.(check (float 1e-6)) "OCC serial sum" sum so.Plan.intra_cycles)
+    occ.Plan.segments puma.Plan.segments
+
+let test_puma_duplication_uses_spare_arrays () =
+  let ops = Opinfo.extract chip (Lazy.force graph) in
+  let puma = schedule Baseline.Puma in
+  (* at least one operator gets more than its minimum (spare arrays exist) *)
+  let duplicated =
+    List.exists
+      (fun (seg : Plan.seg_plan) ->
+        List.exists
+          (fun (a : Plan.op_alloc) ->
+            a.Plan.com > ops.(a.Plan.uid).Opinfo.min_compute_arrays)
+          seg.Plan.allocs)
+      puma.Plan.segments
+  in
+  Alcotest.(check bool) "duplication happened" true duplicated;
+  (* and OCC never duplicates *)
+  let occ = schedule Baseline.Occ in
+  List.iter
+    (fun (seg : Plan.seg_plan) ->
+      List.iter
+        (fun (a : Plan.op_alloc) ->
+          Alcotest.(check int) "OCC at minimum"
+            ops.(a.Plan.uid).Opinfo.min_compute_arrays a.Plan.com)
+        seg.Plan.allocs)
+    occ.Plan.segments
+
+let test_compile_model_agrees_with_compile () =
+  (* for a CNN (no block reuse) compile_model = compile on the whole graph *)
+  let e = Option.get (Zoo.find "mobilenetv2") in
+  let w = Workload.prefill ~batch:1 1 in
+  let via_model = Baseline.compile_model Baseline.Occ chip e w in
+  let direct = (Baseline.compile Baseline.Occ chip (e.Zoo.build w)).Plan.total_cycles in
+  Alcotest.(check (float 1e-6)) "consistent paths" direct via_model
+
+let test_ordering_on_bandwidth_bound_work () =
+  (* decode-style MLP: the ordering the paper's Fig. 14 rests on *)
+  let g = Cim_models.Mlp.build ~batch:1 ~dims:[ 2048; 2048; 2048 ] () in
+  let occ = (Baseline.compile Baseline.Occ chip g).Plan.total_cycles in
+  let puma = (Baseline.compile Baseline.Puma chip g).Plan.total_cycles in
+  let mlc = (Baseline.compile Baseline.Cim_mlc chip g).Plan.total_cycles in
+  Alcotest.(check bool)
+    (Printf.sprintf "OCC (%.0f) >= PUMA (%.0f) >= CIM-MLC (%.0f)" occ puma mlc)
+    true
+    (occ >= puma -. 1e-6 && puma >= mlc -. 1e-6)
+
+let suite =
+  ( "baselines",
+    [
+      Alcotest.test_case "names" `Quick test_names;
+      Alcotest.test_case "all-compute discipline" `Quick test_all_compute_discipline;
+      Alcotest.test_case "segments tile operators" `Quick test_segments_tile_ops;
+      Alcotest.test_case "greedy packing capacity" `Quick test_greedy_packing_respects_capacity;
+      Alcotest.test_case "OCC serial vs PUMA pipeline" `Quick test_occ_serial_vs_puma_pipeline;
+      Alcotest.test_case "PUMA duplication" `Quick test_puma_duplication_uses_spare_arrays;
+      Alcotest.test_case "compile_model consistency" `Quick test_compile_model_agrees_with_compile;
+      Alcotest.test_case "bandwidth-bound ordering" `Quick test_ordering_on_bandwidth_bound_work;
+    ] )

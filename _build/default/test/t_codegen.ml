@@ -1,0 +1,167 @@
+(* Tests for meta-operator code generation: program structure (switches
+   before each segment, one parallel block per segment), vector-operator
+   anchoring inside segments, load/store locations, and final stores. *)
+
+module Chip = Cim_arch.Chip
+module Config = Cim_arch.Config
+module Flow = Cim_metaop.Flow
+module Cmswitch = Cim_compiler.Cmswitch
+module Graph = Cim_nnir.Graph
+module Op = Cim_nnir.Op
+module Rng = Cim_util.Rng
+
+let chip = Config.dynaplasia
+
+let compile g = (Cmswitch.compile chip g).Cmswitch.program
+
+let rec flatten (i : Flow.instr) =
+  match i with Flow.Parallel is -> List.concat_map flatten is | i -> [ i ]
+
+let all_instrs p = List.concat_map flatten p.Flow.instrs
+
+let test_structure () =
+  let g = Cim_models.Mlp.build ~batch:1 ~dims:[ 512; 1024; 256 ] () in
+  let r = Cmswitch.compile chip g in
+  let p = r.Cmswitch.program in
+  (* exactly one parallel block per placed segment *)
+  let blocks =
+    List.filter (function Flow.Parallel _ -> true | _ -> false) p.Flow.instrs
+  in
+  Alcotest.(check int) "one block per segment"
+    (List.length r.Cmswitch.places)
+    (List.length blocks);
+  (* switches only appear at top level (between segments) *)
+  List.iter
+    (function
+      | Flow.Parallel is ->
+        List.iter
+          (function
+            | Flow.Switch _ -> Alcotest.fail "switch inside a segment block"
+            | _ -> ())
+          is
+      | _ -> ())
+    p.Flow.instrs
+
+let test_compute_follows_write () =
+  (* within a block, every Compute is preceded by a Write_weights for the
+     same sub-operator (same label) *)
+  let g = Cim_models.Mlp.build ~batch:1 ~dims:[ 512; 3000 ] () in
+  let p = compile g in
+  List.iter
+    (function
+      | Flow.Parallel is ->
+        let seen = Hashtbl.create 8 in
+        List.iter
+          (function
+            | Flow.Write_weights { label; _ } -> Hashtbl.replace seen label ()
+            | Flow.Compute { label; _ } ->
+              Alcotest.(check bool) ("write precedes compute: " ^ label) true
+                (Hashtbl.mem seen label)
+            | _ -> ())
+          is
+      | _ -> ())
+    p.Flow.instrs
+
+let test_vector_anchoring () =
+  (* relu between two gemms lands between their compute instructions *)
+  let g = Cim_models.Mlp.build ~batch:1 ~dims:[ 64; 64; 64 ] () in
+  let p = compile g in
+  let seq = all_instrs p in
+  let index_of f =
+    let rec go i = function
+      | [] -> -1
+      | x :: rest -> if f x then i else go (i + 1) rest
+    in
+    go 0 seq
+  in
+  let first_compute =
+    index_of (function Flow.Compute { node_id; _ } -> node_id = 0 | _ -> false)
+  in
+  let relu =
+    index_of (function Flow.Vector_op { node_id; _ } -> node_id = 1 | _ -> false)
+  in
+  let second_compute =
+    index_of (function Flow.Compute { node_id; _ } -> node_id = 2 | _ -> false)
+  in
+  Alcotest.(check bool) "all present" true
+    (first_compute >= 0 && relu >= 0 && second_compute >= 0);
+  Alcotest.(check bool) "relu between the gemms" true
+    (first_compute < relu && relu < second_compute)
+
+let test_loads_target_memory_arrays_when_allocated () =
+  let g = Cim_models.Mlp.build ~batch:1 ~dims:[ 1024; 1024 ] () in
+  let r = Cmswitch.compile chip g in
+  let has_mem =
+    List.exists
+      (fun (sp : Cim_compiler.Placement.seg_place) ->
+        List.exists
+          (fun (op : Cim_compiler.Placement.op_place) ->
+            op.Cim_compiler.Placement.mem_in <> [])
+          sp.Cim_compiler.Placement.ops)
+      r.Cmswitch.places
+  in
+  if has_mem then begin
+    let found =
+      List.exists
+        (function
+          | Flow.Load { dst = Flow.Mem_arrays _; _ } -> true
+          | _ -> false)
+        (all_instrs r.Cmswitch.program)
+    in
+    Alcotest.(check bool) "loads stage into memory arrays" true found
+  end
+
+let test_final_stores () =
+  let g = Cim_models.Mlp.build ~batch:1 ~dims:[ 64; 32 ] () in
+  let p = compile g in
+  (* the program ends with a store of each graph output to main memory *)
+  match List.rev p.Flow.instrs with
+  | Flow.Store { tensor; dst = Flow.Main_memory; _ } :: _ ->
+    Alcotest.(check bool) "stores a graph output" true
+      (String.length tensor > 0)
+  | _ -> Alcotest.fail "expected a trailing store of the graph output"
+
+let test_preamble_vector_ops () =
+  (* a vector op with no CIM ancestor (input reshape) runs before any
+     segment *)
+  let module B = Cim_nnir.Builder in
+  let b = B.create "pre" in
+  let x = B.input b "x" (Cim_tensor.Shape.of_list [ 4; 16 ]) in
+  let flat = B.reshape b x [ 2; 32 ] in
+  let out = B.linear ~bias:false b flat ~in_dim:32 ~out_dim:8 ~prefix:"fc" in
+  let g = B.finish b ~outputs:[ out ] in
+  let p = compile g in
+  match p.Flow.instrs with
+  | Flow.Vector_op { node_id = 0; _ } :: _ -> ()
+  | _ -> Alcotest.fail "expected the reshape in the preamble"
+
+let test_slices_partition_output () =
+  let g = Cim_models.Mlp.build ~batch:1 ~dims:[ 256; 5000 ] () in
+  let p = compile g in
+  let slices =
+    List.filter_map
+      (function
+        | Flow.Compute { node_id = 0; slice; _ } -> Some (slice.Flow.lo, slice.Flow.hi)
+        | _ -> None)
+      (all_instrs p)
+  in
+  Alcotest.(check bool) "multiple slices" true (List.length slices > 1);
+  let sorted = List.sort compare slices in
+  let covered =
+    List.fold_left
+      (fun pos (lo, hi) -> if lo = pos then hi else -1000000)
+      0 sorted
+  in
+  Alcotest.(check int) "contiguous cover of 5000 columns" 5000 covered
+
+let suite =
+  ( "codegen",
+    [
+      Alcotest.test_case "program structure" `Quick test_structure;
+      Alcotest.test_case "write precedes compute" `Quick test_compute_follows_write;
+      Alcotest.test_case "vector anchoring" `Quick test_vector_anchoring;
+      Alcotest.test_case "loads into memory arrays" `Quick test_loads_target_memory_arrays_when_allocated;
+      Alcotest.test_case "final stores" `Quick test_final_stores;
+      Alcotest.test_case "preamble vector ops" `Quick test_preamble_vector_ops;
+      Alcotest.test_case "slices partition the output" `Quick test_slices_partition_output;
+    ] )

@@ -1,0 +1,164 @@
+(* Tests for the meta-operator flow: validation of Fig. 13 programs,
+   pretty-printer/parser round-trip (including on random programs), and
+   switch accounting. *)
+
+module Flow = Cim_metaop.Flow
+module Parse = Cim_metaop.Parse
+module Chip = Cim_arch.Chip
+module Mode = Cim_arch.Mode
+
+let chip = Cim_arch.Config.dynaplasia
+let c x y = { Chip.x; y }
+let sl lo hi = { Flow.lo; hi }
+
+let prog instrs = { Flow.source = "test"; instrs }
+
+let compute ?(arrays = [ c 0 0 ]) ?(mem = []) ?(slice = sl 0 4) () =
+  Flow.Compute
+    { label = "op"; node_id = 0; arrays; mem_arrays = mem; inputs = [ "x" ];
+      output = "y"; slice; macs = 100.; ai = 2. }
+
+let test_validate_ok () =
+  let p =
+    prog
+      [
+        Flow.Switch { target = Mode.To_compute; arrays = [ c 0 0 ] };
+        Flow.Parallel
+          [
+            Flow.Write_weights
+              { label = "op"; node_id = 0; arrays = [ c 0 0 ]; slice = sl 0 4;
+                bytes = 16; in_place = false };
+            Flow.Load { tensor = "x"; src = Flow.Main_memory; dst = Flow.Buffer; bytes = 4 };
+            compute ();
+            Flow.Store { tensor = "y"; src = Flow.Buffer; dst = Flow.Main_memory; bytes = 4 };
+            Flow.Vector_op { label = "relu"; node_id = 1; inputs = [ "y" ]; output = "z" };
+          ];
+      ]
+  in
+  Alcotest.(check bool) "valid" true (Flow.validate chip p = Ok ())
+
+let expect_invalid name p =
+  match Flow.validate chip p with
+  | Error _ -> ()
+  | Ok () -> Alcotest.failf "%s: expected validation failure" name
+
+let test_validate_failures () =
+  expect_invalid "coord out of range" (prog [ compute ~arrays:[ c 50 50 ] () ]);
+  expect_invalid "both modes in one op"
+    (prog [ compute ~arrays:[ c 0 0 ] ~mem:[ c 0 0 ] () ]);
+  expect_invalid "both modes in one segment"
+    (prog
+       [ Flow.Parallel
+           [ compute ~arrays:[ c 0 0 ] ();
+             compute ~arrays:[ c 1 0 ] ~mem:[ c 0 0 ] () ] ]);
+  expect_invalid "nested parallel" (prog [ Flow.Parallel [ Flow.Parallel [] ] ]);
+  expect_invalid "malformed slice" (prog [ compute ~slice:(sl 4 4) () ]);
+  expect_invalid "negative bytes"
+    (prog [ Flow.Load { tensor = "x"; src = Flow.Main_memory; dst = Flow.Buffer; bytes = -1 } ])
+
+let test_switch_accounting () =
+  let p =
+    prog
+      [
+        Flow.Switch { target = Mode.To_compute; arrays = [ c 0 0; c 1 0 ] };
+        Flow.Parallel [ Flow.Switch { target = Mode.To_memory; arrays = [ c 2 0 ] } ];
+      ]
+  in
+  Alcotest.(check int) "count" 3 (Flow.count_switches p);
+  let kinds = List.map fst (Flow.switched_arrays p) in
+  Alcotest.(check int) "toc count" 2
+    (List.length (List.filter (fun k -> k = Mode.To_compute) kinds))
+
+let test_roundtrip_manual () =
+  let p =
+    prog
+      [
+        Flow.Switch { target = Mode.To_memory; arrays = [ c 3 4 ] };
+        Flow.Parallel
+          [
+            Flow.Write_weights
+              { label = "fc[0:40)"; node_id = 7; arrays = [ c 0 0; c 1 1 ];
+                slice = sl 0 40; bytes = 12800; in_place = true };
+            Flow.Load
+              { tensor = "act"; src = Flow.Main_memory;
+                dst = Flow.Mem_arrays [ c 3 4 ]; bytes = 1024 };
+            Flow.Compute
+              { label = "fc[0:40)"; node_id = 7; arrays = [ c 0 0; c 1 1 ];
+                mem_arrays = [ c 3 4 ]; inputs = [ "act" ]; output = "out";
+                slice = sl 0 40; macs = 1234.5; ai = 0.75 };
+            Flow.Store
+              { tensor = "out"; src = Flow.Mem_arrays [ c 3 4 ];
+                dst = Flow.Main_memory; bytes = 40 };
+            Flow.Vector_op { label = "softmax"; node_id = 8; inputs = [ "out" ]; output = "p" };
+          ];
+      ]
+  in
+  Alcotest.(check bool) "roundtrip equal" true
+    (Parse.program_of_string (Flow.to_string p) = p)
+
+let test_parse_errors () =
+  let bad s =
+    match Parse.program_of_string s with
+    | exception Parse.Error _ -> ()
+    | _ -> Alcotest.failf "expected parse error: %s" s
+  in
+  bad "";
+  bad "flow \"x\" CM.switch(SIDEWAYS, [(0,0)])";
+  bad "flow \"x\" BOGUS.op(1)";
+  bad "flow \"x\" CM.switch(TOM, [(0,0)"
+
+(* random programs built from a tiny combinator grammar *)
+let gen_coord = QCheck.Gen.(map2 (fun x y -> { Chip.x; y }) (int_range 0 9) (int_range 0 7))
+
+let gen_leaf =
+  QCheck.Gen.(
+    frequency
+      [
+        ( 2,
+          map2
+            (fun t arrays -> Flow.Switch { target = t; arrays })
+            (oneofl [ Mode.To_compute; Mode.To_memory ])
+            (list_size (int_range 1 4) gen_coord) );
+        ( 3,
+          map2
+            (fun arrays (lo, w) ->
+              Flow.Compute
+                { label = "k"; node_id = 1; arrays; mem_arrays = [];
+                  inputs = [ "a"; "b" ]; output = "o"; slice = sl lo (lo + w + 1);
+                  macs = 42.; ai = 1.5 })
+            (list_size (int_range 1 3) gen_coord)
+            (pair (int_range 0 10) (int_range 0 10)) );
+        ( 2,
+          map
+            (fun bytes ->
+              Flow.Load { tensor = "t"; src = Flow.Main_memory; dst = Flow.Buffer; bytes })
+            (int_range 0 10000) );
+        ( 1,
+          map
+            (fun out -> Flow.Vector_op { label = "v"; node_id = 2; inputs = [ "o" ]; output = out })
+            (oneofl [ "z"; "w" ]) );
+      ])
+
+let gen_program =
+  QCheck.Gen.(
+    map
+      (fun leaves -> prog [ Flow.Parallel leaves ])
+      (list_size (int_range 1 8) gen_leaf))
+
+let prop_roundtrip_random =
+  QCheck.Test.make ~name:"parse . print = id on random programs" ~count:200
+    (QCheck.make gen_program)
+    (fun p -> Parse.program_of_string (Flow.to_string p) = p)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let suite =
+  ( "metaop",
+    [
+      Alcotest.test_case "validate accepts good program" `Quick test_validate_ok;
+      Alcotest.test_case "validate rejects bad programs" `Quick test_validate_failures;
+      Alcotest.test_case "switch accounting" `Quick test_switch_accounting;
+      Alcotest.test_case "round-trip manual program" `Quick test_roundtrip_manual;
+      Alcotest.test_case "parse errors" `Quick test_parse_errors;
+      qtest prop_roundtrip_random;
+    ] )

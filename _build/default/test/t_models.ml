@@ -1,0 +1,158 @@
+(* Tests for the model zoo and arithmetic-intensity analysis: the facts the
+   paper's motivation section relies on (parameter counts, AI orderings)
+   must hold in our builders. *)
+
+module Zoo = Cim_models.Zoo
+module Workload = Cim_models.Workload
+module Transformer = Cim_models.Transformer
+module Intensity = Cim_models.Intensity
+module Graph = Cim_nnir.Graph
+module Shape_infer = Cim_nnir.Shape_infer
+
+let test_workload () =
+  let p = Workload.prefill ~batch:2 64 in
+  Alcotest.(check int) "prefill tokens" 64 (Workload.tokens_this_step p);
+  Alcotest.(check int) "prefill ctx" 64 (Workload.context_len p);
+  let d = Workload.decode ~batch:2 100 in
+  Alcotest.(check int) "decode tokens" 1 (Workload.tokens_this_step d);
+  Alcotest.(check int) "decode ctx" 101 (Workload.context_len d);
+  Alcotest.check_raises "bad seq"
+    (Invalid_argument "Workload.prefill: seq must be positive") (fun () ->
+      ignore (Workload.prefill 0));
+  Alcotest.check_raises "bad kv"
+    (Invalid_argument "Workload.decode: negative kv_len") (fun () ->
+      ignore (Workload.decode (-1)))
+
+let approx ~tol expected got =
+  Float.abs (got -. expected) /. expected < tol
+
+let test_param_counts () =
+  (* published parameter counts, within 10% (heads/embeddings vary) *)
+  let check name expected =
+    let e = Option.get (Zoo.find name) in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s params %d" name e.Zoo.params)
+      true
+      (approx ~tol:0.10 expected (float_of_int e.Zoo.params))
+  in
+  check "resnet18" 11.7e6;
+  check "resnet50" 25.6e6;
+  check "vgg16" 138e6;
+  check "mobilenetv2" 3.5e6;
+  check "bert-large" 340e6;
+  check "llama2-7b" 6.7e9;
+  check "opt-6.7b" 6.7e9;
+  check "opt-13b" 13e9;
+  check "vit-base" 86e6;
+  check "gpt2-xl" 1.56e9
+
+let test_all_models_infer () =
+  (* every zoo graph passes shape inference under both phases *)
+  List.iter
+    (fun (e : Zoo.entry) ->
+      let workloads =
+        match e.Zoo.family with
+        | Zoo.Cnn -> [ Workload.prefill ~batch:2 1 ]
+        | Zoo.Encoder_only -> [ Workload.prefill ~batch:2 8 ]
+        | Zoo.Decoder_only ->
+          [ Workload.prefill ~batch:2 8; Workload.decode ~batch:2 8 ]
+      in
+      List.iter
+        (fun w ->
+          let g = e.Zoo.build w in
+          ignore (Shape_infer.infer g);
+          match e.Zoo.layer with
+          | None -> ()
+          | Some layer -> ignore (Shape_infer.infer (layer w)))
+        workloads)
+    Zoo.all
+
+let test_layer_replication_consistency () =
+  (* n_layers * per-layer params + embeddings = whole-model params *)
+  let cfg = Transformer.tiny () in
+  let w = Workload.prefill ~batch:1 4 in
+  let layer = Transformer.build_layer cfg w ~layer_index:0 in
+  let whole = Transformer.build cfg w in
+  let layer_params = Graph.param_count layer in
+  let emb = 2 * cfg.Transformer.vocab * cfg.Transformer.d_model in
+  let final_norm = 2 * cfg.Transformer.d_model in
+  Alcotest.(check int) "analytic = graph"
+    ((cfg.Transformer.n_layers * layer_params) + emb + final_norm)
+    (Graph.param_count whole);
+  Alcotest.(check int) "analytic param_count helper"
+    (Transformer.param_count cfg) (Graph.param_count whole)
+
+let test_decode_has_kv_inputs () =
+  let cfg = Transformer.tiny () in
+  let g = Transformer.build_layer cfg (Workload.decode ~batch:1 6) ~layer_index:0 in
+  let names = List.map fst g.Graph.graph_inputs in
+  Alcotest.(check bool) "k cache input" true (List.mem "l0_k_cache" names);
+  Alcotest.(check bool) "v cache input" true (List.mem "l0_v_cache" names);
+  (* kv_len = 0 decode has no cache inputs *)
+  let g0 = Transformer.build_layer cfg (Workload.decode ~batch:1 0) ~layer_index:0 in
+  Alcotest.(check int) "no cache at kv 0" 1 (List.length g0.Graph.graph_inputs)
+
+(* --- arithmetic intensity (the paper's motivation facts) --- *)
+
+let model_ai key w =
+  Intensity.model_ai ((Option.get (Zoo.find key)).Zoo.build w)
+
+let test_ai_orderings () =
+  let resnet = model_ai "resnet50" (Workload.prefill ~batch:1 1) in
+  let llama_decode = model_ai "llama2-7b" (Workload.decode ~batch:1 64) in
+  Alcotest.(check bool) "ResNet-50 AI >> LLaMA2 decode AI (Fig. 5c)" true
+    (resnet > 20. *. llama_decode);
+  Alcotest.(check bool) "LLaMA decode AI ~ 1 MAC/byte (paper: ~2 FLOPs/byte)" true
+    (llama_decode > 0.5 && llama_decode < 2.);
+  Alcotest.(check bool) "ResNet-50 AI within the 40..150 MAC/byte band" true
+    (resnet > 40. && resnet < 150.)
+
+let test_bert_ai_grows_with_seq () =
+  let ai s = model_ai "bert-large" (Workload.prefill ~batch:1 s) in
+  Alcotest.(check bool) "AI(32) < AI(128) < AI(512) (Fig. 6b)" true
+    (ai 32 < ai 128 && ai 128 < ai 512)
+
+let test_node_stats_kinds () =
+  let g =
+    Transformer.build_layer Transformer.bert_large (Workload.prefill ~batch:1 8)
+      ~layer_index:0
+  in
+  let stats = Intensity.node_stats g in
+  let dyn = List.filter (fun s -> s.Intensity.kind = Intensity.Dynamic_matmul) stats in
+  (* exactly two attention matmuls: QK^T and probs x V *)
+  Alcotest.(check int) "two dynamic matmuls" 2 (List.length dyn);
+  (* QK^T output feeds only softmax, so its out-traffic is exempt (the
+     paper's in-place rule): its act_out_bytes must be zero *)
+  Alcotest.(check bool) "softmax in-place exemption" true
+    (List.exists (fun s -> s.Intensity.act_out_bytes = 0.) dyn)
+
+let test_ai_weights_counted () =
+  (* a batch-1 FC layer is weight-traffic dominated: ai_total ~ 1 while
+     ai_dynamic is huge *)
+  let g = Cim_models.Mlp.build ~batch:1 ~dims:[ 512; 512 ] () in
+  match Intensity.node_stats g with
+  | [ s ] ->
+    Alcotest.(check bool) "ai_total ~ 1" true (Intensity.ai_total s < 2.);
+    Alcotest.(check bool) "ai_dynamic large" true (Intensity.ai_dynamic s > 100.)
+  | _ -> Alcotest.fail "expected a single CIM node"
+
+let test_zoo_lookup () =
+  Alcotest.(check int) "10 models" 10 (List.length Zoo.all);
+  Alcotest.(check bool) "find missing" true (Zoo.find "nope" = None);
+  Alcotest.(check (list string)) "names match" (List.map (fun e -> e.Zoo.key) Zoo.all)
+    Zoo.names
+
+let suite =
+  ( "models",
+    [
+      Alcotest.test_case "workload descriptors" `Quick test_workload;
+      Alcotest.test_case "published parameter counts" `Quick test_param_counts;
+      Alcotest.test_case "all models shape-infer" `Slow test_all_models_infer;
+      Alcotest.test_case "layer replication consistency" `Quick test_layer_replication_consistency;
+      Alcotest.test_case "decode kv-cache inputs" `Quick test_decode_has_kv_inputs;
+      Alcotest.test_case "AI orderings (Fig. 5c)" `Quick test_ai_orderings;
+      Alcotest.test_case "BERT AI vs seq (Fig. 6b)" `Quick test_bert_ai_grows_with_seq;
+      Alcotest.test_case "node kinds + softmax exemption" `Quick test_node_stats_kinds;
+      Alcotest.test_case "weight traffic in AI" `Quick test_ai_weights_counted;
+      Alcotest.test_case "zoo lookup" `Quick test_zoo_lookup;
+    ] )

@@ -1,0 +1,199 @@
+(* Tests for the graph optimisation passes, including a semantics-preserving
+   fuzz: random graphs are optimised and (a) executed against the
+   unoptimised reference, (b) compiled and functionally simulated. *)
+
+module Graph = Cim_nnir.Graph
+module Op = Cim_nnir.Op
+module Attr = Cim_nnir.Attr
+module B = Cim_nnir.Builder
+module Passes = Cim_nnir.Passes
+module Exec = Cim_nnir.Exec
+module Shape = Cim_tensor.Shape
+module Tensor = Cim_tensor.Tensor
+module Rng = Cim_util.Rng
+
+let node id name op inputs outputs attrs =
+  { Graph.id; name; op; inputs; outputs; attrs }
+
+let mk ?(inputs = [ ("x", [ 2; 3 ]) ]) ~nodes ~outputs () =
+  Graph.create ~name:"t" ~nodes ~inputs ~outputs ~initializers:[]
+
+let test_dce () =
+  let g =
+    mk
+      ~nodes:
+        [ node 0 "live" Op.Relu [ "x" ] [ "y" ] [];
+          node 1 "dead" Op.Gelu [ "x" ] [ "z" ] [];
+          node 2 "dead2" Op.Relu [ "z" ] [ "w" ] [] ]
+      ~outputs:[ "y" ] ()
+  in
+  let g' = Passes.dead_code_elimination g in
+  Alcotest.(check int) "only the live node survives" 1 (Graph.node_count g');
+  Alcotest.(check (list string)) "outputs kept" [ "y" ] g'.Graph.graph_outputs
+
+let test_fuse_transposes () =
+  let g =
+    mk
+      ~nodes:
+        [ node 0 "t1" Op.Transpose [ "x" ] [ "a" ] [ ("perm", Attr.Ints [ 1; 0 ]) ];
+          node 1 "t2" Op.Transpose [ "a" ] [ "b" ] [ ("perm", Attr.Ints [ 1; 0 ]) ];
+          node 2 "use" Op.Relu [ "b" ] [ "y" ] [] ]
+      ~outputs:[ "y" ] ()
+  in
+  let g' = Passes.dead_code_elimination (Passes.fuse_transposes g) in
+  (* the two transposes cancel *)
+  Alcotest.(check int) "identity pair erased" 1 (Graph.node_count g');
+  (* non-cancelling pair fuses to one *)
+  let g2 =
+    mk
+      ~inputs:[ ("x", [ 2; 3; 4 ]) ]
+      ~nodes:
+        [ node 0 "t1" Op.Transpose [ "x" ] [ "a" ] [ ("perm", Attr.Ints [ 1; 2; 0 ]) ];
+          node 1 "t2" Op.Transpose [ "a" ] [ "b" ] [ ("perm", Attr.Ints [ 0; 2; 1 ]) ];
+          node 2 "use" Op.Relu [ "b" ] [ "y" ] [] ]
+      ~outputs:[ "y" ] ()
+  in
+  let g2' = Passes.dead_code_elimination (Passes.fuse_transposes g2) in
+  Alcotest.(check int) "pair fused" 2 (Graph.node_count g2')
+
+let test_fuse_reshapes_and_identity () =
+  let g =
+    mk
+      ~inputs:[ ("x", [ 2; 6 ]) ]
+      ~nodes:
+        [ node 0 "r1" Op.Reshape [ "x" ] [ "a" ] [ ("shape", Attr.Ints [ 3; 4 ]) ];
+          node 1 "r2" Op.Reshape [ "a" ] [ "b" ] [ ("shape", Attr.Ints [ 2; 6 ]) ];
+          node 2 "use" Op.Relu [ "b" ] [ "y" ] [] ]
+      ~outputs:[ "y" ] ()
+  in
+  let g' = Passes.optimize g in
+  (* reshape chain collapses to identity and disappears entirely *)
+  Alcotest.(check int) "reshapes gone" 1 (Graph.node_count g')
+
+let test_cse () =
+  let g =
+    mk
+      ~nodes:
+        [ node 0 "a" Op.Relu [ "x" ] [ "r1" ] [];
+          node 1 "b" Op.Relu [ "x" ] [ "r2" ] [];
+          node 2 "sum" Op.Add [ "r1"; "r2" ] [ "y" ] [] ]
+      ~outputs:[ "y" ] ()
+  in
+  let g' = Passes.optimize g in
+  Alcotest.(check int) "duplicate relu merged" 2 (Graph.node_count g')
+
+let test_optimize_preserves_outputs_produced_by_removed () =
+  (* an identity reshape that *is* the graph output must not break *)
+  let g =
+    mk
+      ~inputs:[ ("x", [ 2; 6 ]) ]
+      ~nodes:
+        [ node 0 "r" Op.Reshape [ "x" ] [ "y" ] [ ("shape", Attr.Ints [ 2; 6 ]) ] ]
+      ~outputs:[ "y" ] ()
+  in
+  let g' = Passes.optimize g in
+  (* the node is kept because its output is a graph output *)
+  Alcotest.(check int) "kept" 1 (Graph.node_count g')
+
+let test_optimize_real_models () =
+  List.iter
+    (fun g ->
+      let g' = Passes.optimize g in
+      Alcotest.(check bool)
+        (Passes.stats g g')
+        true
+        (Graph.node_count g' <= Graph.node_count g);
+      (* outputs survive *)
+      Alcotest.(check int) "same output arity"
+        (List.length g.Graph.graph_outputs)
+        (List.length g'.Graph.graph_outputs))
+    [
+      (Option.get (Cim_models.Zoo.find "bert-large")).Cim_models.Zoo.build
+        (Cim_models.Workload.prefill ~batch:1 8);
+      Cim_models.Cnn.resnet18 ~batch:1;
+    ]
+
+(* --- fuzz: random valued graphs, optimisation preserves semantics and the
+   compiled flow still simulates correctly --- *)
+
+type layer = Dense of int | Act of Op.t | Residual | Shuffle
+
+let gen_layers =
+  QCheck.Gen.(
+    list_size (int_range 1 6)
+      (frequency
+         [
+           (3, map (fun d -> Dense d) (int_range 2 12));
+           (3, map (fun o -> Act o) (oneofl [ Op.Relu; Op.Gelu; Op.Silu; Op.Softmax ]));
+           (1, return Residual);
+           (1, return Shuffle);
+         ]))
+
+let build_random (seed, layers) =
+  let rng = Rng.create seed in
+  let b = B.create "fuzz" in
+  let d0 = 4 in
+  let x = B.input b "x" (Shape.of_list [ 2; d0 ]) in
+  let cur = ref x and dim = ref d0 in
+  List.iter
+    (fun layer ->
+      match layer with
+      | Dense d ->
+        cur := B.linear ~bias:false ~value_rng:rng b !cur ~in_dim:!dim ~out_dim:d
+                 ~prefix:"fc";
+        dim := d
+      | Act op -> cur := B.node b op [ !cur ]
+      | Residual -> cur := B.add b !cur !cur
+      | Shuffle ->
+        (* transpose twice: fodder for the fusion passes *)
+        let t1 = B.transpose b !cur [ 1; 0 ] in
+        cur := B.transpose b t1 [ 1; 0 ])
+    layers;
+  (B.finish b ~outputs:[ !cur ], rng)
+
+let arb_random_graph =
+  QCheck.make QCheck.Gen.(pair (int_range 0 10_000) gen_layers)
+
+let prop_optimize_preserves_semantics =
+  QCheck.Test.make ~name:"optimize preserves execution semantics" ~count:60
+    arb_random_graph
+    (fun spec ->
+      let g, rng = build_random spec in
+      let g' = Cim_nnir.Passes.optimize g in
+      let x = Tensor.rand rng (Shape.of_list [ 2; 4 ]) ~lo:(-1.) ~hi:1. in
+      let out = Exec.run_outputs g [ ("x", x) ] in
+      let out' = Exec.run_outputs g' [ ("x", x) ] in
+      List.for_all2
+        (fun (_, a) (_, b) -> Tensor.equal ~eps:1e-9 a b)
+        out out')
+
+let prop_optimized_graph_compiles_and_simulates =
+  QCheck.Test.make ~name:"optimized graphs compile and simulate faithfully"
+    ~count:25 arb_random_graph
+    (fun spec ->
+      let g, rng = build_random spec in
+      let g' = Cim_nnir.Passes.optimize g in
+      let chip = Cim_arch.Config.dynaplasia in
+      let r = Cim_compiler.Cmswitch.compile chip g' in
+      let x = Tensor.rand rng (Shape.of_list [ 2; 4 ]) ~lo:(-1.) ~hi:1. in
+      let rep =
+        Cim_sim.Functional.run chip g' r.Cim_compiler.Cmswitch.program
+          ~inputs:[ ("x", x) ]
+      in
+      rep.Cim_sim.Functional.max_rel_err < 0.30)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let suite =
+  ( "passes",
+    [
+      Alcotest.test_case "dead code elimination" `Quick test_dce;
+      Alcotest.test_case "transpose fusion" `Quick test_fuse_transposes;
+      Alcotest.test_case "reshape fusion + identity" `Quick test_fuse_reshapes_and_identity;
+      Alcotest.test_case "common subexpressions" `Quick test_cse;
+      Alcotest.test_case "output-producing nodes kept" `Quick
+        test_optimize_preserves_outputs_produced_by_removed;
+      Alcotest.test_case "real models shrink" `Slow test_optimize_real_models;
+      qtest prop_optimize_preserves_semantics;
+      qtest prop_optimized_graph_compiles_and_simulates;
+    ] )

@@ -1,0 +1,95 @@
+(* Tests for Cim_tensor.Shape: indexing arithmetic, broadcasting,
+   concatenation. *)
+
+module Shape = Cim_tensor.Shape
+
+let shape = Alcotest.(list int)
+
+let test_basics () =
+  Alcotest.(check int) "numel" 24 (Shape.numel [ 2; 3; 4 ]);
+  Alcotest.(check int) "numel scalar" 1 (Shape.numel Shape.scalar);
+  Alcotest.(check int) "rank" 3 (Shape.rank [ 2; 3; 4 ]);
+  Alcotest.(check string) "to_string" "2x3x4" (Shape.to_string [ 2; 3; 4 ]);
+  Alcotest.(check string) "scalar string" "scalar" (Shape.to_string []);
+  Alcotest.check_raises "non-positive dim"
+    (Invalid_argument "Shape.of_list: non-positive dimension") (fun () ->
+      ignore (Shape.of_list [ 2; 0 ]))
+
+let test_dim () =
+  let s = [ 2; 3; 4 ] in
+  Alcotest.(check int) "dim 0" 2 (Shape.dim s 0);
+  Alcotest.(check int) "dim -1" 4 (Shape.dim s (-1));
+  Alcotest.(check int) "dim -3" 2 (Shape.dim s (-3));
+  Alcotest.check_raises "dim out of bounds"
+    (Invalid_argument "Shape.dim: index out of bounds") (fun () ->
+      ignore (Shape.dim s 3))
+
+let test_strides_ravel () =
+  let s = [ 2; 3; 4 ] in
+  Alcotest.(check (array int)) "strides" [| 12; 4; 1 |] (Shape.strides s);
+  Alcotest.(check int) "ravel" 23 (Shape.ravel s [ 1; 2; 3 ]);
+  Alcotest.(check shape) "unravel" [ 1; 2; 3 ] (Shape.unravel s 23);
+  Alcotest.check_raises "ravel bounds"
+    (Invalid_argument "Shape.ravel: index out of bounds") (fun () ->
+      ignore (Shape.ravel s [ 2; 0; 0 ]))
+
+let test_broadcast () =
+  let check_bc name a b expected =
+    Alcotest.(check (option shape)) name expected (Shape.broadcast a b)
+  in
+  check_bc "same" [ 2; 3 ] [ 2; 3 ] (Some [ 2; 3 ]);
+  check_bc "ones stretch" [ 2; 1 ] [ 1; 3 ] (Some [ 2; 3 ]);
+  check_bc "rank lift" [ 3 ] [ 2; 3 ] (Some [ 2; 3 ]);
+  check_bc "scalar" [] [ 4; 5 ] (Some [ 4; 5 ]);
+  check_bc "incompatible" [ 2; 3 ] [ 2; 4 ] None
+
+let test_concat_dim () =
+  Alcotest.(check (option shape)) "axis 1" (Some [ 2; 5 ])
+    (Shape.concat_dim [ 2; 3 ] [ 2; 2 ] ~axis:1);
+  Alcotest.(check (option shape)) "mismatch" None
+    (Shape.concat_dim [ 2; 3 ] [ 3; 2 ] ~axis:1);
+  Alcotest.(check (option shape)) "bad axis" None
+    (Shape.concat_dim [ 2; 3 ] [ 2; 3 ] ~axis:2)
+
+let gen_shape =
+  QCheck.Gen.(list_size (int_range 1 4) (int_range 1 5))
+
+let arb_shape = QCheck.make ~print:Shape.to_string gen_shape
+
+let prop_ravel_unravel =
+  QCheck.Test.make ~name:"unravel . ravel = id on indices" ~count:300
+    QCheck.(pair arb_shape (int_bound 10_000))
+    (fun (s, seed) ->
+      let n = Shape.numel s in
+      let off = seed mod n in
+      Shape.ravel s (Shape.unravel s off) = off)
+
+let prop_broadcast_comm =
+  QCheck.Test.make ~name:"broadcast is commutative" ~count:300
+    QCheck.(pair arb_shape arb_shape)
+    (fun (a, b) -> Shape.broadcast a b = Shape.broadcast b a)
+
+let prop_broadcast_idem =
+  QCheck.Test.make ~name:"broadcast with itself is identity" ~count:200 arb_shape
+    (fun s -> Shape.broadcast s s = Some s)
+
+let prop_strides_last_is_one =
+  QCheck.Test.make ~name:"last stride is 1" ~count:200 arb_shape (fun s ->
+      let st = Shape.strides s in
+      Array.length st = 0 || st.(Array.length st - 1) = 1)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let suite =
+  ( "shape",
+    [
+      Alcotest.test_case "basics" `Quick test_basics;
+      Alcotest.test_case "dim indexing" `Quick test_dim;
+      Alcotest.test_case "strides/ravel" `Quick test_strides_ravel;
+      Alcotest.test_case "broadcast" `Quick test_broadcast;
+      Alcotest.test_case "concat_dim" `Quick test_concat_dim;
+      qtest prop_ravel_unravel;
+      qtest prop_broadcast_comm;
+      qtest prop_broadcast_idem;
+      qtest prop_strides_last_is_one;
+    ] )

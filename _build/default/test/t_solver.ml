@@ -1,0 +1,205 @@
+(* Tests for the vendored LP/MILP solver (the Gurobi substitute): known
+   optima, infeasibility/unboundedness detection, and exact agreement with
+   brute-force enumeration on random small integer programs. *)
+
+module Lp = Cim_solver.Lp
+module Milp = Cim_solver.Milp
+module Model = Cim_solver.Model
+
+let lp n_vars maximize rows ?(lower = Array.make n_vars 0.)
+    ?(upper = Array.make n_vars infinity) () =
+  { Lp.n_vars; maximize; rows; lower; upper }
+
+let expect_optimal name p expected_obj expected_values =
+  match Lp.solve p with
+  | Lp.Optimal s ->
+    Alcotest.(check (float 1e-6)) (name ^ " objective") expected_obj s.Lp.objective;
+    (match expected_values with
+    | None -> ()
+    | Some vs ->
+      Alcotest.(check (array (float 1e-6))) (name ^ " values") vs s.Lp.values)
+  | Lp.Infeasible -> Alcotest.failf "%s: unexpectedly infeasible" name
+  | Lp.Unbounded -> Alcotest.failf "%s: unexpectedly unbounded" name
+
+let test_lp_textbook () =
+  (* max 3x+2y st x+y<=4, x+3y<=6 -> (4,0), obj 12 *)
+  expect_optimal "textbook"
+    (lp 2 [| 3.; 2. |] [ ([| 1.; 1. |], Lp.Le, 4.); ([| 1.; 3. |], Lp.Le, 6.) ] ())
+    12. (Some [| 4.; 0. |])
+
+let test_lp_eq_ge () =
+  (* min x+y st x+2y=4, x>=1 -> x=1,y=1.5 *)
+  expect_optimal "eq+ge"
+    (lp 2 [| -1.; -1. |] [ ([| 1.; 2. |], Lp.Eq, 4.); ([| 1.; 0. |], Lp.Ge, 1.) ] ())
+    (-2.5) (Some [| 1.; 1.5 |])
+
+let test_lp_bounds () =
+  (* shifted lower bound and finite upper bound *)
+  expect_optimal "bounds"
+    (lp 1 [| 1. |] [] ~lower:[| 2. |] ~upper:[| 5. |] ())
+    5. (Some [| 5. |]);
+  expect_optimal "negative lower bound"
+    (lp 1 [| -1. |] [ ([| 1. |], Lp.Le, 10.) ] ~lower:[| -3. |] ())
+    3. (Some [| -3. |])
+
+let test_lp_infeasible () =
+  match Lp.solve (lp 1 [| 1. |] [ ([| 1. |], Lp.Le, 1.); ([| 1. |], Lp.Ge, 2.) ] ()) with
+  | Lp.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+let test_lp_unbounded () =
+  match Lp.solve (lp 1 [| 1. |] [] ()) with
+  | Lp.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded"
+
+let test_lp_degenerate () =
+  (* redundant constraints must not break phase 1 *)
+  expect_optimal "redundant rows"
+    (lp 2 [| 1.; 1. |]
+       [ ([| 1.; 1. |], Lp.Le, 2.); ([| 2.; 2. |], Lp.Le, 4.);
+         ([| 1.; 1. |], Lp.Eq, 2.) ]
+       ())
+    2. None
+
+let test_lp_ill_formed () =
+  (match Lp.solve (lp 2 [| 1. |] [] ()) with
+  | exception Lp.Ill_formed _ -> ()
+  | _ -> Alcotest.fail "expected Ill_formed (objective length)");
+  match
+    Lp.solve (lp 1 [| 1. |] [] ~lower:[| neg_infinity |] ())
+  with
+  | exception Lp.Ill_formed _ -> ()
+  | _ -> Alcotest.fail "expected Ill_formed (infinite lower bound)"
+
+(* --- MILP --- *)
+
+let test_milp_knapsack () =
+  let p =
+    lp 3 [| 5.; 4.; 3. |]
+      [ ([| 2.; 3.; 1. |], Lp.Le, 5.) ]
+      ~upper:[| 1.; 1.; 1. |] ()
+  in
+  match Milp.solve p ~kinds:[| Milp.Integer; Milp.Integer; Milp.Integer |] with
+  | Milp.Optimal s -> Alcotest.(check (float 1e-6)) "knapsack obj" 9. s.Lp.objective
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_milp_mixed () =
+  (* max z st 5*com >= 3*z, com <= 4 integer -> z = 20/3 *)
+  let p =
+    lp 2 [| 0.; 1. |]
+      [ ([| 5.; -3. |], Lp.Ge, 0.) ]
+      ~upper:[| 4.; infinity |] ()
+  in
+  match Milp.solve p ~kinds:[| Milp.Integer; Milp.Continuous |] with
+  | Milp.Optimal s ->
+    Alcotest.(check (float 1e-6)) "mixed obj" (20. /. 3.) s.Lp.objective;
+    Alcotest.(check (float 1e-6)) "com integral" 4. s.Lp.values.(0)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_milp_infeasible () =
+  (* 2x = 1 with x integer *)
+  let p = lp 1 [| 1. |] [ ([| 2. |], Lp.Eq, 1.) ] ~upper:[| 10. |] () in
+  match Milp.solve p ~kinds:[| Milp.Integer |] with
+  | Milp.Infeasible -> ()
+  | _ -> Alcotest.fail "expected integer-infeasible"
+
+(* Random small ILPs checked against brute force. Two variables in [0, 6],
+   two <= rows with small integer coefficients. *)
+let arb_ilp =
+  let open QCheck in
+  let coeff = Gen.int_range (-3) 3 in
+  make
+    ~print:(fun (c1, c2, rows) ->
+      Printf.sprintf "max %dx+%dy st %s" c1 c2
+        (String.concat "; "
+           (List.map (fun (a, b, r) -> Printf.sprintf "%dx+%dy<=%d" a b r) rows)))
+    (Gen.triple coeff coeff
+       (Gen.list_size (Gen.int_range 1 3)
+          (Gen.triple coeff coeff (Gen.int_range 0 10))))
+
+let brute_force (c1, c2, rows) =
+  let best = ref neg_infinity in
+  for x = 0 to 6 do
+    for y = 0 to 6 do
+      let feasible =
+        List.for_all (fun (a, b, r) -> (a * x) + (b * y) <= r) rows
+      in
+      if feasible then best := Float.max !best (float_of_int ((c1 * x) + (c2 * y)))
+    done
+  done;
+  !best
+
+let prop_milp_matches_brute_force =
+  QCheck.Test.make ~name:"2-var ILP matches brute force" ~count:300 arb_ilp
+    (fun ((c1, c2, rows) as inst) ->
+      let p =
+        lp 2
+          [| float_of_int c1; float_of_int c2 |]
+          (List.map
+             (fun (a, b, r) ->
+               ([| float_of_int a; float_of_int b |], Lp.Le, float_of_int r))
+             rows)
+          ~upper:[| 6.; 6. |] ()
+      in
+      let expected = brute_force inst in
+      match Milp.solve p ~kinds:[| Milp.Integer; Milp.Integer |] with
+      | Milp.Optimal s -> Float.abs (s.Lp.objective -. expected) < 1e-6
+      | Milp.Infeasible -> expected = neg_infinity
+      | Milp.Unbounded | Milp.Node_limit _ -> false)
+
+(* --- model facade --- *)
+
+let test_model_basic () =
+  let m = Model.create () in
+  let x = Model.add_var m ~ub:10. "x" in
+  let y = Model.add_var m ~ub:10. ~integer:true "y" in
+  Model.add_le m [ (1., x); (2., y) ] 14.;
+  Model.add_ge m [ (1., x) ] 1.;
+  Model.maximize m [ (3., x); (5., y) ];
+  (match Model.solve m with
+  | Model.Optimal obj ->
+    (* x continuous and y integer: y = (14 - x)/2; best x=10 wait capacity:
+       x + 2y <= 14, x <= 10 -> x = 10, y = 2 -> 40; or x = 4, y = 5 -> 37 *)
+    Alcotest.(check (float 1e-6)) "model obj" 40. obj;
+    Alcotest.(check int) "y integral" 2 (Model.int_value m y);
+    Alcotest.(check (float 1e-6)) "x value" 10. (Model.value m x)
+  | _ -> Alcotest.fail "expected optimal");
+  Alcotest.(check int) "n_vars" 2 (Model.n_vars m);
+  Alcotest.(check int) "n_constraints" 2 (Model.n_constraints m)
+
+let test_model_minimize () =
+  let m = Model.create () in
+  let x = Model.add_var m "x" in
+  Model.add_ge m [ (1., x) ] 3.;
+  Model.minimize m [ (2., x) ];
+  match Model.solve m with
+  | Model.Optimal obj -> Alcotest.(check (float 1e-6)) "min obj" 6. obj
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_model_no_solution_stored () =
+  let m = Model.create () in
+  let x = Model.add_var m "x" in
+  match Model.value m x with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected Failure before solve"
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let suite =
+  ( "solver",
+    [
+      Alcotest.test_case "lp textbook" `Quick test_lp_textbook;
+      Alcotest.test_case "lp eq/ge" `Quick test_lp_eq_ge;
+      Alcotest.test_case "lp bounds" `Quick test_lp_bounds;
+      Alcotest.test_case "lp infeasible" `Quick test_lp_infeasible;
+      Alcotest.test_case "lp unbounded" `Quick test_lp_unbounded;
+      Alcotest.test_case "lp degenerate" `Quick test_lp_degenerate;
+      Alcotest.test_case "lp ill-formed" `Quick test_lp_ill_formed;
+      Alcotest.test_case "milp knapsack" `Quick test_milp_knapsack;
+      Alcotest.test_case "milp mixed" `Quick test_milp_mixed;
+      Alcotest.test_case "milp integer-infeasible" `Quick test_milp_infeasible;
+      qtest prop_milp_matches_brute_force;
+      Alcotest.test_case "model facade" `Quick test_model_basic;
+      Alcotest.test_case "model minimize" `Quick test_model_minimize;
+      Alcotest.test_case "model value before solve" `Quick test_model_no_solution_stored;
+    ] )

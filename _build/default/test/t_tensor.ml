@@ -1,0 +1,284 @@
+(* Tests for the tensor substrate: reference operators against
+   hand-computed values and independent naive implementations, numerical
+   invariants as properties, and the int8 quantisation error bound. *)
+
+module Shape = Cim_tensor.Shape
+module Tensor = Cim_tensor.Tensor
+module Ops = Cim_tensor.Ops
+module Quant = Cim_tensor.Quant
+module Rng = Cim_util.Rng
+
+let t_of shape data = Tensor.create (Shape.of_list shape) data
+
+let check_tensor ?(eps = 1e-6) name expected got =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s (max diff %g)" name (Tensor.max_abs_diff expected got))
+    true
+    (Tensor.equal ~eps expected got)
+
+(* --- creation / access --- *)
+
+let test_create () =
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Tensor.create: data length does not match shape")
+    (fun () -> ignore (t_of [ 2; 2 ] [| 1.; 2.; 3. |]));
+  let t = Tensor.zeros (Shape.of_list [ 2; 3 ]) in
+  Alcotest.(check int) "numel" 6 (Tensor.numel t);
+  Tensor.set t [ 1; 2 ] 9.;
+  Alcotest.(check (float 0.)) "set/get" 9. (Tensor.get t [ 1; 2 ]);
+  Alcotest.(check (float 0.)) "get_flat" 9. (Tensor.get_flat t 5)
+
+let test_reshape_shares () =
+  let t = t_of [ 2; 2 ] [| 1.; 2.; 3.; 4. |] in
+  let r = Tensor.reshape t (Shape.of_list [ 4 ]) in
+  Tensor.set_flat r 0 7.;
+  Alcotest.(check (float 0.)) "shared storage" 7. (Tensor.get t [ 0; 0 ]);
+  let c = Tensor.copy t in
+  Tensor.set_flat c 0 1.;
+  Alcotest.(check (float 0.)) "copy is independent" 7. (Tensor.get t [ 0; 0 ])
+
+(* --- matmul --- *)
+
+let test_matmul_2d () =
+  let a = t_of [ 2; 3 ] [| 1.; 2.; 3.; 4.; 5.; 6. |] in
+  let b = t_of [ 3; 2 ] [| 7.; 8.; 9.; 10.; 11.; 12. |] in
+  check_tensor "2d matmul" (t_of [ 2; 2 ] [| 58.; 64.; 139.; 154. |]) (Ops.matmul a b)
+
+let test_matmul_batched () =
+  let a = t_of [ 2; 1; 2 ] [| 1.; 2.; 3.; 4. |] in
+  let b = t_of [ 2; 2 ] [| 1.; 0.; 0.; 1. |] in
+  check_tensor "batched x shared" a (Ops.matmul a b);
+  let b2 = t_of [ 2; 2; 2 ] [| 1.; 0.; 0.; 1.; 2.; 0.; 0.; 2. |] in
+  check_tensor "fully batched"
+    (t_of [ 2; 1; 2 ] [| 1.; 2.; 6.; 8. |])
+    (Ops.matmul a b2)
+
+let test_matmul_bad_shapes () =
+  Alcotest.check_raises "incompatible"
+    (Invalid_argument "Ops.matmul: incompatible shapes 2x3 x 2x2") (fun () ->
+      ignore (Ops.matmul (Tensor.zeros (Shape.of_list [ 2; 3 ]))
+                (Tensor.zeros (Shape.of_list [ 2; 2 ]))))
+
+(* --- element-wise / broadcasting --- *)
+
+let test_add_broadcast () =
+  let a = t_of [ 2; 2 ] [| 1.; 2.; 3.; 4. |] in
+  let bias = t_of [ 2 ] [| 10.; 20. |] in
+  check_tensor "row broadcast" (t_of [ 2; 2 ] [| 11.; 22.; 13.; 24. |]) (Ops.add a bias);
+  check_tensor "mul scalar-ish"
+    (t_of [ 2; 2 ] [| 10.; 40.; 30.; 80. |])
+    (Ops.mul a (t_of [ 2 ] [| 10.; 20. |]))
+
+let test_activations () =
+  let x = t_of [ 4 ] [| -1.; 0.; 1.; 2. |] in
+  check_tensor "relu" (t_of [ 4 ] [| 0.; 0.; 1.; 2. |]) (Ops.relu x);
+  (* gelu(0) = 0, gelu(large) ~ identity, silu(0) = 0 *)
+  let g = Ops.gelu x in
+  Alcotest.(check (float 1e-9)) "gelu 0" 0. (Tensor.get g [ 1 ]);
+  Alcotest.(check bool) "gelu 2 near 2" true (Float.abs (Tensor.get g [ 3 ] -. 1.954) < 0.01);
+  Alcotest.(check (float 1e-9)) "silu 0" 0. (Tensor.get (Ops.silu x) [ 1 ])
+
+(* --- softmax / norms --- *)
+
+let rng = Rng.create 11
+
+let prop_softmax_normalised =
+  QCheck.Test.make ~name:"softmax rows sum to 1 and are positive" ~count:100
+    QCheck.(pair (int_range 1 5) (int_range 1 8))
+    (fun (rows, cols) ->
+      let t = Tensor.rand rng (Shape.of_list [ rows; cols ]) ~lo:(-5.) ~hi:5. in
+      let s = Ops.softmax t in
+      let ok = ref true in
+      for r = 0 to rows - 1 do
+        let sum = ref 0. in
+        for c = 0 to cols - 1 do
+          let v = Tensor.get s [ r; c ] in
+          if v < 0. then ok := false;
+          sum := !sum +. v
+        done;
+        if Float.abs (!sum -. 1.) > 1e-9 then ok := false
+      done;
+      !ok)
+
+let test_softmax_stability () =
+  (* very large logits must not overflow *)
+  let t = t_of [ 1; 2 ] [| 1e30; 1e30 |] in
+  check_tensor "softmax huge" (t_of [ 1; 2 ] [| 0.5; 0.5 |]) (Ops.softmax t)
+
+let test_layernorm () =
+  let x = t_of [ 1; 4 ] [| 1.; 2.; 3.; 4. |] in
+  let gamma = t_of [ 4 ] [| 1.; 1.; 1.; 1. |] in
+  let beta = Tensor.zeros (Shape.of_list [ 4 ]) in
+  let y = Ops.layernorm x ~gamma ~beta in
+  let mean = Tensor.fold ( +. ) 0. y /. 4. in
+  Alcotest.(check (float 1e-6)) "normalised mean" 0. mean;
+  let var = Tensor.fold (fun acc v -> acc +. (v *. v)) 0. y /. 4. in
+  Alcotest.(check bool) "unit variance" true (Float.abs (var -. 1.) < 1e-3)
+
+let test_rmsnorm () =
+  let x = t_of [ 1; 2 ] [| 3.; 4. |] in
+  let gamma = t_of [ 2 ] [| 1.; 1. |] in
+  let y = Ops.rmsnorm x ~gamma in
+  (* rms = sqrt((9+16)/2) = 3.5355 *)
+  Alcotest.(check (float 1e-3)) "rmsnorm" (3. /. 3.5355) (Tensor.get y [ 0; 0 ])
+
+(* --- transpose / permute --- *)
+
+let test_transpose () =
+  let a = t_of [ 2; 3 ] [| 1.; 2.; 3.; 4.; 5.; 6. |] in
+  check_tensor "transpose2d" (t_of [ 3; 2 ] [| 1.; 4.; 2.; 5.; 3.; 6. |])
+    (Ops.transpose2d a);
+  check_tensor "permute = transpose" (Ops.transpose2d a) (Ops.permute a [ 1; 0 ]);
+  let t = Tensor.rand rng (Shape.of_list [ 2; 3; 4 ]) ~lo:0. ~hi:1. in
+  check_tensor "double permute is id" t (Ops.permute (Ops.permute t [ 2; 0; 1 ]) [ 1; 2; 0 ])
+
+(* --- convolution: reference (im2col) vs naive direct loop --- *)
+
+let naive_conv x w ~stride ~pad ~groups =
+  match (Tensor.shape x, Tensor.shape w) with
+  | [ n; _c; h; wd ], [ oc; cg; kh; kw ] ->
+    let oh = ((h + (2 * pad) - kh) / stride) + 1 in
+    let ow = ((wd + (2 * pad) - kw) / stride) + 1 in
+    let ocg = oc / groups in
+    Tensor.init (Shape.of_list [ n; oc; oh; ow ]) (fun idx ->
+        match idx with
+        | [ ni; oi; oy; ox ] ->
+          let g = oi / ocg in
+          let acc = ref 0. in
+          for ci = 0 to cg - 1 do
+            for ky = 0 to kh - 1 do
+              for kx = 0 to kw - 1 do
+                let iy = (oy * stride) + ky - pad and ix = (ox * stride) + kx - pad in
+                if iy >= 0 && iy < h && ix >= 0 && ix < wd then
+                  acc :=
+                    !acc
+                    +. Tensor.get x [ ni; (g * cg) + ci; iy; ix ]
+                       *. Tensor.get w [ oi; ci; ky; kx ]
+              done
+            done
+          done;
+          !acc
+        | _ -> assert false)
+  | _ -> assert false
+
+let prop_conv_matches_naive =
+  QCheck.Test.make ~name:"im2col conv = naive direct conv" ~count:40
+    QCheck.(quad (int_range 1 2) (int_range 1 2) (int_range 1 2) (int_range 0 1))
+    (fun (n, groups, stride, pad) ->
+      let cg = 2 and ocg = 2 and h = 5 and k = 3 in
+      let c = cg * groups and oc = ocg * groups in
+      let x = Tensor.rand rng (Shape.of_list [ n; c; h; h ]) ~lo:(-1.) ~hi:1. in
+      let w = Tensor.rand rng (Shape.of_list [ oc; cg; k; k ]) ~lo:(-1.) ~hi:1. in
+      let got = Ops.conv2d x ~weight:w ~stride ~pad ~groups () in
+      let expect = naive_conv x w ~stride ~pad ~groups in
+      Tensor.equal ~eps:1e-6 got expect)
+
+let test_conv_bias () =
+  let x = Tensor.full (Shape.of_list [ 1; 1; 2; 2 ]) 1. in
+  let w = Tensor.full (Shape.of_list [ 1; 1; 1; 1 ]) 2. in
+  let bias = t_of [ 1 ] [| 0.5 |] in
+  check_tensor "conv bias"
+    (Tensor.full (Shape.of_list [ 1; 1; 2; 2 ]) 2.5)
+    (Ops.conv2d x ~weight:w ~bias ~stride:1 ~pad:0 ())
+
+let test_im2col_shape () =
+  let x = Tensor.zeros (Shape.of_list [ 2; 3; 8; 8 ]) in
+  let p = Ops.im2col x ~kh:3 ~kw:3 ~stride:2 ~pad:1 in
+  Alcotest.(check (list int)) "patch matrix" [ 2 * 4 * 4; 3 * 9 ] (Tensor.shape p)
+
+(* --- pooling --- *)
+
+let test_maxpool () =
+  let x = t_of [ 1; 1; 2; 2 ] [| 1.; 2.; 3.; 4. |] in
+  check_tensor "maxpool" (t_of [ 1; 1; 1; 1 ] [| 4. |]) (Ops.maxpool2d x ~k:2 ~stride:2 ());
+  check_tensor "avgpool" (t_of [ 1; 1; 1; 1 ] [| 2.5 |]) (Ops.avgpool2d x ~k:2 ~stride:2 ());
+  let g = Ops.avgpool_global (t_of [ 1; 2; 1; 2 ] [| 1.; 3.; 10.; 20. |]) in
+  check_tensor "global avg" (t_of [ 1; 2 ] [| 2.; 15. |]) g
+
+let test_clip () =
+  let x = t_of [ 4 ] [| -3.; 0.5; 6.; 9. |] in
+  check_tensor "relu6" (t_of [ 4 ] [| 0.; 0.5; 6.; 6. |]) (Ops.clip x ~lo:0. ~hi:6.);
+  Alcotest.check_raises "clip bounds" (Invalid_argument "Ops.clip: hi < lo")
+    (fun () -> ignore (Ops.clip x ~lo:1. ~hi:0.))
+
+(* --- attention --- *)
+
+let test_attention_uniform () =
+  (* with q = 0, softmax is uniform and the output is the mean of v rows *)
+  let d = 4 and l = 3 in
+  let q = Tensor.zeros (Shape.of_list [ 1; d ]) in
+  let k = Tensor.rand rng (Shape.of_list [ l; d ]) ~lo:(-1.) ~hi:1. in
+  let v = t_of [ 3; 4 ] [| 1.;1.;1.;1.; 2.;2.;2.;2.; 3.;3.;3.;3. |] in
+  let out = Ops.attention ~q ~k ~v () in
+  check_tensor "uniform attention" (Tensor.full (Shape.of_list [ 1; d ]) 2.) out
+
+let test_attention_causal () =
+  (* single query attending a cache of length 2 plus itself: causal mask
+     allows all; but with m = l and causal, query 0 sees only key 0 *)
+  let d = 2 and l = 2 in
+  let q = Tensor.zeros (Shape.of_list [ l; d ]) in
+  let k = Tensor.zeros (Shape.of_list [ l; d ]) in
+  let v = t_of [ 2; 2 ] [| 1.; 1.; 3.; 3. |] in
+  let out = Ops.attention ~q ~k ~v ~causal:true () in
+  (* row 0 sees v0 only; row 1 averages v0, v1 *)
+  check_tensor "causal mask" (t_of [ 2; 2 ] [| 1.; 1.; 2.; 2. |]) out
+
+(* --- quantisation --- *)
+
+let prop_quant_roundtrip_bounded =
+  QCheck.Test.make ~name:"int8 round-trip error <= scale/2" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 64) (float_range (-10.) 10.))
+    (fun xs ->
+      let t = t_of [ List.length xs ] (Array.of_list xs) in
+      let q = Quant.quantize t in
+      Quant.quant_error t <= (q.Quant.scale /. 2.) +. 1e-9)
+
+let test_quant_zero () =
+  let t = Tensor.zeros (Shape.of_list [ 3 ]) in
+  let q = Quant.quantize t in
+  Alcotest.(check (float 0.)) "zero scale defaults to 1" 1. q.Quant.scale;
+  check_tensor "zeros round-trip" t (Quant.dequantize q)
+
+let test_quant_matmul_close () =
+  let a = Tensor.rand rng (Shape.of_list [ 4; 8 ]) ~lo:(-1.) ~hi:1. in
+  let b = Tensor.rand rng (Shape.of_list [ 8; 4 ]) ~lo:(-1.) ~hi:1. in
+  let exact = Ops.matmul a b in
+  let approx = Quant.dequantize (Quant.matmul (Quant.quantize a) (Quant.quantize b)) in
+  let scale = Tensor.fold (fun acc v -> Float.max acc (Float.abs v)) 0. exact in
+  Alcotest.(check bool) "int8 matmul within 5% of float" true
+    (Tensor.max_abs_diff exact approx <= 0.05 *. scale)
+
+let test_clamp () =
+  Alcotest.(check int) "clamp low" (-128) (Quant.clamp_i8 (-1000));
+  Alcotest.(check int) "clamp high" 127 (Quant.clamp_i8 1000);
+  Alcotest.(check int) "clamp pass" 5 (Quant.clamp_i8 5)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let suite =
+  ( "tensor",
+    [
+      Alcotest.test_case "create/access" `Quick test_create;
+      Alcotest.test_case "reshape shares storage" `Quick test_reshape_shares;
+      Alcotest.test_case "matmul 2d" `Quick test_matmul_2d;
+      Alcotest.test_case "matmul batched" `Quick test_matmul_batched;
+      Alcotest.test_case "matmul bad shapes" `Quick test_matmul_bad_shapes;
+      Alcotest.test_case "add/mul broadcast" `Quick test_add_broadcast;
+      Alcotest.test_case "activations" `Quick test_activations;
+      qtest prop_softmax_normalised;
+      Alcotest.test_case "softmax stability" `Quick test_softmax_stability;
+      Alcotest.test_case "layernorm" `Quick test_layernorm;
+      Alcotest.test_case "rmsnorm" `Quick test_rmsnorm;
+      Alcotest.test_case "transpose/permute" `Quick test_transpose;
+      qtest prop_conv_matches_naive;
+      Alcotest.test_case "conv bias" `Quick test_conv_bias;
+      Alcotest.test_case "im2col shape" `Quick test_im2col_shape;
+      Alcotest.test_case "pooling" `Quick test_maxpool;
+      Alcotest.test_case "clip/relu6" `Quick test_clip;
+      Alcotest.test_case "attention uniform" `Quick test_attention_uniform;
+      Alcotest.test_case "attention causal" `Quick test_attention_causal;
+      qtest prop_quant_roundtrip_bounded;
+      Alcotest.test_case "quant zeros" `Quick test_quant_zero;
+      Alcotest.test_case "quant matmul accuracy" `Quick test_quant_matmul_close;
+      Alcotest.test_case "clamp_i8" `Quick test_clamp;
+    ] )
