@@ -11,6 +11,9 @@ module Workload = Cim_models.Workload
 module Zoo = Cim_models.Zoo
 module Cmswitch = Cim_compiler.Cmswitch
 module Plan = Cim_compiler.Plan
+module Degrade = Cim_compiler.Degrade
+module Faultmap = Cim_arch.Faultmap
+module Serving = Cim_sim.Serving
 module Baseline = Cim_baselines.Baseline
 
 let chip_arg =
@@ -63,6 +66,24 @@ let emit_arg =
 let sim_arg =
   Arg.(value & flag & info [ "sim" ] ~doc:"Run the timing simulator on the flow.")
 
+let fault_rate_arg =
+  Arg.(value & opt float 0.
+       & info [ "fault-rate" ] ~docv:"R"
+           ~doc:"Fraction of arrays injected as dead (0..1); the compiler \
+                 plans around them and reports the degradation.")
+
+let fault_seed_arg =
+  Arg.(value & opt int 0
+       & info [ "fault-seed" ] ~docv:"SEED"
+           ~doc:"Seed for deterministic fault injection.")
+
+let deadline_arg =
+  Arg.(value & opt (some float) None
+       & info [ "deadline" ] ~docv:"CYCLES"
+           ~doc:"Serve a small synthetic request trace against the compiled \
+                 schedule, dropping requests whose completion would exceed \
+                 this per-request deadline (in cycles).")
+
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Trace the compilation pipeline.")
 
@@ -106,13 +127,35 @@ let do_list () =
     Zoo.all;
   Printf.printf "\nchips: %s\n" (String.concat ", " (List.map fst Config.presets))
 
-let do_compile chip key batch seq kv emit sim report verbose =
+let do_compile chip key batch seq kv emit sim report fault_rate fault_seed
+    deadline verbose =
   setup_logs verbose;
   let e = find_model key in
   let w = workload_of e ~batch ~seq ~kv in
   Printf.printf "compiling %s for %s on %s ...\n%!" e.Zoo.display
     (Workload.to_string w) chip.Chip.name;
-  let mc = Cmswitch.compile_model ~options:Cmswitch.default_options chip e w in
+  let faults =
+    if fault_rate <= 0. then None
+    else begin
+      let fm =
+        try Faultmap.inject chip ~seed:fault_seed ~dead_rate:fault_rate ()
+        with Invalid_argument msg ->
+          Printf.eprintf "fault injection failed: %s\n" msg;
+          exit 1
+      in
+      Printf.printf "injected faults (seed %d): %d dead of %d arrays\n"
+        fault_seed
+        (chip.Chip.n_arrays - Faultmap.healthy_count fm)
+        chip.Chip.n_arrays;
+      Some fm
+    end
+  in
+  let mc =
+    try Cmswitch.compile_model ~options:Cmswitch.default_options ?faults chip e w
+    with Failure msg | Invalid_argument msg ->
+      Printf.eprintf "compilation failed: %s\n" msg;
+      exit 1
+  in
   let part =
     match (mc.Cmswitch.layer, mc.Cmswitch.whole) with
     | Some r, _ -> Some (r, Printf.sprintf "one of %d identical blocks" e.Zoo.n_layers)
@@ -131,6 +174,8 @@ let do_compile chip key batch seq kv emit sim report verbose =
       let t = Cim_sim.Timing.run chip r.Cmswitch.program in
       Format.printf "%a@." Cim_sim.Timing.pp t
     end;
+    if Degrade.degraded r.Cmswitch.degradation then
+      Format.printf "%a@." Degrade.pp r.Cmswitch.degradation;
     if emit then print_string (Cim_metaop.Flow.to_string r.Cmswitch.program);
     match report with
     | None -> ()
@@ -142,7 +187,28 @@ let do_compile chip key batch seq kv emit sim report verbose =
   Printf.printf "end-to-end: %.3e cycles (%.2f ms at %g MHz), compile %.2fs\n"
     mc.Cmswitch.total_cycles
     (Chip.cycles_to_us chip mc.Cmswitch.total_cycles /. 1000.)
-    chip.Chip.freq_mhz mc.Cmswitch.compile_seconds
+    chip.Chip.freq_mhz mc.Cmswitch.compile_seconds;
+  match deadline with
+  | None -> ()
+  | Some d ->
+    (* a schedule-derived cost profile: every prefill or decode step is one
+       full pass of the compiled schedule *)
+    let pass = mc.Cmswitch.total_cycles in
+    let profile =
+      { Serving.prefill_cycles = (fun _ -> pass);
+        decode_cycles = (fun _ -> pass) }
+    in
+    let rng = Cim_util.Rng.create fault_seed in
+    let trace =
+      Serving.poisson_trace rng ~n:16 ~mean_gap:(2. *. pass)
+        ~prompt:(max 1 seq) ~output:4
+    in
+    let s = Serving.run ~deadline:d profile trace in
+    Printf.printf
+      "serving (deadline %.3e cycles): %d completed, %d dropped, p95 \
+       latency %.3e, %.2f tokens/Mcycle\n"
+      d s.Serving.completed s.Serving.dropped s.Serving.p95_latency
+      s.Serving.tokens_per_megacycle
 
 let do_compare chip key batch seq kv =
   let e = find_model key in
@@ -164,7 +230,8 @@ let list_cmd =
 let compile_cmd =
   Cmd.v (Cmd.info "compile" ~doc:"Compile a model and print the schedule")
     Term.(const do_compile $ chip_arg $ model_arg $ batch_arg $ seq_arg
-          $ kv_arg $ emit_arg $ sim_arg $ report_arg $ verbose_arg)
+          $ kv_arg $ emit_arg $ sim_arg $ report_arg $ fault_rate_arg
+          $ fault_seed_arg $ deadline_arg $ verbose_arg)
 
 let compare_cmd =
   Cmd.v (Cmd.info "compare" ~doc:"Compare CMSwitch against the baselines")

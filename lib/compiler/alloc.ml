@@ -176,35 +176,72 @@ let read_plan (ops : Opinfo.t array) chip m vars ~lo ~hi =
   in
   { Plan.lo; hi; allocs; reuse; intra_cycles = intra }
 
-let solve ?(options = default_options) chip (ops : Opinfo.t array) ~lo ~hi =
+type outcome =
+  | Optimal of Plan.seg_plan
+  | Incumbent of Plan.seg_plan
+  | Truncated_no_incumbent
+  | Infeasible
+
+(* The degradation chain leans on the node-limited incumbent being a real
+   solution: every integer variable integral (Model.int_value rounds within
+   the solver's integrality tolerance) and the Eq. 5/8 bounds respected.
+   Checked explicitly so a solver regression degrades instead of
+   miscompiling. *)
+let plan_feasible chip (ops : Opinfo.t array) (p : Plan.seg_plan) =
+  List.for_all
+    (fun (a : Plan.op_alloc) ->
+      a.Plan.com >= ops.(a.Plan.uid).Opinfo.min_compute_arrays
+      && a.Plan.mem_in >= 0 && a.Plan.mem_out >= 0)
+    p.Plan.allocs
+  && List.for_all (fun (_, _, r) -> r >= 0) p.Plan.reuse
+  && Plan.arrays_used p <= chip.Chip.n_arrays
+
+let solve_outcome ?(options = default_options) chip (ops : Opinfo.t array) ~lo ~hi =
   if lo < 0 || hi >= Array.length ops || lo > hi then
     invalid_arg "Alloc.solve: bad uid range";
-  if Opinfo.total_min_arrays ops ~lo ~hi > chip.Chip.n_arrays then None
+  if Opinfo.total_min_arrays ops ~lo ~hi > chip.Chip.n_arrays then Infeasible
   else begin
     let z_ub = z_upper chip ops ~lo ~hi in
     let m, vars, z, _capacity_terms = build ~options chip ops ~lo ~hi ~z_ub in
     Model.maximize m [ (1., z) ];
     match Model.solve ~max_nodes:options.milp_max_nodes ~gap:5e-3 m with
-    | Model.Infeasible | Model.Unbounded | Model.Truncated None -> None
-    | Model.Optimal z_opt | Model.Truncated (Some z_opt) ->
+    | Model.Infeasible | Model.Unbounded -> Infeasible
+    | Model.Truncated None -> Truncated_no_incumbent
+    | Model.Truncated (Some _) ->
+      (* node-limited: the incumbent is usable only if it honours the
+         feasibility contract; refinement would burn another truncated
+         search for nothing, so skip it *)
       let plan = read_plan ops chip m vars ~lo ~hi in
-      if not options.refine then Some plan
-      else begin
-        (* lexicographic phase 2: fewest arrays at (almost) that latency *)
-        let m2, vars2, z2, cap2 = build ~options chip ops ~lo ~hi ~z_ub in
-        Model.add_ge m2 [ (1., z2) ] (z_opt *. (1. -. 1e-9));
-        let arrays_expr =
-          List.filter (fun (c, _) -> c > 0.) cap2
-        in
-        Model.minimize m2 arrays_expr;
-        match Model.solve ~max_nodes:options.milp_max_nodes ~gap:5e-3 m2 with
-        | Model.Optimal _ ->
-          let refined = read_plan ops chip m2 vars2 ~lo ~hi in
-          (* guard against numeric slack: keep the refined plan only if it
-             is genuinely no slower *)
-          if refined.Plan.intra_cycles <= plan.Plan.intra_cycles *. (1. +. 1e-9)
-          then Some refined
-          else Some plan
-        | Model.Infeasible | Model.Unbounded | Model.Truncated _ -> Some plan
-      end
+      if plan_feasible chip ops plan then Incumbent plan
+      else Truncated_no_incumbent
+    | Model.Optimal _ ->
+      let plan = read_plan ops chip m vars ~lo ~hi in
+      let plan =
+        if not options.refine then plan
+        else begin
+          (* lexicographic phase 2: fewest arrays at (almost) that latency *)
+          let z_opt = Model.value m z in
+          let m2, vars2, z2, cap2 = build ~options chip ops ~lo ~hi ~z_ub in
+          Model.add_ge m2 [ (1., z2) ] (z_opt *. (1. -. 1e-9));
+          let arrays_expr =
+            List.filter (fun (c, _) -> c > 0.) cap2
+          in
+          Model.minimize m2 arrays_expr;
+          match Model.solve ~max_nodes:options.milp_max_nodes ~gap:5e-3 m2 with
+          | Model.Optimal _ ->
+            let refined = read_plan ops chip m2 vars2 ~lo ~hi in
+            (* guard against numeric slack: keep the refined plan only if it
+               is genuinely no slower *)
+            if refined.Plan.intra_cycles <= plan.Plan.intra_cycles *. (1. +. 1e-9)
+            then refined
+            else plan
+          | Model.Infeasible | Model.Unbounded | Model.Truncated _ -> plan
+        end
+      in
+      Optimal plan
   end
+
+let solve ?options chip ops ~lo ~hi =
+  match solve_outcome ?options chip ops ~lo ~hi with
+  | Optimal p | Incumbent p -> Some p
+  | Truncated_no_incumbent | Infeasible -> None

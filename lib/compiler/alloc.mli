@@ -18,6 +18,29 @@ type options = {
 
 val default_options : options
 
+(** Solver outcome distinguishing a genuinely infeasible segment from a
+    node-limited search, so the {!Degrade} chain can fall back instead of
+    silently dropping the window. *)
+type outcome =
+  | Optimal of Plan.seg_plan       (** proved optimal (within the gap) *)
+  | Incumbent of Plan.seg_plan
+      (** node budget exhausted; the incumbent passed {!plan_feasible} *)
+  | Truncated_no_incumbent
+      (** node budget exhausted with no usable integral solution *)
+  | Infeasible                     (** the segment cannot fit (Alg. 1 line 13) *)
+
+val plan_feasible : Cim_arch.Chip.t -> Opinfo.t array -> Plan.seg_plan -> bool
+(** The contract a plan must honour before the compiler trusts it: every
+    operator at or above its minimum compute arrays, non-negative buffer
+    counts, and Eq. 8 capacity respected. *)
+
+val solve_outcome :
+  ?options:options -> Cim_arch.Chip.t -> Opinfo.t array -> lo:int -> hi:int ->
+  outcome
+(** Like {!solve} but reporting how the answer was obtained. Incumbents are
+    feasibility-checked; a failing incumbent is reported as
+    [Truncated_no_incumbent], never returned. *)
+
 val solve :
   ?options:options -> Cim_arch.Chip.t -> Opinfo.t array -> lo:int -> hi:int ->
   Plan.seg_plan option

@@ -1,5 +1,6 @@
 module Chip = Cim_arch.Chip
 module Cost = Cim_arch.Cost
+module Faultmap = Cim_arch.Faultmap
 module Workload = Cim_models.Workload
 module Zoo = Cim_models.Zoo
 module B = Cim_nnir.Builder
@@ -25,6 +26,7 @@ type result = {
   places : Placement.seg_place list;
   program : Cim_metaop.Flow.program;
   dp_stats : Segment.stats;
+  degradation : Degrade.report;
   compile_seconds : float;
 }
 
@@ -71,20 +73,48 @@ let placed_schedule chip ops (places : Placement.seg_place list) =
     total_cycles = !intra +. !wb +. !sw +. !rw;
   }
 
-let compile ?(options = default_options) chip graph =
+let compile ?(options = default_options) ?faults chip graph =
   let t0 = Sys.time () in
   Log.debug (fun m ->
       m "compiling %s on %s" graph.Cim_nnir.Graph.graph_name chip.Chip.name);
-  let ops = Opinfo.extract chip ~partition_fraction:options.partition_fraction graph in
+  (* the solver plans against the flexible pool only; placement runs on the
+     real chip with the fault map masking unusable coordinates *)
+  let solve_chip =
+    match faults with None -> chip | Some fm -> Faultmap.effective_chip fm
+  in
+  let healthy =
+    match faults with
+    | None -> chip.Chip.n_arrays
+    | Some fm -> Faultmap.flexible_count fm
+  in
+  (match faults with
+  | Some fm when Faultmap.fault_count fm > 0 ->
+    Log.warn (fun m ->
+        m "compiling around %d faulty arrays (%d/%d freely assignable)"
+          (Faultmap.fault_count fm) healthy chip.Chip.n_arrays)
+  | _ -> ());
+  let events = ref [] in
+  let on_stage (e : Degrade.event) =
+    Log.warn (fun m ->
+        m "ops [%d..%d] degraded to %s: %s" e.Degrade.lo e.Degrade.hi
+          (Degrade.stage_to_string e.Degrade.stage) e.Degrade.detail);
+    events := e :: !events
+  in
+  let ops =
+    Opinfo.extract solve_chip ~partition_fraction:options.partition_fraction
+      graph
+  in
   Log.debug (fun m ->
       m "extracted %d CIM (sub-)operators (cap %.2f of the chip)"
         (Array.length ops) options.partition_fraction);
-  let segments, dp_stats = Segment.run ~options:options.segment chip ops in
+  let segments, dp_stats =
+    Segment.run ~options:options.segment ~on_stage solve_chip ops
+  in
   Log.debug (fun m ->
       m "DP: %d segments, %d MIP solves (%d cache hits), %d candidates"
         (List.length segments) dp_stats.Segment.mip_solves
         dp_stats.Segment.mip_cache_hits dp_stats.Segment.candidates);
-  let places = Placement.place chip ops segments in
+  let places = Placement.place chip ?faults ops segments in
   let schedule = placed_schedule chip ops places in
   (* The DP's inter-segment costs are estimates, so the dual-mode plan can
      in corner cases place worse than a pure all-compute plan would. The
@@ -102,8 +132,10 @@ let compile ?(options = default_options) chip graph =
           Segment.alloc = { options.segment.Segment.alloc with
                             Alloc.force_all_compute = true } }
       in
-      let seg_ac, stats_ac = Segment.run ~options:restricted chip ops in
-      let places_ac = Placement.place chip ops seg_ac in
+      let seg_ac, stats_ac =
+        Segment.run ~options:restricted ~on_stage solve_chip ops
+      in
+      let places_ac = Placement.place chip ?faults ops seg_ac in
       let sched_ac = placed_schedule chip ops places_ac in
       if sched_ac.Plan.total_cycles < schedule.Plan.total_cycles then
         ( seg_ac, places_ac, sched_ac,
@@ -127,6 +159,21 @@ let compile ?(options = default_options) chip graph =
         schedule.Plan.total_cycles schedule.Plan.intra schedule.Plan.writeback
         schedule.Plan.switch schedule.Plan.rewrite);
   let program = Codegen.generate chip graph ops places in
+  (* static flow validation feeds the degradation report: a clean compile
+     has zero diagnostics, a degraded one documents exactly what the plan
+     still guarantees *)
+  let diagnostics =
+    List.map Cim_metaop.Check.diagnostic_to_string
+      (Cim_metaop.Check.errors (Cim_metaop.Check.run chip ?faults program))
+  in
+  List.iter
+    (fun d -> Log.warn (fun m -> m "flow validator: %s" d))
+    diagnostics;
+  let degradation =
+    { (Degrade.empty_report ~total:chip.Chip.n_arrays ~healthy) with
+      Degrade.events = List.rev !events;
+      diagnostics }
+  in
   {
     chip;
     graph;
@@ -135,8 +182,97 @@ let compile ?(options = default_options) chip graph =
     places;
     program;
     dp_stats;
+    degradation;
     compile_seconds = Sys.time () -. t0;
   }
+
+(* Last-resort serial schedule: one operator per segment, greedy
+   allocation, no DP and no MIP. Used when the normal pipeline cannot
+   produce a plan at all. *)
+let compile_serial ?(options = default_options) ?faults chip graph events =
+  let t0 = Sys.time () in
+  let solve_chip =
+    match faults with None -> chip | Some fm -> Faultmap.effective_chip fm
+  in
+  let healthy =
+    match faults with
+    | None -> chip.Chip.n_arrays
+    | Some fm -> Faultmap.flexible_count fm
+  in
+  let ops =
+    Opinfo.extract solve_chip ~partition_fraction:options.partition_fraction
+      graph
+  in
+  let segments =
+    Array.to_list
+      (Array.mapi
+         (fun i _ ->
+           match Greedy.solve solve_chip ops ~lo:i ~hi:i with
+           | Some plan ->
+             events :=
+               { Degrade.lo = i; hi = i; stage = Degrade.Serial_fallback;
+                 detail = "single-operator segment via greedy allocation" }
+               :: !events;
+             plan
+           | None ->
+             failwith
+               (Printf.sprintf
+                  "operator %d does not fit even alone on %d usable arrays" i
+                  solve_chip.Chip.n_arrays))
+         ops)
+  in
+  let places = Placement.place chip ?faults ops segments in
+  let schedule = placed_schedule chip ops places in
+  let program = Codegen.generate chip graph ops places in
+  let diagnostics =
+    List.map Cim_metaop.Check.diagnostic_to_string
+      (Cim_metaop.Check.errors (Cim_metaop.Check.run chip ?faults program))
+  in
+  let degradation =
+    { (Degrade.empty_report ~total:chip.Chip.n_arrays ~healthy) with
+      Degrade.events = List.rev !events;
+      diagnostics }
+  in
+  {
+    chip;
+    graph;
+    ops;
+    schedule;
+    places;
+    program;
+    dp_stats =
+      { Segment.mip_solves = 0; mip_cache_hits = 0;
+        candidates = Array.length ops; pruned_infeasible = 0 };
+    degradation;
+    compile_seconds = Sys.time () -. t0;
+  }
+
+let compile_robust ?(options = default_options) ?faults chip graph =
+  match compile ~options ?faults chip graph with
+  | r -> Ok r
+  | exception (Failure first_error | Invalid_argument first_error) -> begin
+    Log.warn (fun m ->
+        m "pipeline failed (%s); retrying with serial single-op segments"
+          first_error);
+    let events =
+      ref
+        [ { Degrade.lo = 0; hi = 0; stage = Degrade.Serial_fallback;
+            detail = "pipeline failed: " ^ first_error } ]
+    in
+    match compile_serial ~options ?faults chip graph events with
+    | r -> Ok r
+    | exception (Failure second_error | Invalid_argument second_error) ->
+      let healthy =
+        match faults with
+        | None -> chip.Chip.n_arrays
+        | Some fm -> Faultmap.flexible_count fm
+      in
+      Error
+        { (Degrade.empty_report ~total:chip.Chip.n_arrays ~healthy) with
+          Degrade.events = List.rev !events;
+          diagnostics =
+            [ "pipeline: " ^ first_error; "serial fallback: " ^ second_error ] }
+  end
 
 let memory_mode_ratio r =
   match r.schedule.Plan.segments with
@@ -183,10 +319,10 @@ let head_graph (e : Zoo.entry) (w : Workload.t) =
     let out = B.linear ~bias:false b x ~in_dim:d ~out_dim:vocab ~prefix:"lm_head" in
     Some (B.finish b ~outputs:[ out ])
 
-let compile_model ?(options = default_options) chip (e : Zoo.entry) w =
+let compile_model ?(options = default_options) ?faults chip (e : Zoo.entry) w =
   match e.Zoo.layer with
   | None ->
-    let r = compile ~options chip (e.Zoo.build w) in
+    let r = compile ~options ?faults chip (e.Zoo.build w) in
     {
       model = e.Zoo.display;
       workload = w;
@@ -198,8 +334,8 @@ let compile_model ?(options = default_options) chip (e : Zoo.entry) w =
       compile_seconds = r.compile_seconds;
     }
   | Some build_layer ->
-    let rl = compile ~options chip (build_layer w) in
-    let rh = Option.map (compile ~options chip) (head_graph e w) in
+    let rl = compile ~options ?faults chip (build_layer w) in
+    let rh = Option.map (compile ~options ?faults chip) (head_graph e w) in
     let head_cycles =
       match rh with Some r -> r.schedule.Plan.total_cycles | None -> 0.
     in

@@ -21,11 +21,32 @@ type result = {
   places : Placement.seg_place list;
   program : Cim_metaop.Flow.program;
   dp_stats : Segment.stats;
+  degradation : Degrade.report;
+      (** which solve stages fired per segment, the usable-array pool the
+          plan was made against, and the static flow-validator findings —
+          empty events/diagnostics on a clean full-capacity compile *)
   compile_seconds : float;      (** wall-clock compilation time (Fig. 18) *)
 }
 
-val compile : ?options:options -> Cim_arch.Chip.t -> Cim_nnir.Graph.t -> result
-(** Raises [Failure]/[Opinfo.Unsupported] on graphs the chip cannot run. *)
+val compile :
+  ?options:options -> ?faults:Cim_arch.Faultmap.t -> Cim_arch.Chip.t ->
+  Cim_nnir.Graph.t -> result
+(** With [faults], the solver plans against
+    {!Cim_arch.Faultmap.effective_chip} (only freely-assignable arrays
+    count as capacity) while placement runs on the real chip with dead
+    arrays masked and stuck arrays pinned to their mode; the emitted
+    program is re-checked by the {!Cim_metaop.Check} flow validator and any
+    findings land in [degradation.diagnostics]. Raises
+    [Failure]/[Opinfo.Unsupported] on graphs the (remaining) chip cannot
+    run — use {!compile_robust} for a non-raising pipeline. *)
+
+val compile_robust :
+  ?options:options -> ?faults:Cim_arch.Faultmap.t -> Cim_arch.Chip.t ->
+  Cim_nnir.Graph.t -> (result, Degrade.report) Stdlib.result
+(** Never raises: on pipeline failure it retries with serial single-operator
+    segments under greedy allocation (every segment recorded as a
+    [Serial_fallback] event); when even that cannot fit an operator, returns
+    [Error report] whose diagnostics say what failed at each stage. *)
 
 val memory_mode_ratio : result -> float
 (** Average over segments of (memory-mode arrays / chip arrays) — the
@@ -46,8 +67,8 @@ type model_cost = {
 }
 
 val compile_model :
-  ?options:options -> Cim_arch.Chip.t -> Cim_models.Zoo.entry ->
-  Cim_models.Workload.t -> model_cost
+  ?options:options -> ?faults:Cim_arch.Faultmap.t -> Cim_arch.Chip.t ->
+  Cim_models.Zoo.entry -> Cim_models.Workload.t -> model_cost
 
 val head_graph :
   Cim_models.Zoo.entry -> Cim_models.Workload.t -> Cim_nnir.Graph.t option

@@ -1,0 +1,73 @@
+type stage =
+  | Milp_optimal
+  | Milp_incumbent
+  | Greedy_fallback
+  | Serial_fallback
+
+type event = { lo : int; hi : int; stage : stage; detail : string }
+
+type report = {
+  total_arrays : int;
+  healthy_arrays : int;
+  events : event list;
+  diagnostics : string list;
+}
+
+let empty_report ~total ~healthy =
+  { total_arrays = total; healthy_arrays = healthy; events = []; diagnostics = [] }
+
+let degraded r =
+  r.events <> [] || r.diagnostics <> [] || r.healthy_arrays < r.total_arrays
+
+let stage_to_string = function
+  | Milp_optimal -> "milp-optimal"
+  | Milp_incumbent -> "milp-incumbent"
+  | Greedy_fallback -> "greedy-fallback"
+  | Serial_fallback -> "serial-fallback"
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>degradation: %s (%d/%d arrays usable)"
+    (if degraded r then "DEGRADED" else "clean")
+    r.healthy_arrays r.total_arrays;
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "@,  ops [%d..%d] via %s: %s" e.lo e.hi
+        (stage_to_string e.stage) e.detail)
+    r.events;
+  List.iter (fun d -> Format.fprintf ppf "@,  validator: %s" d) r.diagnostics;
+  Format.fprintf ppf "@]"
+
+let solve ?options ?(on_stage = fun _ -> ()) chip (ops : Opinfo.t array) ~lo ~hi =
+  let greedy detail =
+    match Greedy.solve chip ops ~lo ~hi with
+    | Some plan ->
+      on_stage { lo; hi; stage = Greedy_fallback; detail };
+      Some plan
+    | None -> None
+  in
+  match Alloc.solve_outcome ?options chip ops ~lo ~hi with
+  | Alloc.Optimal plan -> Some plan
+  | Alloc.Infeasible -> None
+  | Alloc.Truncated_no_incumbent ->
+    greedy "MILP node budget exhausted without a feasible incumbent"
+  | Alloc.Incumbent plan -> begin
+    (* a truncated incumbent can be arbitrarily weak (it may come from the
+       root rounding heuristic): adopt the greedy allocation instead when it
+       is strictly faster *)
+    match Greedy.solve chip ops ~lo ~hi with
+    | Some g when g.Plan.intra_cycles < plan.Plan.intra_cycles *. (1. -. 1e-9) ->
+      on_stage
+        { lo; hi; stage = Greedy_fallback;
+          detail =
+            Printf.sprintf
+              "greedy (%.0f cycles) beat the node-limited incumbent (%.0f)"
+              g.Plan.intra_cycles plan.Plan.intra_cycles };
+      Some g
+    | Some _ | None ->
+      on_stage
+        { lo; hi; stage = Milp_incumbent;
+          detail =
+            Printf.sprintf "node-limited incumbent kept (%.0f cycles)"
+              plan.Plan.intra_cycles };
+      Some plan
+  end

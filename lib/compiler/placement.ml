@@ -1,5 +1,6 @@
 module Chip = Cim_arch.Chip
 module Mode = Cim_arch.Mode
+module Faultmap = Cim_arch.Faultmap
 
 type op_place = {
   uid : int;
@@ -16,15 +17,15 @@ type seg_place = {
   to_memory : Chip.coord list;
 }
 
-(* Take [n] indices out of [pool] (a bool array of free arrays), preferring
-   indices for which [prefer] holds — i.e. arrays already in the right
-   mode. *)
-let take pool prefer n =
+(* Take [n] indices out of [pool] (a bool array of free arrays) that [can]
+   serve the requested mode, preferring indices for which [prefer] holds —
+   i.e. arrays already in the right mode. *)
+let take pool ~can ~prefer n =
   let out = ref [] and remaining = ref n in
   let scan want_preferred =
     let i = ref 0 in
     while !remaining > 0 && !i < Array.length pool do
-      if pool.(!i) && prefer !i = want_preferred then begin
+      if pool.(!i) && can !i && prefer !i = want_preferred then begin
         pool.(!i) <- false;
         out := !i :: !out;
         decr remaining
@@ -34,31 +35,56 @@ let take pool prefer n =
   in
   scan true;
   scan false;
-  if !remaining > 0 then failwith "Placement: chip capacity exceeded";
+  if !remaining > 0 then
+    failwith
+      (Printf.sprintf "Placement: chip capacity exceeded (%d arrays short)"
+         !remaining);
   List.rev !out
 
-(* Take specific indices if still free; returns the subset obtained. *)
-let take_specific pool idxs =
+(* Take specific indices if still free and usable; returns the subset
+   obtained. *)
+let take_specific pool ~can idxs =
   List.filter
     (fun i ->
-      if i >= 0 && i < Array.length pool && pool.(i) then begin
+      if i >= 0 && i < Array.length pool && pool.(i) && can i then begin
         pool.(i) <- false;
         true
       end
       else false)
     idxs
 
-let place chip ?(initial_mode = Mode.Memory) (ops : Opinfo.t array)
+let place chip ?(initial_mode = Mode.Memory) ?faults (ops : Opinfo.t array)
     (plans : Plan.seg_plan list) =
   let n = chip.Chip.n_arrays in
-  let mode = Array.make n initial_mode in
+  let usable target i =
+    match faults with
+    | None -> true
+    | Some fm -> Faultmap.usable fm i ~target
+  in
+  let alive i =
+    match faults with None -> true | Some fm -> not (Faultmap.is_dead fm i)
+  in
+  let can_compute = usable Mode.Compute and can_memory = usable Mode.Memory in
+  (* stuck arrays live permanently in their stuck mode; the mode map must
+     say so or the switch lists would try to move them *)
+  let mode =
+    Array.init n (fun i ->
+        match faults with
+        | None -> initial_mode
+        | Some fm -> begin
+          match Faultmap.fault_at fm i with
+          | Some (Faultmap.Stuck_mode m) -> m
+          | Some Faultmap.Dead | Some (Faultmap.Transient_switch_failure _)
+          | None -> initial_mode
+        end)
+  in
   let coord i = Chip.coord_of_index chip i in
   (* producer uid -> array indices holding its output at the end of the
      previous segment (candidates for the in-place K-cache switch) *)
   let prev_mem_out : (int, int list) Hashtbl.t = Hashtbl.create 8 in
   List.map
     (fun (plan : Plan.seg_plan) ->
-      let free = Array.make n true in
+      let free = Array.init n alive in
       let is_compute i = mode.(i) = Mode.Compute in
       let is_memory i = mode.(i) = Mode.Memory in
       (* Per-op assignment in uid (topological) order: compute arrays prefer
@@ -84,14 +110,17 @@ let place chip ?(initial_mode = Mode.Memory) (ops : Opinfo.t array)
                     info.Opinfo.deps
                 in
                 let capped = List.filteri (fun i _ -> i < a.Plan.com) candidates in
-                take_specific free capped
+                take_specific free ~can:can_compute capped
               end
               else []
             in
             let compute_extra =
-              take free is_compute (a.Plan.com - List.length in_place)
+              take free ~can:can_compute ~prefer:is_compute
+                (a.Plan.com - List.length in_place)
             in
-            let mem_out = take free is_memory a.Plan.mem_out in
+            let mem_out =
+              take free ~can:can_memory ~prefer:is_memory a.Plan.mem_out
+            in
             Hashtbl.replace mem_out_pool a.Plan.uid mem_out;
             let shared_in =
               List.concat_map
@@ -106,7 +135,8 @@ let place chip ?(initial_mode = Mode.Memory) (ops : Opinfo.t array)
             in
             let shared_in = List.sort_uniq compare shared_in in
             let mem_in_extra =
-              take free is_memory (max 0 (a.Plan.mem_in - List.length shared_in))
+              take free ~can:can_memory ~prefer:is_memory
+                (max 0 (a.Plan.mem_in - List.length shared_in))
             in
             {
               uid = a.Plan.uid;

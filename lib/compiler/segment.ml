@@ -37,11 +37,12 @@ let signature (ops : Opinfo.t array) ~lo ~hi =
   done;
   Buffer.contents buf
 
-let run ?(options = default_options) chip (ops : Opinfo.t array) =
+let run ?(options = default_options) ?on_stage chip (ops : Opinfo.t array) =
   let m = Array.length ops in
   let ctx = Plan.make_ctx ops in
   let cache : (string, Plan.seg_plan option) Hashtbl.t = Hashtbl.create 256 in
   let solves = ref 0 and hits = ref 0 and cands = ref 0 and pruned = ref 0 in
+  let solve ~lo ~hi = Degrade.solve ~options:options.alloc ?on_stage chip ops ~lo ~hi in
   let intra ~lo ~hi =
     if options.memoize then begin
       let key = signature ops ~lo ~hi in
@@ -65,13 +66,13 @@ let run ?(options = default_options) chip (ops : Opinfo.t array) =
           cached
       | None ->
         incr solves;
-        let r = Alloc.solve ~options:options.alloc chip ops ~lo ~hi in
+        let r = solve ~lo ~hi in
         Hashtbl.replace cache key r;
         r
     end
     else begin
       incr solves;
-      Alloc.solve ~options:options.alloc chip ops ~lo ~hi
+      solve ~lo ~hi
     end
   in
   if m = 0 then ([], { mip_solves = 0; mip_cache_hits = 0; candidates = 0;

@@ -23,8 +23,13 @@ type stats = {
 }
 
 val run :
-  ?options:options -> Cim_arch.Chip.t -> Opinfo.t array ->
-  Plan.seg_plan list * stats
-(** Optimal segmentation of the whole operator list. Raises [Failure] when
-    some operator cannot be scheduled at all (does not fit the chip alone —
-    cannot happen for operator lists produced by {!Opinfo.extract}). *)
+  ?options:options -> ?on_stage:(Degrade.event -> unit) -> Cim_arch.Chip.t ->
+  Opinfo.t array -> Plan.seg_plan list * stats
+(** Optimal segmentation of the whole operator list. Per-window allocation
+    goes through the {!Degrade.solve} chain, so a node-limited MIP degrades
+    to its incumbent or the greedy allocator instead of dropping the window;
+    [on_stage] observes every such fallback (memoised windows replay the
+    cached plan without re-firing it). Raises [Failure] when some operator
+    cannot be scheduled at all (does not fit the chip alone — cannot happen
+    for operator lists produced by {!Opinfo.extract} against the same
+    chip). *)

@@ -17,6 +17,7 @@ type report = {
   compute_instrs : int;
   vector_instrs : int;
   switches : int * int;
+  switch_retries : int;
 }
 
 exception Error of string
@@ -82,7 +83,8 @@ let covered cov =
   in
   match merged with [ (0, hi) ] -> hi >= cov.width | _ -> false
 
-let run chip (g : Graph.t) (p : Flow.program) ~inputs =
+let run chip ?faults ?rng ?max_switch_retries (g : Graph.t)
+    (p : Flow.program) ~inputs =
   (match Flow.validate chip p with
   | Ok () -> ()
   | Error m -> err "invalid program: %s" m);
@@ -102,7 +104,7 @@ let run chip (g : Graph.t) (p : Flow.program) ~inputs =
   let node_of id =
     try Graph.find_node g id with Graph.Invalid m -> err "%s" m
   in
-  let machine = Machine.create chip () in
+  let machine = Machine.create chip ?faults ?rng ?max_switch_retries () in
   let node_results : (int, Tensor.t) Hashtbl.t = Hashtbl.create 32 in
   let coverages : (int, coverage) Hashtbl.t = Hashtbl.create 32 in
   let computes = ref 0 and vectors = ref 0 in
@@ -216,4 +218,5 @@ let run chip (g : Graph.t) (p : Flow.program) ~inputs =
     compute_instrs = !computes;
     vector_instrs = !vectors;
     switches = Machine.switch_counts machine;
+    switch_retries = Machine.switch_retries machine;
   }

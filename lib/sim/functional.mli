@@ -18,12 +18,16 @@ type report = {
   compute_instrs : int;
   vector_instrs : int;
   switches : int * int; (** realised (m->c, c->m) *)
+  switch_retries : int; (** failed switch attempts recovered by retrying *)
 }
 
 exception Error of string
 
 val run :
-  Cim_arch.Chip.t -> Cim_nnir.Graph.t -> Cim_metaop.Flow.program ->
+  Cim_arch.Chip.t -> ?faults:Cim_arch.Faultmap.t -> ?rng:Cim_util.Rng.t ->
+  ?max_switch_retries:int -> Cim_nnir.Graph.t -> Cim_metaop.Flow.program ->
   inputs:(string * Cim_tensor.Tensor.t) list -> report
 (** Requires every initializer of the graph to carry values. Raises [Error]
-    (or {!Machine.Fault}) on illegal programs. *)
+    (or {!Machine.Fault}) on illegal programs — including programs that use
+    dead arrays, switch stuck arrays, or exhaust the transient-switch retry
+    budget of the fault model (see {!Machine.create}). *)

@@ -1,5 +1,7 @@
 module Chip = Cim_arch.Chip
 module Mode = Cim_arch.Mode
+module Faultmap = Cim_arch.Faultmap
+module Rng = Cim_util.Rng
 
 type content =
   | Empty
@@ -8,28 +10,59 @@ type content =
 
 type t = {
   chip : Chip.t;
+  faults : Faultmap.t option;
+  rng : Rng.t;
+  max_switch_retries : int;
   modes : Mode.t array;
   contents : content array;
   mutable m2c : int;
   mutable c2m : int;
+  mutable retries : int;
 }
 
 exception Fault of string
 
 let fault fmt = Printf.ksprintf (fun s -> raise (Fault s)) fmt
 
-let create chip ?(initial_mode = Mode.Memory) () =
+let create chip ?(initial_mode = Mode.Memory) ?faults ?rng
+    ?(max_switch_retries = 3) () =
+  if max_switch_retries < 0 then
+    invalid_arg "Machine.create: max_switch_retries must be non-negative";
   {
     chip;
-    modes = Array.make chip.Chip.n_arrays initial_mode;
+    faults;
+    rng = (match rng with Some r -> r | None -> Rng.create 0x5117c4);
+    max_switch_retries;
+    modes =
+      Array.init chip.Chip.n_arrays (fun i ->
+          (* stuck arrays are physically pinned to their mode *)
+          match faults with
+          | Some fm -> begin
+            match Faultmap.fault_at fm i with
+            | Some (Faultmap.Stuck_mode m) -> m
+            | _ -> initial_mode
+          end
+          | None -> initial_mode);
     contents = Array.make chip.Chip.n_arrays Empty;
     m2c = 0;
     c2m = 0;
+    retries = 0;
   }
 
 let idx t c =
   try Chip.index_of_coord t.chip c
   with Chip.Invalid_config m -> fault "machine: %s" m
+
+(* every fault path names the array, its current mode and what was
+   attempted — a degraded run must be diagnosable from the message alone *)
+let check_alive t c i ~attempted =
+  match t.faults with
+  | Some fm when Faultmap.is_dead fm i ->
+    fault "array (%d,%d) is dead (currently %s mode): cannot %s" c.Chip.x
+      c.Chip.y
+      (Mode.to_string t.modes.(i))
+      attempted
+  | _ -> ()
 
 let mode t c = t.modes.(idx t c)
 let content t c = t.contents.(idx t c)
@@ -37,46 +70,110 @@ let content t c = t.contents.(idx t c)
 let switch t transition c =
   let i = idx t c in
   let target = Mode.apply transition in
+  let attempted =
+    Printf.sprintf "switch %s (to %s mode)"
+      (Mode.transition_to_string transition)
+      (Mode.to_string target)
+  in
+  check_alive t c i ~attempted;
+  (match t.faults with
+  | Some fm -> begin
+    match Faultmap.fault_at fm i with
+    | Some (Faultmap.Stuck_mode m) ->
+      fault
+        "array (%d,%d) is stuck in %s mode: cannot switch %s to %s mode \
+         (currently %s)"
+        c.Chip.x c.Chip.y (Mode.to_string m)
+        (Mode.transition_to_string transition)
+        (Mode.to_string target)
+        (Mode.to_string t.modes.(i))
+    | _ -> ()
+  end
+  | None -> ());
   if t.modes.(i) = target then
-    fault "redundant switch of array (%d,%d) to %s" c.Chip.x c.Chip.y
-      (Mode.to_string target);
+    fault
+      "redundant switch of array (%d,%d): already in %s mode, attempted %s"
+      c.Chip.x c.Chip.y (Mode.to_string target)
+      (Mode.transition_to_string transition);
+  (* a transiently failing switch circuit recovers under bounded retries;
+     each failed attempt is counted so the timing simulator can charge it *)
+  let p =
+    match t.faults with Some fm -> Faultmap.transient_prob fm i | None -> 0.
+  in
+  if p > 0. then begin
+    let attempts = ref 0 in
+    let succeeded = ref false in
+    while (not !succeeded) && !attempts <= t.max_switch_retries do
+      if Rng.float t.rng 1.0 < p then begin
+        incr attempts;
+        t.retries <- t.retries + 1
+      end
+      else succeeded := true
+    done;
+    if not !succeeded then
+      fault
+        "array (%d,%d): switch %s to %s mode failed %d times (transient \
+         failure p=%.2f, currently %s mode)"
+        c.Chip.x c.Chip.y
+        (Mode.transition_to_string transition)
+        (Mode.to_string target) !attempts p
+        (Mode.to_string t.modes.(i))
+  end;
   (match transition with
   | Mode.To_compute -> t.m2c <- t.m2c + 1
   | Mode.To_memory -> t.c2m <- t.c2m + 1);
   t.modes.(i) <- target;
   (* mode change loses the scratchpad view of the cells but the physical
      weight charge survives *)
-  (match t.contents.(i) with
+  match t.contents.(i) with
   | Data _ -> t.contents.(i) <- Empty
-  | Empty | Weights _ -> ())
+  | Empty | Weights _ -> ()
 
 let write_weights t c ~node_id ~lo ~hi =
   let i = idx t c in
+  check_alive t c i ~attempted:(Printf.sprintf "write node %d weights" node_id);
   if t.modes.(i) <> Mode.Compute then
-    fault "weight write to array (%d,%d) while in memory mode" c.Chip.x c.Chip.y;
+    fault
+      "weight write of node %d to array (%d,%d) while in %s mode (needs \
+       compute)"
+      node_id c.Chip.x c.Chip.y
+      (Mode.to_string t.modes.(i));
   t.contents.(i) <- Weights { node_id; lo; hi }
 
 let stage_data t c name =
   let i = idx t c in
+  check_alive t c i ~attempted:(Printf.sprintf "stage tensor %s" name);
   if t.modes.(i) <> Mode.Memory then
-    fault "data load into array (%d,%d) while in compute mode" c.Chip.x c.Chip.y;
+    fault
+      "data load of %s into array (%d,%d) while in %s mode (needs memory)"
+      name c.Chip.x c.Chip.y
+      (Mode.to_string t.modes.(i));
   t.contents.(i) <- Data name
 
 let check_compute t c ~node_id =
   let i = idx t c in
+  check_alive t c i ~attempted:(Printf.sprintf "compute node %d" node_id);
   if t.modes.(i) <> Mode.Compute then
-    fault "compute on array (%d,%d) in memory mode" c.Chip.x c.Chip.y;
+    fault "compute of node %d on array (%d,%d) in %s mode (needs compute)"
+      node_id c.Chip.x c.Chip.y
+      (Mode.to_string t.modes.(i));
   match t.contents.(i) with
   | Weights w when w.node_id = node_id -> ()
   | Weights w ->
-    fault "array (%d,%d) holds weights of node %d, not %d" c.Chip.x c.Chip.y
-      w.node_id node_id
+    fault "array (%d,%d) holds weights of node %d, not %d (in %s mode)"
+      c.Chip.x c.Chip.y w.node_id node_id
+      (Mode.to_string t.modes.(i))
   | Empty | Data _ ->
-    fault "array (%d,%d) computes without programmed weights" c.Chip.x c.Chip.y
+    fault "array (%d,%d) computes node %d without programmed weights"
+      c.Chip.x c.Chip.y node_id
 
 let check_memory t c =
   let i = idx t c in
+  check_alive t c i ~attempted:"memory access";
   if t.modes.(i) <> Mode.Memory then
-    fault "memory access to array (%d,%d) in compute mode" c.Chip.x c.Chip.y
+    fault "memory access to array (%d,%d) in %s mode (needs memory)" c.Chip.x
+      c.Chip.y
+      (Mode.to_string t.modes.(i))
 
 let switch_counts t = (t.m2c, t.c2m)
+let switch_retries t = t.retries

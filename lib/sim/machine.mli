@@ -10,17 +10,27 @@ type content =
 
 type t
 
-val create : Cim_arch.Chip.t -> ?initial_mode:Cim_arch.Mode.t -> unit -> t
+val create :
+  Cim_arch.Chip.t -> ?initial_mode:Cim_arch.Mode.t ->
+  ?faults:Cim_arch.Faultmap.t -> ?rng:Cim_util.Rng.t ->
+  ?max_switch_retries:int -> unit -> t
+(** With [faults], stuck arrays start in (and can never leave) their stuck
+    mode, dead arrays fault on any use, and transiently failing switch
+    circuits are retried up to [max_switch_retries] times (default 3; the
+    retry draw comes from [rng], default a fixed seed) before faulting.
+    Raises [Invalid_argument] on a negative retry budget. *)
 
 val mode : t -> Cim_arch.Chip.coord -> Cim_arch.Mode.t
 val content : t -> Cim_arch.Chip.coord -> content
 
 exception Fault of string
-(** Raised on illegal transitions/uses; the message names the array. *)
+(** Raised on illegal transitions/uses; the message always names the array
+    coordinate, its current mode and the attempted operation/transition. *)
 
 val switch : t -> Cim_arch.Mode.transition -> Cim_arch.Chip.coord -> unit
 (** Faults if the array is already in the target mode (a redundant switch is
-    a compiler bug: it wastes cycles). Switching clears [Data] contents —
+    a compiler bug: it wastes cycles), is dead or stuck, or keeps failing
+    transiently past the retry budget. Switching clears [Data] contents —
     the scratchpad view is lost — but keeps [Weights] (the DynaPlasia cells
     physically retain their charge across mode changes). *)
 
@@ -40,3 +50,7 @@ val check_memory : t -> Cim_arch.Chip.coord -> unit
 
 val switch_counts : t -> int * int
 (** (memory->compute, compute->memory) switches performed so far. *)
+
+val switch_retries : t -> int
+(** Total failed switch attempts recovered by retrying — each one costs a
+    full switch latency, which the timing simulator charges. *)

@@ -7,6 +7,7 @@ type cost_profile = {
 
 type stats = {
   completed : int;
+  dropped : int;
   makespan : float;
   mean_latency : float;
   p95_latency : float;
@@ -15,58 +16,89 @@ type stats = {
   tokens_per_megacycle : float;
 }
 
-let interpolate samples =
-  if samples = [] then invalid_arg "Serving.interpolate: no samples";
-  let sorted = List.sort_uniq compare samples in
-  let arr = Array.of_list sorted in
-  fun x ->
-    let n = Array.length arr in
-    let xf = float_of_int x in
-    if x <= fst arr.(0) then snd arr.(0)
-    else if x >= fst arr.(n - 1) then snd arr.(n - 1)
-    else begin
-      (* find the bracketing pair *)
-      let i = ref 0 in
-      while fst arr.(!i + 1) < x do
-        incr i
-      done;
-      let x0, y0 = arr.(!i) and x1, y1 = arr.(!i + 1) in
-      let t = (xf -. float_of_int x0) /. float_of_int (x1 - x0) in
-      y0 +. (t *. (y1 -. y0))
-    end
+let zero_stats =
+  {
+    completed = 0;
+    dropped = 0;
+    makespan = 0.;
+    mean_latency = 0.;
+    p95_latency = 0.;
+    mean_ttft = 0.;
+    tokens = 0;
+    tokens_per_megacycle = 0.;
+  }
 
-let run profile requests =
-  if requests = [] then invalid_arg "Serving.run: empty trace";
+let interpolate samples =
+  match List.sort_uniq compare samples with
+  | [] ->
+    (* no samples: an empty profile costs nothing, matching the zeroed
+       stats an empty trace produces *)
+    fun _ -> 0.
+  | sorted ->
+    let arr = Array.of_list sorted in
+    fun x ->
+      let n = Array.length arr in
+      let xf = float_of_int x in
+      if x <= fst arr.(0) then snd arr.(0)
+      else if x >= fst arr.(n - 1) then snd arr.(n - 1)
+      else begin
+        (* find the bracketing pair *)
+        let i = ref 0 in
+        while fst arr.(!i + 1) < x do
+          incr i
+        done;
+        let x0, y0 = arr.(!i) and x1, y1 = arr.(!i + 1) in
+        let t = (xf -. float_of_int x0) /. float_of_int (x1 - x0) in
+        y0 +. (t *. (y1 -. y0))
+      end
+
+let run ?deadline profile requests =
+  (match deadline with
+  | Some d when d <= 0. -> invalid_arg "Serving.run: deadline must be positive"
+  | _ -> ());
   let requests = List.sort (fun a b -> compare a.arrival b.arrival) requests in
   let now = ref 0. in
   let latencies = ref [] and ttfts = ref [] in
   let tokens = ref 0 in
+  let completed = ref 0 and dropped = ref 0 in
   List.iter
     (fun r ->
       if r.prompt <= 0 || r.output < 0 then
         invalid_arg "Serving.run: malformed request";
       let start = Float.max !now r.arrival in
       let after_prefill = start +. profile.prefill_cycles r.prompt in
-      ttfts := (after_prefill -. r.arrival) :: !ttfts;
       let finish = ref after_prefill in
       for t = 0 to r.output - 1 do
         finish := !finish +. profile.decode_cycles (r.prompt + t)
       done;
-      now := !finish;
-      tokens := !tokens + r.output + 1;
-      latencies := (!finish -. r.arrival) :: !latencies)
+      (* admission control: a request that cannot finish within its
+         deadline is dropped on arrival and does not occupy the chip *)
+      match deadline with
+      | Some d when !finish -. r.arrival > d -> incr dropped
+      | _ ->
+        incr completed;
+        ttfts := (after_prefill -. r.arrival) :: !ttfts;
+        now := !finish;
+        tokens := !tokens + r.output + 1;
+        latencies := (!finish -. r.arrival) :: !latencies)
     requests;
-  let latencies = !latencies in
-  {
-    completed = List.length requests;
-    makespan = !now;
-    mean_latency = Cim_util.Stats.mean latencies;
-    p95_latency = Cim_util.Stats.percentile 95. latencies;
-    mean_ttft = Cim_util.Stats.mean !ttfts;
-    tokens = !tokens;
-    tokens_per_megacycle =
-      (if !now > 0. then float_of_int !tokens /. (!now /. 1e6) else 0.);
-  }
+  if !completed = 0 then { zero_stats with dropped = !dropped }
+  else
+    let latencies = !latencies in
+    {
+      completed = !completed;
+      dropped = !dropped;
+      makespan = !now;
+      mean_latency = Cim_util.Stats.mean latencies;
+      (* nearest rank, not interpolation: on short traces (< 20 requests)
+         the 95th percentile is the worst observed latency, not a blend of
+         the two slowest requests *)
+      p95_latency = Cim_util.Stats.percentile_nearest_rank 95. latencies;
+      mean_ttft = Cim_util.Stats.mean !ttfts;
+      tokens = !tokens;
+      tokens_per_megacycle =
+        (if !now > 0. then float_of_int !tokens /. (!now /. 1e6) else 0.);
+    }
 
 let poisson_trace rng ~n ~mean_gap ~prompt ~output =
   if n <= 0 then invalid_arg "Serving.poisson_trace: n must be positive";

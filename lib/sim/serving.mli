@@ -18,23 +18,34 @@ type cost_profile = {
 
 type stats = {
   completed : int;
+  dropped : int;               (** requests rejected by deadline admission *)
   makespan : float;            (** cycles until the last request finishes *)
   mean_latency : float;        (** request arrival -> completion, cycles *)
-  p95_latency : float;
+  p95_latency : float;         (** nearest-rank: the worst observed latency
+                                   on traces under 20 completed requests *)
   mean_ttft : float;           (** time to first token, cycles *)
   tokens : int;
   tokens_per_megacycle : float;
 }
 
+val zero_stats : stats
+(** All-zero statistics: what an empty trace (or a trace whose every
+    request was dropped) reports. *)
+
 val interpolate : (int * float) list -> int -> float
 (** Piecewise-linear interpolation through sample points (sorted
-    internally, constant extrapolation outside). Raises
-    [Invalid_argument] on an empty list. *)
+    internally, constant extrapolation outside). An empty sample list
+    yields the constant-zero profile. *)
 
-val run : cost_profile -> request list -> stats
+val run : ?deadline:float -> cost_profile -> request list -> stats
 (** FCFS, no batching across requests: each request runs prefill then its
-    decode steps with a growing KV length. Raises [Invalid_argument] on an
-    empty trace. *)
+    decode steps with a growing KV length. An empty trace returns
+    {!zero_stats}. With [deadline] (cycles, must be positive), a request
+    whose predicted completion would exceed arrival + deadline is dropped
+    on arrival — it does not occupy the chip, counts in [dropped], and is
+    excluded from every latency/throughput statistic; this is the degraded-
+    throughput view of a chip slowed by faults. Raises [Invalid_argument]
+    on a malformed request (non-positive prompt or negative output). *)
 
 val poisson_trace :
   Cim_util.Rng.t -> n:int -> mean_gap:float -> prompt:int -> output:int ->

@@ -1,6 +1,8 @@
 module Chip = Cim_arch.Chip
 module Cost = Cim_arch.Cost
+module Faultmap = Cim_arch.Faultmap
 module Flow = Cim_metaop.Flow
+module Rng = Cim_util.Rng
 
 type breakdown = {
   compute : float;
@@ -15,6 +17,7 @@ type result = {
   microseconds : float;
   segments : int;
   switch_count : int * int;
+  switch_retries : int;
   dma_bytes : int;
   switch_share : float;
 }
@@ -30,13 +33,49 @@ type residency = {
 
 let coords_overlap a b = List.exists (fun c -> List.mem c b) a
 
-let run chip (p : Flow.program) =
+let run chip ?faults ?rng ?(max_switch_retries = 3) (p : Flow.program) =
+  let rng = match rng with Some r -> r | None -> Rng.create 0x5117c4 in
   let compute = ref 0. and switch = ref 0. and rewrite = ref 0. in
   let writeback = ref 0. in
   let m2c = ref 0 and c2m = ref 0 in
   let dma = ref 0 in
+  let retries = ref 0 in
   let segments = ref 0 in
   let res = { staged = [] } in
+  (* each failed transient switch attempt burns one single-array switch
+     latency before the retry; draws mirror Machine.switch so a timing run
+     with the same rng prices exactly the retries the machine performs *)
+  let charge_retries target arrays =
+    match faults with
+    | None -> ()
+    | Some fm ->
+      let attempts =
+        List.fold_left
+          (fun acc (c : Flow.coord) ->
+            match Chip.index_of_coord chip c with
+            | exception Chip.Invalid_config _ -> acc
+            | i ->
+              let p = Faultmap.transient_prob fm i in
+              if p <= 0. then acc
+              else begin
+                let a = ref 0 and ok = ref false in
+                while (not !ok) && !a <= max_switch_retries do
+                  if Rng.float rng 1.0 < p then incr a else ok := true
+                done;
+                acc + !a
+              end)
+          0 arrays
+      in
+      if attempts > 0 then begin
+        retries := !retries + attempts;
+        let per_attempt =
+          match target with
+          | Cim_arch.Mode.To_compute -> Cost.switch_latency chip ~m2c:1 ~c2m:0
+          | Cim_arch.Mode.To_memory -> Cost.switch_latency chip ~m2c:0 ~c2m:1
+        in
+        switch := !switch +. (float_of_int attempts *. per_attempt)
+      end
+  in
   let flush_overlapping coords =
     (* displaced scratchpad contents go back to main memory *)
     let displaced, kept =
@@ -52,6 +91,7 @@ let run chip (p : Flow.program) =
     match i with
     | Flow.Switch { target; arrays } ->
       flush_overlapping arrays;
+      charge_retries target arrays;
       let n = List.length arrays in
       (match target with
       | Cim_arch.Mode.To_compute ->
@@ -127,6 +167,7 @@ let run chip (p : Flow.program) =
           end
           | Flow.Switch { target; arrays } ->
             flush_overlapping arrays;
+            charge_retries target arrays;
             let n = List.length arrays in
             (match target with
             | Cim_arch.Mode.To_compute ->
@@ -151,6 +192,7 @@ let run chip (p : Flow.program) =
     microseconds = Chip.cycles_to_us chip total;
     segments = !segments;
     switch_count = (!m2c, !c2m);
+    switch_retries = !retries;
     dma_bytes = !dma;
     switch_share = (if total > 0. then (!switch +. !writeback) /. total else 0.);
   }
@@ -159,9 +201,9 @@ let pp ppf r =
   Format.fprintf ppf
     "@[<v>timing: %.0f cycles (%.2f us), %d segments@,\
      compute %.0f | switch %.0f | rewrite %.0f | writeback %.0f@,\
-     switches m->c %d, c->m %d; DMA %s; switch share %.1f%%@]"
+     switches m->c %d, c->m %d (+%d retried); DMA %s; switch share %.1f%%@]"
     r.cycles.total r.microseconds r.segments r.cycles.compute r.cycles.switch
     r.cycles.rewrite r.cycles.writeback (fst r.switch_count)
-    (snd r.switch_count)
+    (snd r.switch_count) r.switch_retries
     (Cim_util.Bytesize.to_string r.dma_bytes)
     (100. *. r.switch_share)

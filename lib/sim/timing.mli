@@ -27,6 +27,9 @@ type result = {
   microseconds : float;
   segments : int;
   switch_count : int * int;        (** realised (m->c, c->m) *)
+  switch_retries : int;            (** failed transient switch attempts;
+                                       each charged one single-array switch
+                                       latency on top of the base cost *)
   dma_bytes : int;                 (** explicit load/store traffic *)
   switch_share : float;            (** (switch + writeback) / total — the
                                        §5.5 "dual-mode switch" overhead: the
@@ -35,6 +38,11 @@ type result = {
                                        fixed-mode compilers too) *)
 }
 
-val run : Cim_arch.Chip.t -> Cim_metaop.Flow.program -> result
+val run :
+  Cim_arch.Chip.t -> ?faults:Cim_arch.Faultmap.t -> ?rng:Cim_util.Rng.t ->
+  ?max_switch_retries:int -> Cim_metaop.Flow.program -> result
+(** With [faults], every switch of a transiently failing array draws retry
+    attempts from [rng] (default a fixed seed, matching
+    {!Machine.create}) and charges each failed attempt. *)
 
 val pp : Format.formatter -> result -> unit

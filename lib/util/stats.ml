@@ -47,6 +47,15 @@ let percentile p xs =
     arr.(lo) +. (frac *. (arr.(hi) -. arr.(lo)))
   end
 
+let percentile_nearest_rank p xs =
+  if xs = [] then fail_empty "Stats.percentile_nearest_rank";
+  if p < 0. || p > 100. then
+    invalid_arg "Stats.percentile_nearest_rank: p out of [0,100]";
+  let arr = Array.of_list (List.sort compare xs) in
+  let n = Array.length arr in
+  let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+  arr.(max 0 (min (n - 1) (rank - 1)))
+
 let median xs = percentile 50. xs
 
 let normalize_to_max = function

@@ -19,6 +19,14 @@ val percentile : float -> float list -> float
     order statistics. Raises [Invalid_argument] on the empty list or if [p]
     is out of range. *)
 
+val percentile_nearest_rank : float -> float list -> float
+(** Nearest-rank percentile (the smallest sample with at least [p]% of the
+    distribution at or below it) — never interpolates, so on a small sample
+    a tail percentile reports an actual observation (p95 of fewer than 20
+    samples is the maximum) instead of an optimistic blend of the two
+    largest. Raises [Invalid_argument] on the empty list or [p] out of
+    range. *)
+
 val median : float list -> float
 
 val normalize_to_max : float list -> float list

@@ -1,0 +1,530 @@
+(* Tests for the fault-injection and graceful-degradation subsystem: the
+   fault map, compiling around dead arrays, the MILP -> incumbent -> greedy
+   -> serial fallback ladder, transient-switch retries in the machine, the
+   static flow validator, and deadline-aware serving. *)
+
+module Chip = Cim_arch.Chip
+module Config = Cim_arch.Config
+module Mode = Cim_arch.Mode
+module Faultmap = Cim_arch.Faultmap
+module Flow = Cim_metaop.Flow
+module Check = Cim_metaop.Check
+module Alloc = Cim_compiler.Alloc
+module Segment = Cim_compiler.Segment
+module Degrade = Cim_compiler.Degrade
+module Cmswitch = Cim_compiler.Cmswitch
+module Plan = Cim_compiler.Plan
+module Machine = Cim_sim.Machine
+module Functional = Cim_sim.Functional
+module Timing = Cim_sim.Timing
+module Serving = Cim_sim.Serving
+module Tensor = Cim_tensor.Tensor
+module Shape = Cim_tensor.Shape
+module Rng = Cim_util.Rng
+
+let chip = Config.dynaplasia
+let c x y = { Chip.x; y }
+
+(* substring test for fault-message assertions (Str is not linked here) *)
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* --- fault map --- *)
+
+let test_faultmap_inject () =
+  let fm = Faultmap.inject chip ~seed:42 ~dead_rate:0.1 () in
+  let fm' = Faultmap.inject chip ~seed:42 ~dead_rate:0.1 () in
+  Alcotest.(check bool) "deterministic in the seed" true
+    (Faultmap.faults fm = Faultmap.faults fm');
+  let dead = chip.Chip.n_arrays - Faultmap.healthy_count fm in
+  Alcotest.(check bool) "some arrays died at 10%" true (dead > 0);
+  Alcotest.(check bool) "not all arrays died at 10%" true
+    (dead < chip.Chip.n_arrays / 2);
+  Alcotest.(check int) "dead-only: healthy = flexible"
+    (Faultmap.healthy_count fm) (Faultmap.flexible_count fm);
+  Alcotest.(check int) "fault count consistent" dead (Faultmap.fault_count fm);
+  let eff = Faultmap.effective_chip fm in
+  Alcotest.(check int) "effective capacity = flexible pool"
+    (Faultmap.flexible_count fm) eff.Chip.n_arrays
+
+let test_faultmap_states () =
+  let fm =
+    Faultmap.of_list chip
+      [ (c 0 0, Faultmap.Dead);
+        (c 1 0, Faultmap.Stuck_mode Mode.Compute);
+        (c 2 0, Faultmap.Transient_switch_failure 0.25) ]
+  in
+  Alcotest.(check bool) "dead" true (Faultmap.is_dead fm 0);
+  Alcotest.(check bool) "dead unusable either way" false
+    (Faultmap.usable fm 0 ~target:Mode.Memory
+    || Faultmap.usable fm 0 ~target:Mode.Compute);
+  Alcotest.(check bool) "stuck serves its mode" true
+    (Faultmap.usable fm 1 ~target:Mode.Compute);
+  Alcotest.(check bool) "stuck refuses the other mode" false
+    (Faultmap.usable fm 1 ~target:Mode.Memory);
+  Alcotest.(check bool) "stuck is not switchable" false (Faultmap.switchable fm 1);
+  Alcotest.(check bool) "transient stays usable and switchable" true
+    (Faultmap.usable fm 2 ~target:Mode.Compute && Faultmap.switchable fm 2);
+  Alcotest.(check (float 1e-9)) "transient probability" 0.25
+    (Faultmap.transient_prob fm 2);
+  Alcotest.(check int) "flexible excludes dead and stuck"
+    (chip.Chip.n_arrays - 2) (Faultmap.flexible_count fm);
+  (* rates out of range / probability out of range *)
+  (match Faultmap.inject chip ~seed:0 ~dead_rate:0.9 ~stuck_rate:0.9 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "rates summing past 1 must be rejected");
+  match Faultmap.of_list chip [ (c 0 0, Faultmap.Transient_switch_failure 1.5) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "transient probability past 1 must be rejected"
+
+(* --- compiling around dead arrays (the tentpole acceptance case) --- *)
+
+let dead_coords fm =
+  List.filter_map
+    (fun (coord, f) -> if f = Faultmap.Dead then Some coord else None)
+    (Faultmap.faults fm)
+
+let assert_no_dead_placement name fm (r : Cmswitch.result) =
+  let dead = dead_coords fm in
+  List.iter
+    (fun (sp : Cim_compiler.Placement.seg_place) ->
+      List.iter
+        (fun (op : Cim_compiler.Placement.op_place) ->
+          List.iter
+            (fun coord ->
+              if List.mem coord dead then
+                Alcotest.failf "%s: dead array (%d,%d) was placed" name
+                  coord.Chip.x coord.Chip.y)
+            (op.Cim_compiler.Placement.compute
+            @ op.Cim_compiler.Placement.mem_in
+            @ op.Cim_compiler.Placement.mem_out))
+        sp.Cim_compiler.Placement.ops)
+    r.Cmswitch.places
+
+(* compile with ~10% dead arrays, validate the flow, and diff the degraded
+   plan's int8 execution against the float reference *)
+let degraded_functional_check ?(tol = 0.05) name graph inputs =
+  let fm = Faultmap.inject chip ~seed:42 ~dead_rate:0.1 () in
+  let r = Cmswitch.compile ~faults:fm chip graph in
+  Alcotest.(check bool) (name ^ " structurally valid") true
+    (Flow.validate chip r.Cmswitch.program = Ok ());
+  Alcotest.(check bool) (name ^ " passes the flow validator") true
+    (Check.is_valid (Check.run chip ~faults:fm r.Cmswitch.program));
+  Alcotest.(check bool) (name ^ " report says degraded") true
+    (Degrade.degraded r.Cmswitch.degradation);
+  Alcotest.(check int) (name ^ " healthy pool recorded")
+    (Faultmap.flexible_count fm)
+    r.Cmswitch.degradation.Degrade.healthy_arrays;
+  Alcotest.(check bool) (name ^ " no validator diagnostics") true
+    (r.Cmswitch.degradation.Degrade.diagnostics = []);
+  assert_no_dead_placement name fm r;
+  let rep = Functional.run chip ~faults:fm graph r.Cmswitch.program ~inputs in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s matches reference under faults (rel err %.4f)" name
+       rep.Functional.max_rel_err)
+    true
+    (rep.Functional.max_rel_err < tol)
+
+let test_degraded_mlp () =
+  let rng = Rng.create 31 in
+  let g = Cim_models.Mlp.build ~rng ~batch:2 ~dims:[ 64; 128; 32 ] () in
+  let x = Tensor.rand rng (Shape.of_list [ 2; 64 ]) ~lo:(-1.) ~hi:1. in
+  degraded_functional_check "mlp" g [ ("x", x) ]
+
+let test_degraded_cnn () =
+  let rng = Rng.create 32 in
+  let g = Cim_models.Cnn.tiny_cnn ~rng ~batch:2 () in
+  let x = Tensor.rand rng (Shape.of_list [ 2; 2; 8; 8 ]) ~lo:(-1.) ~hi:1. in
+  degraded_functional_check "tiny-cnn" g [ ("image", x) ]
+
+let attention_graph rng ~seq ~d ~heads =
+  let module B = Cim_nnir.Builder in
+  let dh = d / heads in
+  let b = B.create "attn" in
+  let x = B.input b "x" (Shape.of_list [ seq; d ]) in
+  let q = B.linear ~bias:false ~value_rng:rng b x ~in_dim:d ~out_dim:d ~prefix:"q" in
+  let k = B.linear ~bias:false ~value_rng:rng b x ~in_dim:d ~out_dim:d ~prefix:"k" in
+  let v = B.linear ~bias:false ~value_rng:rng b x ~in_dim:d ~out_dim:d ~prefix:"v" in
+  let head y = B.transpose b (B.reshape b y [ seq; heads; dh ]) [ 1; 0; 2 ] in
+  let q3 = head q and k3 = head k and v3 = head v in
+  let scores = B.matmul b q3 (B.transpose b k3 [ 0; 2; 1 ]) in
+  let ctx = B.matmul b (B.softmax b scores) v3 in
+  let ctx = B.reshape b (B.transpose b ctx [ 1; 0; 2 ]) [ seq; d ] in
+  let out = B.linear ~bias:false ~value_rng:rng b ctx ~in_dim:d ~out_dim:d ~prefix:"o" in
+  B.finish b ~outputs:[ out ]
+
+let test_degraded_attention () =
+  let rng = Rng.create 33 in
+  let g = attention_graph rng ~seq:4 ~d:8 ~heads:2 in
+  let x = Tensor.rand rng (Shape.of_list [ 4; 8 ]) ~lo:(-1.) ~hi:1. in
+  degraded_functional_check ~tol:0.25 "attention" g [ ("x", x) ]
+
+let test_degraded_stuck_arrays () =
+  (* stuck arrays shrink the flexible pool but stay placeable in their own
+     mode; the validator must accept the result *)
+  let fm =
+    Faultmap.of_list chip
+      [ (c 0 0, Faultmap.Stuck_mode Mode.Memory);
+        (c 1 0, Faultmap.Stuck_mode Mode.Compute);
+        (c 2 0, Faultmap.Dead) ]
+  in
+  let rng = Rng.create 34 in
+  let g = Cim_models.Mlp.build ~rng ~batch:1 ~dims:[ 64; 128; 32 ] () in
+  let r = Cmswitch.compile ~faults:fm chip g in
+  Alcotest.(check bool) "validator accepts stuck placement" true
+    (Check.is_valid (Check.run chip ~faults:fm r.Cmswitch.program));
+  let x = Tensor.rand rng (Shape.of_list [ 1; 64 ]) ~lo:(-1.) ~hi:1. in
+  let rep = Functional.run chip ~faults:fm g r.Cmswitch.program ~inputs:[ ("x", x) ] in
+  Alcotest.(check bool) "machine accepts stuck placement" true
+    (rep.Functional.max_rel_err < 0.05)
+
+(* --- degradation ladder --- *)
+
+let mlp_graph () = Cim_models.Mlp.build ~batch:1 ~dims:[ 512; 1024; 256 ] ()
+let small_mlp () = Cim_models.Mlp.build ~batch:1 ~dims:[ 64; 128; 32 ] ()
+
+let options_with_max_nodes n =
+  { Cmswitch.default_options with
+    Cmswitch.segment =
+      { Segment.default_options with
+        Segment.alloc = { Alloc.default_options with Alloc.milp_max_nodes = n } } }
+
+let test_node_limit_incumbent_plan () =
+  (* max_nodes = 1: the MIP truncates at the root; the pipeline must still
+     produce a plan plus a non-empty degradation report, not an exception *)
+  let r = Cmswitch.compile ~options:(options_with_max_nodes 1) chip (mlp_graph ()) in
+  Alcotest.(check bool) "schedule produced" true
+    (r.Cmswitch.schedule.Plan.total_cycles > 0.);
+  Alcotest.(check bool) "degradation events recorded" true
+    (r.Cmswitch.degradation.Degrade.events <> []);
+  Alcotest.(check bool) "report counts as degraded" true
+    (Degrade.degraded r.Cmswitch.degradation);
+  List.iter
+    (fun (e : Degrade.event) ->
+      Alcotest.(check bool) "stage is a solver fallback" true
+        (e.Degrade.stage = Degrade.Milp_incumbent
+        || e.Degrade.stage = Degrade.Greedy_fallback))
+    r.Cmswitch.degradation.Degrade.events
+
+let test_zero_budget_greedy_fallback () =
+  (* max_nodes = 0: the search truncates before even the root solves, so
+     there is never an incumbent and every window lands on greedy *)
+  let r = Cmswitch.compile ~options:(options_with_max_nodes 0) chip (mlp_graph ()) in
+  Alcotest.(check bool) "schedule produced" true
+    (r.Cmswitch.schedule.Plan.total_cycles > 0.);
+  Alcotest.(check bool) "events recorded" true
+    (r.Cmswitch.degradation.Degrade.events <> []);
+  List.iter
+    (fun (e : Degrade.event) ->
+      Alcotest.(check bool) "pure greedy ladder" true
+        (e.Degrade.stage = Degrade.Greedy_fallback))
+    r.Cmswitch.degradation.Degrade.events;
+  (* the degraded program must still be structurally sound *)
+  Alcotest.(check bool) "flow still validates" true
+    (Check.is_valid (Check.run chip r.Cmswitch.program))
+
+let test_alloc_outcome_classification () =
+  let ops =
+    Cim_compiler.Opinfo.extract chip ~partition_fraction:0.5 (small_mlp ())
+  in
+  let hi = Array.length ops - 1 in
+  (match Alloc.solve_outcome chip ops ~lo:0 ~hi with
+  | Alloc.Optimal plan ->
+    Alcotest.(check bool) "optimal plan honours the contract" true
+      (Alloc.plan_feasible chip ops plan)
+  | _ -> Alcotest.fail "default budget must prove optimality");
+  match
+    Alloc.solve_outcome
+      ~options:{ Alloc.default_options with Alloc.milp_max_nodes = 0 }
+      chip ops ~lo:0 ~hi
+  with
+  | Alloc.Truncated_no_incumbent -> ()
+  | Alloc.Optimal _ | Alloc.Incumbent _ -> Alcotest.fail "zero budget cannot solve"
+  | Alloc.Infeasible -> Alcotest.fail "segment is feasible"
+
+let test_degrade_solve_unit () =
+  let ops =
+    Cim_compiler.Opinfo.extract chip ~partition_fraction:0.5 (small_mlp ())
+  in
+  let hi = Array.length ops - 1 in
+  let stages = ref [] in
+  let plan =
+    Degrade.solve
+      ~options:{ Alloc.default_options with Alloc.milp_max_nodes = 0 }
+      ~on_stage:(fun e -> stages := e.Degrade.stage :: !stages)
+      chip ops ~lo:0 ~hi
+  in
+  Alcotest.(check bool) "greedy plan returned" true (plan <> None);
+  Alcotest.(check bool) "greedy stage fired" true
+    (List.mem Degrade.Greedy_fallback !stages);
+  (* a clean solve fires no stage events *)
+  stages := [];
+  ignore
+    (Degrade.solve ~on_stage:(fun e -> stages := e.Degrade.stage :: !stages)
+       chip ops ~lo:0 ~hi);
+  Alcotest.(check bool) "optimal solve is silent" true (!stages = [])
+
+let test_compile_robust_ok () =
+  match Cmswitch.compile_robust chip (small_mlp ()) with
+  | Ok r ->
+    Alcotest.(check bool) "clean compile not degraded" false
+      (Degrade.degraded r.Cmswitch.degradation)
+  | Error _ -> Alcotest.fail "healthy compile must succeed"
+
+let test_compile_robust_total_failure () =
+  (* every array dead: nothing to compile onto; compile_robust must hand
+     back a structured report instead of raising *)
+  let all_dead =
+    Faultmap.of_list chip
+      (List.init chip.Chip.n_arrays (fun i ->
+           (Chip.coord_of_index chip i, Faultmap.Dead)))
+  in
+  match Cmswitch.compile_robust ~faults:all_dead chip (small_mlp ()) with
+  | Ok _ -> Alcotest.fail "an all-dead chip cannot compile"
+  | Error report ->
+    Alcotest.(check int) "no healthy arrays" 0 report.Degrade.healthy_arrays;
+    Alcotest.(check bool) "diagnostics explain the failure" true
+      (report.Degrade.diagnostics <> [])
+
+(* --- machine under faults --- *)
+
+let test_machine_dead_and_stuck_messages () =
+  let fm =
+    Faultmap.of_list chip
+      [ (c 0 0, Faultmap.Dead); (c 1 0, Faultmap.Stuck_mode Mode.Memory) ]
+  in
+  let m = Machine.create chip ~faults:fm () in
+  (match Machine.switch m Mode.To_compute (c 0 0) with
+  | exception Machine.Fault msg ->
+    Alcotest.(check bool) "dead message names coordinate and state" true
+      (contains msg "(0,0)" && contains msg "dead")
+  | () -> Alcotest.fail "switching a dead array must fault");
+  (match Machine.switch m Mode.To_compute (c 1 0) with
+  | exception Machine.Fault msg ->
+    Alcotest.(check bool)
+      "stuck message names coordinate, stuck mode and attempted transition"
+      true
+      (contains msg "(1,0)" && contains msg "stuck" && contains msg "memory"
+      && contains msg "compute")
+  | () -> Alcotest.fail "switching a stuck array must fault");
+  match Machine.switch m Mode.To_memory (c 2 0) with
+  | exception Machine.Fault msg ->
+    Alcotest.(check bool) "redundant message names mode and transition" true
+      (contains msg "(2,0)" && contains msg "already" && contains msg "memory")
+  | () -> Alcotest.fail "redundant switch must fault"
+
+let test_machine_transient_retries () =
+  let coords = List.init 20 (Chip.coord_of_index chip) in
+  let fm =
+    Faultmap.of_list chip
+      (List.map (fun co -> (co, Faultmap.Transient_switch_failure 0.5)) coords)
+  in
+  let m =
+    Machine.create chip ~faults:fm ~rng:(Rng.create 7) ~max_switch_retries:100 ()
+  in
+  List.iter (Machine.switch m Mode.To_compute) coords;
+  List.iter
+    (fun co ->
+      Alcotest.(check bool) "switched despite transient failures" true
+        (Machine.mode m co = Mode.Compute))
+    coords;
+  Alcotest.(check bool) "failed attempts were counted" true
+    (Machine.switch_retries m > 0);
+  (* a zero-retry budget on a high-failure array eventually faults *)
+  let fm1 = Faultmap.of_list chip [ (c 0 0, Faultmap.Transient_switch_failure 0.9) ] in
+  let attempts_that_fault =
+    let found = ref false in
+    for seed = 0 to 9 do
+      if not !found then begin
+        let m1 =
+          Machine.create chip ~faults:fm1 ~rng:(Rng.create seed)
+            ~max_switch_retries:0 ()
+        in
+        match Machine.switch m1 Mode.To_compute (c 0 0) with
+        | exception Machine.Fault _ -> found := true
+        | () -> ()
+      end
+    done;
+    !found
+  in
+  Alcotest.(check bool) "retry budget exhaustion faults" true attempts_that_fault
+
+let test_timing_charges_retries () =
+  let coords = List.init 20 (Chip.coord_of_index chip) in
+  let fm =
+    Faultmap.of_list chip
+      (List.map (fun co -> (co, Faultmap.Transient_switch_failure 0.5)) coords)
+  in
+  let p =
+    { Flow.source = "retries";
+      instrs = [ Flow.Switch { target = Mode.To_compute; arrays = coords } ] }
+  in
+  let clean = Timing.run chip p in
+  let faulty = Timing.run chip ~faults:fm ~rng:(Rng.create 7) ~max_switch_retries:100 p in
+  Alcotest.(check int) "clean run retries nothing" 0 clean.Timing.switch_retries;
+  Alcotest.(check bool) "retries counted" true (faulty.Timing.switch_retries > 0);
+  Alcotest.(check bool) "retries cost cycles" true
+    (faulty.Timing.cycles.Timing.switch > clean.Timing.cycles.Timing.switch)
+
+(* --- static flow validator --- *)
+
+let test_check_catches_missing_weights () =
+  let p =
+    { Flow.source = "bad";
+      instrs =
+        [ Flow.Switch { target = Mode.To_compute; arrays = [ c 0 0 ] };
+          Flow.Compute
+            { label = "m"; node_id = 0; arrays = [ c 0 0 ]; mem_arrays = [];
+              inputs = [ "x" ]; output = "y"; slice = { Flow.lo = 0; hi = 4 };
+              macs = 16.; ai = 1. } ] }
+  in
+  let ds = Check.run chip p in
+  Alcotest.(check bool) "weight residency violation found" false (Check.is_valid ds)
+
+let test_check_catches_mode_misuse () =
+  let p =
+    { Flow.source = "bad";
+      instrs =
+        [ Flow.Compute
+            { label = "m"; node_id = 0; arrays = [ c 0 0 ]; mem_arrays = [];
+              inputs = [ "x" ]; output = "y"; slice = { Flow.lo = 0; hi = 4 };
+              macs = 16.; ai = 1. } ] }
+  in
+  Alcotest.(check bool) "compute in memory mode rejected" false
+    (Check.is_valid (Check.run chip p));
+  let p2 =
+    { Flow.source = "bad2";
+      instrs =
+        [ Flow.Load
+            { tensor = "t"; src = Flow.Main_memory; dst = Flow.Mem_arrays [ c 0 0 ];
+              bytes = 64 };
+          Flow.Switch { target = Mode.To_compute; arrays = [ c 0 0 ] };
+          Flow.Store
+            { tensor = "t"; src = Flow.Mem_arrays [ c 0 0 ]; dst = Flow.Main_memory;
+              bytes = 64 } ] }
+  in
+  Alcotest.(check bool) "store from compute-mode array rejected" false
+    (Check.is_valid (Check.run chip p2))
+
+let test_check_catches_use_before_def () =
+  let p =
+    { Flow.source = "bad";
+      instrs =
+        [ Flow.Vector_op { label = "v"; node_id = 1; inputs = [ "y" ]; output = "z" };
+          Flow.Switch { target = Mode.To_compute; arrays = [ c 0 0 ] };
+          Flow.Write_weights
+            { label = "m"; node_id = 0; arrays = [ c 0 0 ];
+              slice = { Flow.lo = 0; hi = 4 }; bytes = 64; in_place = false };
+          Flow.Compute
+            { label = "m"; node_id = 0; arrays = [ c 0 0 ]; mem_arrays = [];
+              inputs = [ "x" ]; output = "y"; slice = { Flow.lo = 0; hi = 4 };
+              macs = 16.; ai = 1. } ] }
+  in
+  let ds = Check.run chip p in
+  Alcotest.(check bool) "use before def rejected" false (Check.is_valid ds);
+  (* the same program with the vector op after the compute is clean *)
+  let good = { p with Flow.instrs = List.tl p.Flow.instrs @ [ List.hd p.Flow.instrs ] } in
+  Alcotest.(check bool) "reordered program clean" true
+    (Check.is_valid (Check.run chip good))
+
+let test_check_faults () =
+  let fm =
+    Faultmap.of_list chip
+      [ (c 0 0, Faultmap.Dead); (c 1 0, Faultmap.Stuck_mode Mode.Memory) ]
+  in
+  let switch_dead =
+    { Flow.source = "dead";
+      instrs = [ Flow.Switch { target = Mode.To_compute; arrays = [ c 0 0 ] } ] }
+  in
+  Alcotest.(check bool) "dead array use rejected" false
+    (Check.is_valid (Check.run chip ~faults:fm switch_dead));
+  let switch_stuck =
+    { Flow.source = "stuck";
+      instrs = [ Flow.Switch { target = Mode.To_compute; arrays = [ c 1 0 ] } ] }
+  in
+  Alcotest.(check bool) "stuck array switch rejected" false
+    (Check.is_valid (Check.run chip ~faults:fm switch_stuck))
+
+(* --- serving under deadlines --- *)
+
+let profile =
+  { Serving.prefill_cycles = (fun _ -> 10.); decode_cycles = (fun _ -> 1.) }
+
+let test_serving_empty_trace () =
+  let s = Serving.run profile [] in
+  Alcotest.(check int) "nothing completed" 0 s.Serving.completed;
+  Alcotest.(check int) "nothing dropped" 0 s.Serving.dropped;
+  Alcotest.(check (float 0.)) "zero makespan" 0. s.Serving.makespan;
+  Alcotest.(check (float 0.)) "zero p95" 0. s.Serving.p95_latency
+
+let test_serving_deadline_drops () =
+  let trace =
+    [ { Serving.arrival = 0.; prompt = 4; output = 5 };
+      { Serving.arrival = 0.; prompt = 4; output = 5 } ]
+  in
+  (* each request costs 15 cycles; FCFS queues the second to finish at 30 *)
+  let s = Serving.run ~deadline:20. profile trace in
+  Alcotest.(check int) "first completes" 1 s.Serving.completed;
+  Alcotest.(check int) "queued one dropped" 1 s.Serving.dropped;
+  Alcotest.(check (float 1e-9)) "drop frees the chip" 15. s.Serving.makespan;
+  (* with a generous deadline both complete *)
+  let s2 = Serving.run ~deadline:100. profile trace in
+  Alcotest.(check int) "no drops under slack" 2 s2.Serving.completed;
+  Alcotest.(check int) "dropped zero" 0 s2.Serving.dropped;
+  (* dropping everything still returns zeroed stats, not an exception *)
+  let s3 = Serving.run ~deadline:1. profile trace in
+  Alcotest.(check int) "all dropped" 2 s3.Serving.dropped;
+  Alcotest.(check int) "none completed" 0 s3.Serving.completed;
+  Alcotest.(check (float 0.)) "stats zeroed" 0. s3.Serving.mean_latency
+
+let test_serving_small_trace_p95 () =
+  (* latencies 11, 12, 13: nearest-rank p95 on 3 samples is the maximum,
+     not an interpolated blend of the two slowest *)
+  let trace =
+    [ { Serving.arrival = 0.; prompt = 4; output = 1 };
+      { Serving.arrival = 100.; prompt = 4; output = 2 };
+      { Serving.arrival = 200.; prompt = 4; output = 3 } ]
+  in
+  let s = Serving.run profile trace in
+  Alcotest.(check (float 1e-9)) "p95 is the worst observation" 13.
+    s.Serving.p95_latency;
+  Alcotest.(check int) "all completed" 3 s.Serving.completed
+
+let suite =
+  ( "robustness",
+    [
+      Alcotest.test_case "faultmap injection" `Quick test_faultmap_inject;
+      Alcotest.test_case "faultmap states" `Quick test_faultmap_states;
+      Alcotest.test_case "degraded compile: mlp" `Quick test_degraded_mlp;
+      Alcotest.test_case "degraded compile: cnn" `Quick test_degraded_cnn;
+      Alcotest.test_case "degraded compile: attention" `Quick test_degraded_attention;
+      Alcotest.test_case "degraded compile: stuck arrays" `Quick
+        test_degraded_stuck_arrays;
+      Alcotest.test_case "node-limited MILP still plans" `Quick
+        test_node_limit_incumbent_plan;
+      Alcotest.test_case "zero budget falls to greedy" `Quick
+        test_zero_budget_greedy_fallback;
+      Alcotest.test_case "alloc outcome classification" `Quick
+        test_alloc_outcome_classification;
+      Alcotest.test_case "degrade ladder unit" `Quick test_degrade_solve_unit;
+      Alcotest.test_case "compile_robust: healthy" `Quick test_compile_robust_ok;
+      Alcotest.test_case "compile_robust: total failure" `Quick
+        test_compile_robust_total_failure;
+      Alcotest.test_case "machine fault messages" `Quick
+        test_machine_dead_and_stuck_messages;
+      Alcotest.test_case "machine transient retries" `Quick
+        test_machine_transient_retries;
+      Alcotest.test_case "timing charges retries" `Quick test_timing_charges_retries;
+      Alcotest.test_case "check: missing weights" `Quick
+        test_check_catches_missing_weights;
+      Alcotest.test_case "check: mode misuse" `Quick test_check_catches_mode_misuse;
+      Alcotest.test_case "check: use before def" `Quick
+        test_check_catches_use_before_def;
+      Alcotest.test_case "check: fault awareness" `Quick test_check_faults;
+      Alcotest.test_case "serving: empty trace" `Quick test_serving_empty_trace;
+      Alcotest.test_case "serving: deadline drops" `Quick test_serving_deadline_drops;
+      Alcotest.test_case "serving: small-trace p95" `Quick
+        test_serving_small_trace_p95;
+    ] )

@@ -103,6 +103,39 @@ let test_milp_infeasible () =
   | Milp.Infeasible -> ()
   | _ -> Alcotest.fail "expected integer-infeasible"
 
+let test_milp_node_limit_incumbent () =
+  (* a knapsack whose root relaxation is fractional, truncated after one
+     node: the rounding heuristic must still hand back a feasible integral
+     incumbent inside Node_limit *)
+  let rows = [ ([| 5.; 7.; 4.; 3. |], Lp.Le, 14.) ] in
+  let p =
+    lp 4 [| 8.; 11.; 6.; 4. |] rows ~upper:[| 1.; 1.; 1.; 1. |] ()
+  in
+  match Milp.solve ~max_nodes:1 p ~kinds:(Array.make 4 Milp.Integer) with
+  | Milp.Node_limit (Some s) ->
+    Array.iter
+      (fun v ->
+        Alcotest.(check bool) "integral" true
+          (Float.abs (v -. Float.round v) < 1e-6))
+      s.Lp.values;
+    List.iter
+      (fun (coeffs, _, rhs) ->
+        let lhs =
+          Array.fold_left ( +. ) 0.
+            (Array.mapi (fun i c -> c *. s.Lp.values.(i)) coeffs)
+        in
+        Alcotest.(check bool) "feasible" true (lhs <= rhs +. 1e-6))
+      rows;
+    Array.iteri
+      (fun i v ->
+        Alcotest.(check bool) "within bounds" true
+          (v >= p.Lp.lower.(i) -. 1e-6 && v <= p.Lp.upper.(i) +. 1e-6))
+      s.Lp.values
+  | Milp.Node_limit None -> Alcotest.fail "expected a rounding incumbent"
+  | Milp.Optimal _ -> Alcotest.fail "one node cannot prove optimality here"
+  | Milp.Infeasible | Milp.Unbounded ->
+    Alcotest.fail "knapsack is feasible and bounded"
+
 (* Random small ILPs checked against brute force. Two variables in [0, 6],
    two <= rows with small integer coefficients. *)
 let arb_ilp =
@@ -198,6 +231,8 @@ let suite =
       Alcotest.test_case "milp knapsack" `Quick test_milp_knapsack;
       Alcotest.test_case "milp mixed" `Quick test_milp_mixed;
       Alcotest.test_case "milp integer-infeasible" `Quick test_milp_infeasible;
+      Alcotest.test_case "milp node-limit incumbent" `Quick
+        test_milp_node_limit_incumbent;
       qtest prop_milp_matches_brute_force;
       Alcotest.test_case "model facade" `Quick test_model_basic;
       Alcotest.test_case "model minimize" `Quick test_model_minimize;
