@@ -21,21 +21,79 @@ let experiments =
   ]
 
 let usage () =
-  print_endline "usage: main.exe [e1 .. e12 | micro | all] ... [--csv DIR]";
+  print_endline
+    "usage: main.exe [e1 .. e12 | micro | all] ... [--csv DIR] [--json FILE]";
   List.iter (fun (id, desc, _) -> Printf.printf "  %-5s %s\n" id desc) experiments
+
+(* Sys.mkdir is not recursive; "--csv out/csv" must create "out" first. *)
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir && parent <> "." then mkdir_p parent;
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.is_directory dir -> ()
+  end
+
+module J = Cim_obs.Json
+
+(* collected via the Table sink: every printed table becomes one JSON
+   record, numeric-looking cells lifted to JSON numbers *)
+let json_tables : J.t list ref = ref []
+
+let cell_to_json c =
+  match int_of_string_opt c with
+  | Some i -> J.Int i
+  | None -> begin
+    match float_of_string_opt c with
+    | Some f when Float.is_finite f -> J.Float f
+    | Some _ | None -> J.String c
+  end
+
+let collect_table t =
+  let title =
+    match Cim_util.Table.title t with Some s -> J.String s | None -> J.Null
+  in
+  json_tables :=
+    J.Obj
+      [ ("title", title);
+        ("headers", J.List (List.map (fun h -> J.String h) (Cim_util.Table.headers t)));
+        ("rows",
+         J.List
+           (List.map
+              (fun row -> J.List (List.map cell_to_json row))
+              (Cim_util.Table.data_rows t))) ]
+    :: !json_tables
+
+let write_json file =
+  let doc =
+    J.Obj
+      [ ("harness", J.String "cmswitch-bench");
+        ("experiments", J.List (List.rev !json_tables)) ]
+  in
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (J.to_string ~pretty:true doc));
+  Printf.printf "json results written to %s\n" file
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  (* --csv DIR: additionally dump every printed table as CSV into DIR *)
-  let rec strip_csv acc = function
+  (* --csv DIR: additionally dump every printed table as CSV into DIR;
+     --json FILE: dump every printed table's rows as one JSON document *)
+  let json_file = ref None in
+  let rec strip_flags acc = function
     | "--csv" :: dir :: rest ->
-      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      mkdir_p dir;
       Cim_util.Table.set_csv_dir (Some dir);
-      strip_csv acc rest
-    | x :: rest -> strip_csv (x :: acc) rest
+      strip_flags acc rest
+    | "--json" :: file :: rest ->
+      json_file := Some file;
+      Cim_util.Table.set_sink (Some collect_table);
+      strip_flags acc rest
+    | x :: rest -> strip_flags (x :: acc) rest
     | [] -> List.rev acc
   in
-  let args = strip_csv [] args in
+  let args = strip_flags [] args in
   let requested = if args = [] then [ "all" ] else args in
   if List.mem "-h" requested || List.mem "--help" requested then usage ()
   else begin
@@ -51,5 +109,6 @@ let () =
             Printf.printf "unknown experiment %S\n" req;
             usage ();
             exit 1)
-      requested
+      requested;
+    Option.iter write_json !json_file
   end

@@ -23,10 +23,13 @@ let chip_arg =
     | Some c -> Ok c
     | None ->
       if Sys.file_exists s then begin
+        (* close the channel on every path, including a read that raises *)
         let ic = open_in s in
-        let len = in_channel_length ic in
-        let src = really_input_string ic len in
-        close_in ic;
+        let src =
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        in
         match Cim_arch.Spec.of_string src with
         | c -> Ok c
         | exception Cim_arch.Spec.Parse_error m ->
@@ -87,6 +90,47 @@ let deadline_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Trace the compilation pipeline.")
 
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record a Chrome trace-event JSON of the compilation passes, \
+                 per-segment MILP solves and per-array mode residency to \
+                 FILE; open it in Perfetto or chrome://tracing.")
+
+let metrics_arg =
+  Arg.(value & flag
+       & info [ "metrics" ]
+           ~doc:"Print the metrics registry (B&B nodes, simplex pivots, \
+                 degradation ladder, mode switches, cycles by mode) as a \
+                 Markdown table after the run.")
+
+module Obs_trace = Cim_obs.Trace
+module Obs_metrics = Cim_obs.Metrics
+
+let setup_obs ~trace ~metrics =
+  if trace <> None then begin
+    Obs_trace.set_enabled true;
+    Obs_trace.reset ()
+  end;
+  if metrics || trace <> None then begin
+    (* a trace without the matching counters is half the story; --trace
+       implies metric recording, --metrics controls printing *)
+    Obs_metrics.set_enabled true;
+    Obs_metrics.reset ()
+  end
+
+let finish_obs ~trace ~metrics =
+  (match trace with
+  | None -> ()
+  | Some file ->
+    Obs_trace.write_file file;
+    Printf.printf "trace written to %s (load in Perfetto / chrome://tracing)\n"
+      file);
+  if metrics then begin
+    print_newline ();
+    print_string (Obs_metrics.to_markdown ())
+  end
+
 let setup_logs verbose =
   Fmt_tty.setup_std_outputs ();
   Logs.set_reporter (Logs_fmt.reporter ());
@@ -128,8 +172,9 @@ let do_list () =
   Printf.printf "\nchips: %s\n" (String.concat ", " (List.map fst Config.presets))
 
 let do_compile chip key batch seq kv emit sim report fault_rate fault_seed
-    deadline verbose =
+    deadline verbose trace metrics =
   setup_logs verbose;
+  setup_obs ~trace ~metrics;
   let e = find_model key in
   let w = workload_of e ~batch ~seq ~kv in
   Printf.printf "compiling %s for %s on %s ...\n%!" e.Zoo.display
@@ -170,9 +215,11 @@ let do_compile chip key batch seq kv emit sim report fault_rate fault_seed
       (Cim_util.Table.cell_pct (Cmswitch.memory_mode_ratio r))
       r.Cmswitch.dp_stats.Cim_compiler.Segment.mip_solves
       r.Cmswitch.dp_stats.Cim_compiler.Segment.mip_cache_hits;
-    if sim then begin
+    (* --trace implies a timing pass: the simulator populates the per-array
+       mode-residency tracks and the cycles-by-mode counters *)
+    if sim || trace <> None then begin
       let t = Cim_sim.Timing.run chip r.Cmswitch.program in
-      Format.printf "%a@." Cim_sim.Timing.pp t
+      if sim then Format.printf "%a@." Cim_sim.Timing.pp t
     end;
     if Degrade.degraded r.Cmswitch.degradation then
       Format.printf "%a@." Degrade.pp r.Cmswitch.degradation;
@@ -188,7 +235,7 @@ let do_compile chip key batch seq kv emit sim report fault_rate fault_seed
     mc.Cmswitch.total_cycles
     (Chip.cycles_to_us chip mc.Cmswitch.total_cycles /. 1000.)
     chip.Chip.freq_mhz mc.Cmswitch.compile_seconds;
-  match deadline with
+  (match deadline with
   | None -> ()
   | Some d ->
     (* a schedule-derived cost profile: every prefill or decode step is one
@@ -199,18 +246,20 @@ let do_compile chip key batch seq kv emit sim report fault_rate fault_seed
         decode_cycles = (fun _ -> pass) }
     in
     let rng = Cim_util.Rng.create fault_seed in
-    let trace =
+    let reqs =
       Serving.poisson_trace rng ~n:16 ~mean_gap:(2. *. pass)
         ~prompt:(max 1 seq) ~output:4
     in
-    let s = Serving.run ~deadline:d profile trace in
+    let s = Serving.run ~deadline:d profile reqs in
     Printf.printf
       "serving (deadline %.3e cycles): %d completed, %d dropped, p95 \
        latency %.3e, %.2f tokens/Mcycle\n"
       d s.Serving.completed s.Serving.dropped s.Serving.p95_latency
-      s.Serving.tokens_per_megacycle
+      s.Serving.tokens_per_megacycle);
+  finish_obs ~trace ~metrics
 
-let do_compare chip key batch seq kv =
+let do_compare chip key batch seq kv trace metrics =
+  setup_obs ~trace ~metrics;
   let e = find_model key in
   let w = workload_of e ~batch ~seq ~kv in
   Printf.printf "%s on %s, %s\n" e.Zoo.display chip.Chip.name (Workload.to_string w);
@@ -221,7 +270,8 @@ let do_compare chip key batch seq kv =
       let c = Baseline.compile_model which chip e w in
       Printf.printf "  %-10s %.4e cycles (CMSwitch %.2fx faster)\n"
         (Baseline.name which) c (c /. cms))
-    [ Baseline.Cim_mlc; Baseline.Puma; Baseline.Occ ]
+    [ Baseline.Cim_mlc; Baseline.Puma; Baseline.Occ ];
+  finish_obs ~trace ~metrics
 
 let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List models and hardware presets")
@@ -231,11 +281,13 @@ let compile_cmd =
   Cmd.v (Cmd.info "compile" ~doc:"Compile a model and print the schedule")
     Term.(const do_compile $ chip_arg $ model_arg $ batch_arg $ seq_arg
           $ kv_arg $ emit_arg $ sim_arg $ report_arg $ fault_rate_arg
-          $ fault_seed_arg $ deadline_arg $ verbose_arg)
+          $ fault_seed_arg $ deadline_arg $ verbose_arg $ trace_arg
+          $ metrics_arg)
 
 let compare_cmd =
   Cmd.v (Cmd.info "compare" ~doc:"Compare CMSwitch against the baselines")
-    Term.(const do_compare $ chip_arg $ model_arg $ batch_arg $ seq_arg $ kv_arg)
+    Term.(const do_compare $ chip_arg $ model_arg $ batch_arg $ seq_arg
+          $ kv_arg $ trace_arg $ metrics_arg)
 
 let () =
   let info =

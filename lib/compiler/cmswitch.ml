@@ -5,6 +5,9 @@ module Workload = Cim_models.Workload
 module Zoo = Cim_models.Zoo
 module B = Cim_nnir.Builder
 module Shape = Cim_tensor.Shape
+module Trace = Cim_obs.Trace
+module Metrics = Cim_obs.Metrics
+module J = Cim_obs.Json
 
 let log_src = Logs.Src.create "cmswitch" ~doc:"CMSwitch compilation pipeline"
 
@@ -73,8 +76,34 @@ let placed_schedule chip ops (places : Placement.seg_place list) =
     total_cycles = !intra +. !wb +. !sw +. !rw;
   }
 
+(* dp_stats and realised switch counts, mirrored into the metrics registry
+   so one compile's telemetry lands next to the solver's own counters *)
+let record_compile_metrics (dp : Segment.stats) places (schedule : Plan.schedule)
+    ~seconds =
+  Metrics.incr ~by:(float_of_int dp.Segment.mip_solves)
+    (Metrics.counter "compile.dp.mip_solves");
+  Metrics.incr ~by:(float_of_int dp.Segment.mip_cache_hits)
+    (Metrics.counter "compile.dp.mip_cache_hits");
+  Metrics.incr ~by:(float_of_int dp.Segment.candidates)
+    (Metrics.counter "compile.dp.candidates");
+  Metrics.incr ~by:(float_of_int dp.Segment.pruned_infeasible)
+    (Metrics.counter "compile.dp.pruned_infeasible");
+  let m2c, c2m = Placement.realized_switches places in
+  Metrics.incr ~by:(float_of_int m2c) (Metrics.counter "compile.switches.m2c");
+  Metrics.incr ~by:(float_of_int c2m) (Metrics.counter "compile.switches.c2m");
+  Metrics.incr ~by:(float_of_int (List.length schedule.Plan.segments))
+    (Metrics.counter "compile.segments");
+  Metrics.set_gauge (Metrics.gauge "compile.schedule.total_cycles")
+    schedule.Plan.total_cycles;
+  Cim_obs.Metrics.observe (Metrics.histogram "compile.seconds") seconds
+
 let compile ?(options = default_options) ?faults chip graph =
   let t0 = Sys.time () in
+  Trace.with_span "compile" ~cat:"compiler"
+    ~args:
+      [ ("graph", J.String graph.Cim_nnir.Graph.graph_name);
+        ("chip", J.String chip.Chip.name) ]
+  @@ fun () ->
   Log.debug (fun m ->
       m "compiling %s on %s" graph.Cim_nnir.Graph.graph_name chip.Chip.name);
   (* the solver plans against the flexible pool only; placement runs on the
@@ -101,20 +130,30 @@ let compile ?(options = default_options) ?faults chip graph =
     events := e :: !events
   in
   let ops =
-    Opinfo.extract solve_chip ~partition_fraction:options.partition_fraction
-      graph
+    Trace.with_span "partition" ~cat:"compiler"
+      ~args:[ ("fraction", J.Float options.partition_fraction) ]
+      (fun () ->
+        Opinfo.extract solve_chip
+          ~partition_fraction:options.partition_fraction graph)
   in
   Log.debug (fun m ->
       m "extracted %d CIM (sub-)operators (cap %.2f of the chip)"
         (Array.length ops) options.partition_fraction);
   let segments, dp_stats =
-    Segment.run ~options:options.segment ~on_stage solve_chip ops
+    Trace.with_span "dp.segmentation" ~cat:"compiler"
+      ~args:
+        [ ("ops", J.Int (Array.length ops));
+          ("window", J.Int options.segment.Segment.max_segment_ops) ]
+      (fun () -> Segment.run ~options:options.segment ~on_stage solve_chip ops)
   in
   Log.debug (fun m ->
       m "DP: %d segments, %d MIP solves (%d cache hits), %d candidates"
         (List.length segments) dp_stats.Segment.mip_solves
         dp_stats.Segment.mip_cache_hits dp_stats.Segment.candidates);
-  let places = Placement.place chip ?faults ops segments in
+  let places =
+    Trace.with_span "placement" ~cat:"compiler" (fun () ->
+        Placement.place chip ?faults ops segments)
+  in
   let schedule = placed_schedule chip ops places in
   (* The DP's inter-segment costs are estimates, so the dual-mode plan can
      in corner cases place worse than a pure all-compute plan would. The
@@ -132,11 +171,14 @@ let compile ?(options = default_options) ?faults chip graph =
           Segment.alloc = { options.segment.Segment.alloc with
                             Alloc.force_all_compute = true } }
       in
-      let seg_ac, stats_ac =
-        Segment.run ~options:restricted ~on_stage solve_chip ops
+      let seg_ac, stats_ac, places_ac, sched_ac =
+        Trace.with_span "all_compute.probe" ~cat:"compiler" (fun () ->
+            let seg_ac, stats_ac =
+              Segment.run ~options:restricted ~on_stage solve_chip ops
+            in
+            let places_ac = Placement.place chip ?faults ops seg_ac in
+            (seg_ac, stats_ac, places_ac, placed_schedule chip ops places_ac))
       in
-      let places_ac = Placement.place chip ?faults ops seg_ac in
-      let sched_ac = placed_schedule chip ops places_ac in
       if sched_ac.Plan.total_cycles < schedule.Plan.total_cycles then
         ( seg_ac, places_ac, sched_ac,
           { Segment.mip_solves = dp_stats.Segment.mip_solves + stats_ac.Segment.mip_solves;
@@ -158,13 +200,17 @@ let compile ?(options = default_options) ?faults chip graph =
       m "schedule: %.0f cycles (intra %.0f, wb %.0f, switch %.0f, rewrite %.0f)"
         schedule.Plan.total_cycles schedule.Plan.intra schedule.Plan.writeback
         schedule.Plan.switch schedule.Plan.rewrite);
-  let program = Codegen.generate chip graph ops places in
+  let program =
+    Trace.with_span "codegen" ~cat:"compiler" (fun () ->
+        Codegen.generate chip graph ops places)
+  in
   (* static flow validation feeds the degradation report: a clean compile
      has zero diagnostics, a degraded one documents exactly what the plan
      still guarantees *)
   let diagnostics =
-    List.map Cim_metaop.Check.diagnostic_to_string
-      (Cim_metaop.Check.errors (Cim_metaop.Check.run chip ?faults program))
+    Trace.with_span "flow.validate" ~cat:"compiler" (fun () ->
+        List.map Cim_metaop.Check.diagnostic_to_string
+          (Cim_metaop.Check.errors (Cim_metaop.Check.run chip ?faults program)))
   in
   List.iter
     (fun d -> Log.warn (fun m -> m "flow validator: %s" d))
@@ -174,6 +220,8 @@ let compile ?(options = default_options) ?faults chip graph =
       Degrade.events = List.rev !events;
       diagnostics }
   in
+  let compile_seconds = Sys.time () -. t0 in
+  record_compile_metrics dp_stats places schedule ~seconds:compile_seconds;
   {
     chip;
     graph;
@@ -183,7 +231,7 @@ let compile ?(options = default_options) ?faults chip graph =
     program;
     dp_stats;
     degradation;
-    compile_seconds = Sys.time () -. t0;
+    compile_seconds;
   }
 
 (* Last-resort serial schedule: one operator per segment, greedy
@@ -191,6 +239,9 @@ let compile ?(options = default_options) ?faults chip graph =
    produce a plan at all. *)
 let compile_serial ?(options = default_options) ?faults chip graph events =
   let t0 = Sys.time () in
+  Trace.with_span "compile.serial" ~cat:"compiler"
+    ~args:[ ("graph", J.String graph.Cim_nnir.Graph.graph_name) ]
+  @@ fun () ->
   let solve_chip =
     match faults with None -> chip | Some fm -> Faultmap.effective_chip fm
   in
@@ -209,6 +260,7 @@ let compile_serial ?(options = default_options) ?faults chip graph events =
          (fun i _ ->
            match Greedy.solve solve_chip ops ~lo:i ~hi:i with
            | Some plan ->
+             Degrade.count_stage Degrade.Serial_fallback;
              events :=
                { Degrade.lo = i; hi = i; stage = Degrade.Serial_fallback;
                  detail = "single-operator segment via greedy allocation" }
@@ -233,6 +285,12 @@ let compile_serial ?(options = default_options) ?faults chip graph events =
       Degrade.events = List.rev !events;
       diagnostics }
   in
+  let dp_stats =
+    { Segment.mip_solves = 0; mip_cache_hits = 0;
+      candidates = Array.length ops; pruned_infeasible = 0 }
+  in
+  let compile_seconds = Sys.time () -. t0 in
+  record_compile_metrics dp_stats places schedule ~seconds:compile_seconds;
   {
     chip;
     graph;
@@ -240,11 +298,9 @@ let compile_serial ?(options = default_options) ?faults chip graph events =
     schedule;
     places;
     program;
-    dp_stats =
-      { Segment.mip_solves = 0; mip_cache_hits = 0;
-        candidates = Array.length ops; pruned_infeasible = 0 };
+    dp_stats;
     degradation;
-    compile_seconds = Sys.time () -. t0;
+    compile_seconds;
   }
 
 let compile_robust ?(options = default_options) ?faults chip graph =

@@ -25,6 +25,19 @@ let stage_to_string = function
   | Greedy_fallback -> "greedy-fallback"
   | Serial_fallback -> "serial-fallback"
 
+let m_milp_optimal = Cim_obs.Metrics.counter "compile.alloc.milp_optimal"
+let m_milp_incumbent = Cim_obs.Metrics.counter "compile.alloc.milp_incumbent"
+let m_greedy = Cim_obs.Metrics.counter "compile.alloc.greedy_fallback"
+let m_serial = Cim_obs.Metrics.counter "compile.alloc.serial_fallback"
+
+(* ladder-level telemetry: one bump per segment allocation, keyed by the
+   stage that finally produced (or failed to produce) its plan *)
+let count_stage = function
+  | Milp_optimal -> Cim_obs.Metrics.incr m_milp_optimal
+  | Milp_incumbent -> Cim_obs.Metrics.incr m_milp_incumbent
+  | Greedy_fallback -> Cim_obs.Metrics.incr m_greedy
+  | Serial_fallback -> Cim_obs.Metrics.incr m_serial
+
 let pp ppf r =
   Format.fprintf ppf "@[<v>degradation: %s (%d/%d arrays usable)"
     (if degraded r then "DEGRADED" else "clean")
@@ -38,6 +51,10 @@ let pp ppf r =
   Format.fprintf ppf "@]"
 
 let solve ?options ?(on_stage = fun _ -> ()) chip (ops : Opinfo.t array) ~lo ~hi =
+  let on_stage e =
+    count_stage e.stage;
+    on_stage e
+  in
   let greedy detail =
     match Greedy.solve chip ops ~lo ~hi with
     | Some plan ->
@@ -46,7 +63,9 @@ let solve ?options ?(on_stage = fun _ -> ()) chip (ops : Opinfo.t array) ~lo ~hi
     | None -> None
   in
   match Alloc.solve_outcome ?options chip ops ~lo ~hi with
-  | Alloc.Optimal plan -> Some plan
+  | Alloc.Optimal plan ->
+    count_stage Milp_optimal;
+    Some plan
   | Alloc.Infeasible -> None
   | Alloc.Truncated_no_incumbent ->
     greedy "MILP node budget exhausted without a feasible incumbent"

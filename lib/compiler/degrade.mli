@@ -31,6 +31,12 @@ val degraded : report -> bool
 
 val stage_to_string : stage -> string
 
+val count_stage : stage -> unit
+(** Bump the [compile.alloc.*] ladder counter for a stage (no-op when
+    {!Cim_obs.Metrics} is disabled). {!solve} does this itself; the serial
+    path in [Cmswitch.compile_serial] builds its events by hand and calls
+    this directly. *)
+
 val pp : Format.formatter -> report -> unit
 
 val solve :

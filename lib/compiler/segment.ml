@@ -42,7 +42,11 @@ let run ?(options = default_options) ?on_stage chip (ops : Opinfo.t array) =
   let ctx = Plan.make_ctx ops in
   let cache : (string, Plan.seg_plan option) Hashtbl.t = Hashtbl.create 256 in
   let solves = ref 0 and hits = ref 0 and cands = ref 0 and pruned = ref 0 in
-  let solve ~lo ~hi = Degrade.solve ~options:options.alloc ?on_stage chip ops ~lo ~hi in
+  let solve ~lo ~hi =
+    Cim_obs.Trace.with_span "milp.segment" ~cat:"solver"
+      ~args:[ ("lo", Cim_obs.Json.Int lo); ("hi", Cim_obs.Json.Int hi) ]
+      (fun () -> Degrade.solve ~options:options.alloc ?on_stage chip ops ~lo ~hi)
+  in
   let intra ~lo ~hi =
     if options.memoize then begin
       let key = signature ops ~lo ~hi in

@@ -1,0 +1,32 @@
+(** Minimal JSON value type with a printer and a parser.
+
+    Shared by the trace exporter (Chrome trace-event files), the metrics
+    dump, and the benchmark harness's [--json] output; the parser exists so
+    tests can load emitted files back and validate their structure without
+    an external dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : ?pretty:bool -> t -> string
+(** Serialise. [Float] values that are NaN or infinite are emitted as
+    [null] (JSON has no encoding for them); finite floats round-trip. *)
+
+val of_string : string -> t
+(** Parse a JSON document. Raises [Parse_error] with a position-bearing
+    message on malformed input. Numbers with a fraction or exponent parse
+    as [Float]; bare integers as [Int]. *)
+
+val member : string -> t -> t option
+(** [member k (Obj ...)] looks up key [k]; [None] on absence or non-objects. *)
+
+val to_float : t -> float option
+(** Numeric accessor accepting both [Int] and [Float]. *)

@@ -1,0 +1,147 @@
+type counter = { cname : string; mutable count : float; mutable c_touched : bool }
+type gauge = { gname : string; mutable value : float; mutable g_touched : bool }
+
+type histogram = {
+  hname : string;
+  mutable samples : float list; (* reversed *)
+  mutable n : int;
+}
+
+type instrument = C of counter | G of gauge | H of histogram
+
+let on = ref false
+let set_enabled b = on := b
+let enabled () = !on
+
+let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
+
+let reset () =
+  Hashtbl.iter
+    (fun _ i ->
+      match i with
+      | C c ->
+        c.count <- 0.;
+        c.c_touched <- false
+      | G g ->
+        g.value <- 0.;
+        g.g_touched <- false
+      | H h ->
+        h.samples <- [];
+        h.n <- 0)
+    registry
+
+let clash name = invalid_arg ("Metrics: " ^ name ^ " already registered with another type")
+
+let counter name =
+  match Hashtbl.find_opt registry name with
+  | Some (C c) -> c
+  | Some _ -> clash name
+  | None ->
+    let c = { cname = name; count = 0.; c_touched = false } in
+    Hashtbl.replace registry name (C c);
+    c
+
+let incr ?(by = 1.) c =
+  if !on then begin
+    c.count <- c.count +. by;
+    c.c_touched <- true
+  end
+
+let counter_value c = c.count
+
+let gauge name =
+  match Hashtbl.find_opt registry name with
+  | Some (G g) -> g
+  | Some _ -> clash name
+  | None ->
+    let g = { gname = name; value = 0.; g_touched = false } in
+    Hashtbl.replace registry name (G g);
+    g
+
+let set_gauge g v =
+  if !on then begin
+    g.value <- v;
+    g.g_touched <- true
+  end
+
+let histogram name =
+  match Hashtbl.find_opt registry name with
+  | Some (H h) -> h
+  | Some _ -> clash name
+  | None ->
+    let h = { hname = name; samples = []; n = 0 } in
+    Hashtbl.replace registry name (H h);
+    h
+
+let observe h v =
+  if !on then begin
+    h.samples <- v :: h.samples;
+    h.n <- h.n + 1
+  end
+
+let histogram_count h = h.n
+
+let touched () =
+  Hashtbl.fold
+    (fun name i acc ->
+      match i with
+      | C c when c.c_touched -> (name, i) :: acc
+      | G g when g.g_touched -> (name, i) :: acc
+      | H h when h.n > 0 -> (name, i) :: acc
+      | C _ | G _ | H _ -> acc)
+    registry []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let summarize (h : histogram) =
+  let xs = h.samples in
+  let count = h.n in
+  let mean = Cim_util.Stats.mean xs in
+  let p50 = Cim_util.Stats.percentile_nearest_rank 50. xs in
+  let p95 = Cim_util.Stats.percentile_nearest_rank 95. xs in
+  let mn = Cim_util.Stats.minimum xs and mx = Cim_util.Stats.maximum xs in
+  (count, mean, mn, p50, p95, mx)
+
+let num x =
+  (* counters are usually integral; print them without a fraction *)
+  if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.0f" x
+  else Printf.sprintf "%g" x
+
+let to_markdown () =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "| metric | type | value |\n|---|---|---|\n";
+  List.iter
+    (fun (name, i) ->
+      match i with
+      | C c -> Buffer.add_string buf (Printf.sprintf "| %s | counter | %s |\n" name (num c.count))
+      | G g -> Buffer.add_string buf (Printf.sprintf "| %s | gauge | %s |\n" name (num g.value))
+      | H h ->
+        let count, mean, mn, p50, p95, mx = summarize h in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "| %s | histogram | n=%d mean=%s min=%s p50=%s p95=%s max=%s |\n"
+             name count (num mean) (num mn) (num p50) (num p95) (num mx)))
+    (touched ());
+  Buffer.contents buf
+
+let to_json () =
+  let counters = ref [] and gauges = ref [] and histos = ref [] in
+  List.iter
+    (fun (name, i) ->
+      match i with
+      | C c -> counters := (name, Json.Float c.count) :: !counters
+      | G g -> gauges := (name, Json.Float g.value) :: !gauges
+      | H h ->
+        let count, mean, mn, p50, p95, mx = summarize h in
+        histos :=
+          ( name,
+            Json.Obj
+              [ ("count", Json.Int count); ("mean", Json.Float mean);
+                ("min", Json.Float mn); ("p50", Json.Float p50);
+                ("p95", Json.Float p95); ("max", Json.Float mx) ] )
+          :: !histos)
+    (touched ());
+  Json.Obj
+    [ ("counters", Json.Obj (List.rev !counters));
+      ("gauges", Json.Obj (List.rev !gauges));
+      ("histograms", Json.Obj (List.rev !histos)) ]

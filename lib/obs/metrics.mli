@@ -1,0 +1,41 @@
+(** Registry of named counters, gauges, and histograms.
+
+    Instruments are find-or-create by name, so call sites may register them
+    at module initialisation (cheap repeated access from hot loops) or
+    lazily. Recording is globally disabled by default; every mutator checks
+    one boolean first, keeping disabled instrumentation free.
+
+    Naming convention (see docs/ARCHITECTURE.md, "Observability"):
+    dot-separated [subsystem.noun.detail], e.g. [solver.bb.nodes],
+    [compile.alloc.greedy_fallback], [sim.cycles.compute]. *)
+
+type counter
+type gauge
+type histogram
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val reset : unit -> unit
+(** Zero every registered instrument. Registrations (and the instrument
+    values held by call sites) stay valid. *)
+
+val counter : string -> counter
+val incr : ?by:float -> counter -> unit
+val counter_value : counter -> float
+
+val gauge : string -> gauge
+val set_gauge : gauge -> float -> unit
+
+val histogram : string -> histogram
+val observe : histogram -> float -> unit
+val histogram_count : histogram -> int
+
+val to_markdown : unit -> string
+(** All touched instruments as a Markdown table, sorted by name: counters
+    and gauges with their value, histograms with count/mean/p50/p95/max.
+    Untouched instruments are omitted. *)
+
+val to_json : unit -> Json.t
+(** [{"counters": {...}, "gauges": {...}, "histograms": {name: {count,
+    mean, min, p50, p95, max}}}], touched instruments only. *)

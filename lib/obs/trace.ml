@@ -1,0 +1,124 @@
+type event = {
+  name : string;
+  cat : string;
+  ph : string;
+  ts : float;
+  dur : float option;
+  pid : int;
+  tid : int;
+  args : (string * Json.t) list;
+}
+
+let on = ref false
+let set_enabled b = on := b
+let enabled () = !on
+
+(* recording order, reversed *)
+let events : event list ref = ref []
+let named : (int * int * string, unit) Hashtbl.t = Hashtbl.create 16
+
+let reset () =
+  events := [];
+  Hashtbl.reset named
+
+let pid_compiler = 1
+let pid_simulator = 2
+let pid_machine = 3
+
+let epoch = Unix.gettimeofday ()
+let last = ref 0.
+
+(* strictly increasing: consecutive calls within one microsecond still get
+   distinct stamps (1 ns apart), so a parent span always opens strictly
+   before and closes strictly after its children — interval containment
+   stays unambiguous even for empty spans *)
+let now_us () =
+  let t = (Unix.gettimeofday () -. epoch) *. 1e6 in
+  let t = if t > !last then t else !last +. 0.001 in
+  last := t;
+  t
+
+let push e = events := e :: !events
+
+let complete ?(cat = "span") ?(args = []) ~pid ~tid ~ts ~dur name =
+  if !on then push { name; cat; ph = "X"; ts; dur = Some dur; pid; tid; args }
+
+let instant ?(cat = "mark") ?(args = []) name =
+  if !on then
+    push
+      { name; cat; ph = "i"; ts = now_us (); dur = None; pid = pid_compiler;
+        tid = 1; args }
+
+let counter ?(cat = "counter") ~pid ~ts name samples =
+  if !on then
+    push
+      { name; cat; ph = "C"; ts; dur = None; pid; tid = 0;
+        args = List.map (fun (k, v) -> (k, Json.Float v)) samples }
+
+let metadata ~pid ~tid meta label =
+  if !on && not (Hashtbl.mem named (pid, tid, meta)) then begin
+    Hashtbl.replace named (pid, tid, meta) ();
+    push
+      { name = meta; cat = "__metadata"; ph = "M"; ts = 0.; dur = None; pid; tid;
+        args = [ ("name", Json.String label) ] }
+  end
+
+let name_process ~pid label = metadata ~pid ~tid:0 "process_name" label
+let name_thread ~pid ~tid label = metadata ~pid ~tid "thread_name" label
+
+let with_span ?(cat = "span") ?(args = []) name f =
+  if not !on then f ()
+  else begin
+    let t0 = now_us () in
+    Fun.protect
+      ~finally:(fun () ->
+        let t1 = now_us () in
+        (* events are pushed at span *exit*, so a parent closes after its
+           children; the exporter re-sorts by ts to restore begin order *)
+        push
+          { name; cat; ph = "X"; ts = t0; dur = Some (t1 -. t0);
+            pid = pid_compiler; tid = 1; args })
+      f
+  end
+
+let event_json e =
+  let base =
+    [ ("name", Json.String e.name);
+      ("cat", Json.String e.cat);
+      ("ph", Json.String e.ph);
+      ("ts", Json.Float e.ts);
+      ("pid", Json.Int e.pid);
+      ("tid", Json.Int e.tid) ]
+  in
+  let dur = match e.dur with Some d -> [ ("dur", Json.Float d) ] | None -> [] in
+  let args = if e.args = [] then [] else [ ("args", Json.Obj e.args) ] in
+  Json.Obj (base @ dur @ args)
+
+let export () =
+  let evs = List.rev !events in
+  (* stable sort on (pid, ts): within one process, parents (earlier ts)
+     precede children, which Perfetto's "X"-event nesting expects. Spans
+     recorded at exit can share a ts with their children when the clock
+     does not advance between entries, so ties put the longer (enclosing)
+     span first. *)
+  let dur e = match e.dur with Some d -> d | None -> 0. in
+  let evs =
+    List.stable_sort
+      (fun a b ->
+        match compare a.pid b.pid with
+        | 0 -> (
+          match Float.compare a.ts b.ts with
+          | 0 -> Float.compare (dur b) (dur a)
+          | c -> c)
+        | c -> c)
+      evs
+  in
+  Json.Obj
+    [ ("traceEvents", Json.List (List.map event_json evs));
+      ("displayTimeUnit", Json.String "ms") ]
+
+let write_file file =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Json.to_string ~pretty:true (export ())))

@@ -1,0 +1,66 @@
+(** Hierarchical tracing with a Chrome trace-event exporter.
+
+    Spans nest by lexical structure ({!with_span}) on the compiler track and
+    by explicit timestamps on the simulator tracks; the export is the JSON
+    object format of the Chrome trace-event specification, loadable in
+    Perfetto or [chrome://tracing].
+
+    Tracing is globally disabled by default: every recording entry point
+    checks one boolean and returns immediately, so instrumented hot paths
+    cost nothing observable in production runs (see the self-overhead guard
+    in [test/t_obs.ml]).
+
+    Three processes partition the timeline, each with its own clock:
+    - pid {!pid_compiler} — wall-clock microseconds (spans of compilation
+      passes);
+    - pid {!pid_simulator} — simulated cycles (timing-model segments and
+      per-array mode residency);
+    - pid {!pid_machine} — machine steps (one per executed meta-operator
+      effect, per-array mode residency from the functional machine). *)
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val reset : unit -> unit
+(** Drop all recorded events (the enabled flag is left as-is). *)
+
+val pid_compiler : int
+val pid_simulator : int
+val pid_machine : int
+
+val now_us : unit -> float
+(** Microseconds since the trace module was initialised, clamped to be
+    strictly increasing across calls (consecutive calls within one
+    microsecond are spread 1 ns apart, so span intervals never
+    degenerate). *)
+
+val with_span :
+  ?cat:string -> ?args:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f] inside a complete event on the compiler
+    track; the event is recorded even if [f] raises. When tracing is
+    disabled this is exactly [f ()]. *)
+
+val instant : ?cat:string -> ?args:(string * Json.t) list -> string -> unit
+(** A zero-duration marker on the compiler track. *)
+
+val complete :
+  ?cat:string -> ?args:(string * Json.t) list -> pid:int -> tid:int ->
+  ts:float -> dur:float -> string -> unit
+(** A complete event with explicit coordinates — used by the simulators,
+    whose clocks are synthetic (cycles, machine steps). *)
+
+val counter : ?cat:string -> pid:int -> ts:float -> string -> (string * float) list -> unit
+(** A counter-track sample (Chrome ["C"] event). *)
+
+val name_process : pid:int -> string -> unit
+val name_thread : pid:int -> tid:int -> string -> unit
+(** Metadata events labelling tracks in the viewer. Idempotent per target:
+    repeated names for the same (pid, tid) are recorded once. *)
+
+val export : unit -> Json.t
+(** The trace as [{"traceEvents": [...], "displayTimeUnit": "ms"}]. Events
+    appear in recording order; span events carry [ph = "X"] with [ts]/[dur]
+    so nesting is recovered by interval containment. *)
+
+val write_file : string -> unit
+(** [export] pretty-printed to a file. *)

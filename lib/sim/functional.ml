@@ -187,6 +187,7 @@ let run chip ?faults ?rng ?max_switch_retries (g : Graph.t)
       done
   in
   List.iter exec p.Flow.instrs;
+  Machine.flush_residency machine;
   (* every partitioned operator must have covered its full output width *)
   Hashtbl.iter
     (fun node_id cov ->

@@ -2,6 +2,7 @@ module Chip = Cim_arch.Chip
 module Mode = Cim_arch.Mode
 module Faultmap = Cim_arch.Faultmap
 module Rng = Cim_util.Rng
+module Trace = Cim_obs.Trace
 
 type content =
   | Empty
@@ -18,7 +19,17 @@ type t = {
   mutable m2c : int;
   mutable c2m : int;
   mutable retries : int;
+  (* residency tracking for the trace: the machine's clock is one step per
+     executed meta-operator effect, and [mode_since] remembers when each
+     array entered its current mode *)
+  mutable step : int;
+  mode_since : int array;
+  switched : (int, unit) Hashtbl.t;
 }
+
+let m_m2c = Cim_obs.Metrics.counter "machine.switches.m2c"
+let m_c2m = Cim_obs.Metrics.counter "machine.switches.c2m"
+let m_retries = Cim_obs.Metrics.counter "machine.switch.retries"
 
 exception Fault of string
 
@@ -47,7 +58,31 @@ let create chip ?(initial_mode = Mode.Memory) ?faults ?rng
     m2c = 0;
     c2m = 0;
     retries = 0;
+    step = 0;
+    mode_since = Array.make chip.Chip.n_arrays 0;
+    switched = Hashtbl.create 16;
   }
+
+let tick t = t.step <- t.step + 1
+
+(* one mode-colored slab on the array's track, covering [mode_since, step) *)
+let emit_residency t i =
+  if Trace.enabled () then begin
+    let since = t.mode_since.(i) and now = t.step in
+    if now > since then begin
+      let c = Chip.coord_of_index t.chip i in
+      Trace.name_process ~pid:Trace.pid_machine "machine (steps)";
+      Trace.name_thread ~pid:Trace.pid_machine ~tid:i
+        (Printf.sprintf "array (%d,%d)" c.Chip.x c.Chip.y);
+      Trace.complete ~cat:"residency" ~pid:Trace.pid_machine ~tid:i
+        ~ts:(float_of_int since)
+        ~dur:(float_of_int (now - since))
+        (Mode.to_string t.modes.(i))
+    end
+  end
+
+let flush_residency t =
+  Hashtbl.iter (fun i () -> emit_residency t i) t.switched
 
 let idx t c =
   try Chip.index_of_coord t.chip c
@@ -106,7 +141,8 @@ let switch t transition c =
     while (not !succeeded) && !attempts <= t.max_switch_retries do
       if Rng.float t.rng 1.0 < p then begin
         incr attempts;
-        t.retries <- t.retries + 1
+        t.retries <- t.retries + 1;
+        Cim_obs.Metrics.incr m_retries
       end
       else succeeded := true
     done;
@@ -119,9 +155,17 @@ let switch t transition c =
         (Mode.to_string target) !attempts p
         (Mode.to_string t.modes.(i))
   end;
+  tick t;
+  emit_residency t i;
+  Hashtbl.replace t.switched i ();
+  t.mode_since.(i) <- t.step;
   (match transition with
-  | Mode.To_compute -> t.m2c <- t.m2c + 1
-  | Mode.To_memory -> t.c2m <- t.c2m + 1);
+  | Mode.To_compute ->
+    t.m2c <- t.m2c + 1;
+    Cim_obs.Metrics.incr m_m2c
+  | Mode.To_memory ->
+    t.c2m <- t.c2m + 1;
+    Cim_obs.Metrics.incr m_c2m);
   t.modes.(i) <- target;
   (* mode change loses the scratchpad view of the cells but the physical
      weight charge survives *)
@@ -131,6 +175,7 @@ let switch t transition c =
 
 let write_weights t c ~node_id ~lo ~hi =
   let i = idx t c in
+  tick t;
   check_alive t c i ~attempted:(Printf.sprintf "write node %d weights" node_id);
   if t.modes.(i) <> Mode.Compute then
     fault
@@ -142,6 +187,7 @@ let write_weights t c ~node_id ~lo ~hi =
 
 let stage_data t c name =
   let i = idx t c in
+  tick t;
   check_alive t c i ~attempted:(Printf.sprintf "stage tensor %s" name);
   if t.modes.(i) <> Mode.Memory then
     fault
@@ -152,6 +198,7 @@ let stage_data t c name =
 
 let check_compute t c ~node_id =
   let i = idx t c in
+  tick t;
   check_alive t c i ~attempted:(Printf.sprintf "compute node %d" node_id);
   if t.modes.(i) <> Mode.Compute then
     fault "compute of node %d on array (%d,%d) in %s mode (needs compute)"
@@ -169,6 +216,7 @@ let check_compute t c ~node_id =
 
 let check_memory t c =
   let i = idx t c in
+  tick t;
   check_alive t c i ~attempted:"memory access";
   if t.modes.(i) <> Mode.Memory then
     fault "memory access to array (%d,%d) in %s mode (needs memory)" c.Chip.x

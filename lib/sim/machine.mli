@@ -54,3 +54,14 @@ val switch_counts : t -> int * int
 val switch_retries : t -> int
 (** Total failed switch attempts recovered by retrying — each one costs a
     full switch latency, which the timing simulator charges. *)
+
+val flush_residency : t -> unit
+(** Emit the still-open mode-residency interval of every array that ever
+    switched as trace events (no-op when {!Cim_obs.Trace} is disabled).
+
+    The machine keeps a step clock — one tick per executed meta-operator
+    effect — and, while tracing is enabled, records one complete event per
+    (array, mode) interval on the machine process's per-array tracks, so
+    [CM.switch] instructions render as mode-colored slabs in Perfetto. Call
+    this after the last instruction to close the final intervals; the
+    functional simulator does so automatically. *)

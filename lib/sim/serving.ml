@@ -1,3 +1,5 @@
+module Metrics = Cim_obs.Metrics
+
 type request = { arrival : float; prompt : int; output : int }
 
 type cost_profile = {
@@ -82,6 +84,15 @@ let run ?deadline profile requests =
         tokens := !tokens + r.output + 1;
         latencies := (!finish -. r.arrival) :: !latencies)
     requests;
+  if Metrics.enabled () then begin
+    Metrics.incr ~by:(float_of_int !completed) (Metrics.counter "serving.completed");
+    Metrics.incr ~by:(float_of_int !dropped) (Metrics.counter "serving.dropped");
+    Metrics.incr ~by:(float_of_int !tokens) (Metrics.counter "serving.tokens");
+    let h_lat = Metrics.histogram "serving.latency_cycles" in
+    let h_ttft = Metrics.histogram "serving.ttft_cycles" in
+    List.iter (Metrics.observe h_lat) !latencies;
+    List.iter (Metrics.observe h_ttft) !ttfts
+  end;
   if !completed = 0 then { zero_stats with dropped = !dropped }
   else
     let latencies = !latencies in

@@ -3,6 +3,9 @@ module Cost = Cim_arch.Cost
 module Faultmap = Cim_arch.Faultmap
 module Flow = Cim_metaop.Flow
 module Rng = Cim_util.Rng
+module Mode = Cim_arch.Mode
+module Trace = Cim_obs.Trace
+module Metrics = Cim_obs.Metrics
 
 type breakdown = {
   compute : float;
@@ -87,19 +90,55 @@ let run chip ?faults ?rng ?(max_switch_retries = 3) (p : Flow.program) =
       displaced;
     res.staged <- kept
   in
+  (* the running component sums double as the simulator's cycle clock; each
+     switched array gets its own trace track showing which mode it sat in
+     between switches (arrays reset as plain memory, so Memory at cycle 0) *)
+  let clock () = !compute +. !switch +. !rewrite +. !writeback in
+  let residency : (int, Mode.t * float) Hashtbl.t = Hashtbl.create 32 in
+  let emit_residency i mode ~since ~upto =
+    if upto > since then begin
+      let c = Chip.coord_of_index chip i in
+      Trace.name_process ~pid:Trace.pid_simulator "timing simulator (cycles)";
+      Trace.name_thread ~pid:Trace.pid_simulator ~tid:(i + 1)
+        (Printf.sprintf "array (%d,%d)" c.Chip.x c.Chip.y);
+      Trace.complete ~cat:"residency" ~pid:Trace.pid_simulator ~tid:(i + 1)
+        ~ts:since ~dur:(upto -. since) (Mode.to_string mode)
+    end
+  in
+  let do_switch target arrays =
+    flush_overlapping arrays;
+    charge_retries target arrays;
+    let t_before = clock () in
+    let n = List.length arrays in
+    (match target with
+    | Mode.To_compute ->
+      m2c := !m2c + n;
+      switch := !switch +. Cost.switch_latency chip ~m2c:n ~c2m:0
+    | Mode.To_memory ->
+      c2m := !c2m + n;
+      switch := !switch +. Cost.switch_latency chip ~m2c:0 ~c2m:n);
+    if Trace.enabled () then begin
+      let t_after = clock () in
+      List.iter
+        (fun (c : Flow.coord) ->
+          match Chip.index_of_coord chip c with
+          | exception Chip.Invalid_config _ -> ()
+          | i ->
+            let prev, since =
+              Option.value (Hashtbl.find_opt residency i)
+                ~default:(Mode.Memory, 0.)
+            in
+            emit_residency i prev ~since ~upto:t_before;
+            Trace.complete ~cat:"switch" ~pid:Trace.pid_simulator ~tid:(i + 1)
+              ~ts:t_before ~dur:(t_after -. t_before)
+              (Printf.sprintf "switch %s" (Mode.transition_to_string target));
+            Hashtbl.replace residency i (Mode.apply target, t_after))
+        arrays
+    end
+  in
   let exec_top (i : Flow.instr) =
     match i with
-    | Flow.Switch { target; arrays } ->
-      flush_overlapping arrays;
-      charge_retries target arrays;
-      let n = List.length arrays in
-      (match target with
-      | Cim_arch.Mode.To_compute ->
-        m2c := !m2c + n;
-        switch := !switch +. Cost.switch_latency chip ~m2c:n ~c2m:0
-      | Cim_arch.Mode.To_memory ->
-        c2m := !c2m + n;
-        switch := !switch +. Cost.switch_latency chip ~m2c:0 ~c2m:n)
+    | Flow.Switch { target; arrays } -> do_switch target arrays
     | Flow.Load { bytes; dst; _ } ->
       dma := !dma + bytes;
       (match dst with
@@ -165,17 +204,7 @@ let run chip ?faults ?rng ?(max_switch_retries = 3) (p : Flow.program) =
               flush_overlapping cs;
               res.staged <- (tensor, (cs, bytes)) :: res.staged
           end
-          | Flow.Switch { target; arrays } ->
-            flush_overlapping arrays;
-            charge_retries target arrays;
-            let n = List.length arrays in
-            (match target with
-            | Cim_arch.Mode.To_compute ->
-              m2c := !m2c + n;
-              switch := !switch +. Cost.switch_latency chip ~m2c:n ~c2m:0
-            | Cim_arch.Mode.To_memory ->
-              c2m := !c2m + n;
-              switch := !switch +. Cost.switch_latency chip ~m2c:0 ~c2m:n)
+          | Flow.Switch { target; arrays } -> do_switch target arrays
           | Flow.Vector_op _ | Flow.Parallel _ -> ())
         body;
       let seg_rw = Hashtbl.fold (fun _ (r, _) acc -> Float.max acc r) chain 0. in
@@ -183,8 +212,36 @@ let run chip ?faults ?rng ?(max_switch_retries = 3) (p : Flow.program) =
       rewrite := !rewrite +. seg_rw;
       compute := !compute +. seg_cp
   in
+  let exec_top (i : Flow.instr) =
+    match i with
+    | Flow.Parallel _ when Trace.enabled () ->
+      (* one span per pipelined segment on the simulator's segment track *)
+      let t0 = clock () in
+      let n = !segments in
+      exec_top i;
+      Trace.name_thread ~pid:Trace.pid_simulator ~tid:0 "segments";
+      Trace.complete ~cat:"segment" ~pid:Trace.pid_simulator ~tid:0 ~ts:t0
+        ~dur:(clock () -. t0)
+        (Printf.sprintf "segment %d" n)
+    | i -> exec_top i
+  in
   List.iter exec_top p.Flow.instrs;
+  if Trace.enabled () then
+    Hashtbl.iter
+      (fun i (mode, since) -> emit_residency i mode ~since ~upto:(clock ()))
+      residency;
   let total = !compute +. !switch +. !rewrite +. !writeback in
+  (* cycles-by-mode: compute cycles run in compute mode, everything else
+     (switch, rewrite, writeback) is memory-system time *)
+  Metrics.incr ~by:!compute (Metrics.counter "sim.cycles.compute");
+  Metrics.incr ~by:!switch (Metrics.counter "sim.cycles.switch");
+  Metrics.incr ~by:!rewrite (Metrics.counter "sim.cycles.rewrite");
+  Metrics.incr ~by:!writeback (Metrics.counter "sim.cycles.writeback");
+  Metrics.incr ~by:total (Metrics.counter "sim.cycles.total");
+  Metrics.incr ~by:(float_of_int !m2c) (Metrics.counter "sim.switches.m2c");
+  Metrics.incr ~by:(float_of_int !c2m) (Metrics.counter "sim.switches.c2m");
+  Metrics.incr ~by:(float_of_int !retries) (Metrics.counter "sim.switch.retries");
+  Metrics.incr ~by:(float_of_int !dma) (Metrics.counter "sim.dma.bytes");
   {
     cycles =
       { compute = !compute; switch = !switch; rewrite = !rewrite;

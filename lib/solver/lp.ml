@@ -15,6 +15,10 @@ exception Ill_formed of string
 
 let ill fmt = Printf.ksprintf (fun s -> raise (Ill_formed s)) fmt
 
+(* registered once; recording is a no-op unless Cim_obs.Metrics is enabled *)
+let m_solves = Cim_obs.Metrics.counter "solver.lp.solves"
+let m_pivots = Cim_obs.Metrics.counter "solver.simplex.pivots"
+
 (* The tableau holds one row per constraint plus an objective row. Columns:
    structural variables (shifted to 0 lower bound), then slack/surplus
    variables, then artificial variables, then the RHS. We run phase 1 over
@@ -41,6 +45,7 @@ let check p =
 
 let solve ?(eps = 1e-9) ?(max_iters = 20_000) p =
   check p;
+  Cim_obs.Metrics.incr m_solves;
   let n = p.n_vars in
   (* Shift variables to zero lower bound; fold finite upper bounds into
      extra <= rows. *)
@@ -159,6 +164,7 @@ let solve ?(eps = 1e-9) ?(max_iters = 20_000) p =
           continue_ := false
         end
         else begin
+          Cim_obs.Metrics.incr m_pivots;
           let l = !leave in
           let pivot = t.(l).(e) in
           for j = 0 to total do

@@ -6,6 +6,12 @@ type result =
   | Unbounded
   | Node_limit of Lp.solution option
 
+let m_nodes = Cim_obs.Metrics.counter "solver.bb.nodes"
+let m_pruned = Cim_obs.Metrics.counter "solver.bb.pruned"
+let m_infeasible = Cim_obs.Metrics.counter "solver.bb.infeasible_nodes"
+let m_incumbents = Cim_obs.Metrics.counter "solver.bb.incumbents"
+let m_truncated = Cim_obs.Metrics.counter "solver.bb.truncated_solves"
+
 (* Most-fractional branching: pick the integer variable whose relaxation
    value is farthest from an integer. *)
 let most_fractional ~eps kinds (values : float array) =
@@ -92,9 +98,10 @@ let solve ?(eps = 1e-6) ?(max_nodes = 100_000) ?(gap = 1e-6) (p : Lp.problem) ~k
     incr nodes;
     if !nodes > max_nodes then truncated := true
     else begin
+      Cim_obs.Metrics.incr m_nodes;
       let sub = { p with Lp.lower; upper } in
       match Lp.solve sub with
-      | Lp.Infeasible -> ()
+      | Lp.Infeasible -> Cim_obs.Metrics.incr m_infeasible
       | Lp.Unbounded ->
         (* Unbounded relaxation at the root means the MILP is unbounded or
            needs bounds we cannot infer; surface it. *)
@@ -103,7 +110,9 @@ let solve ?(eps = 1e-6) ?(max_nodes = 100_000) ?(gap = 1e-6) (p : Lp.problem) ~k
         if !nodes = 1 then begin
           (* seed the incumbent from the root relaxation by rounding *)
           match rounding_incumbent ~kinds p sol with
-          | Some s when better s -> incumbent := Some (round_integral ~eps kinds s)
+          | Some s when better s ->
+            Cim_obs.Metrics.incr m_incumbents;
+            incumbent := Some (round_integral ~eps kinds s)
           | Some _ | None -> ()
         end;
         let prune =
@@ -115,11 +124,15 @@ let solve ?(eps = 1e-6) ?(max_nodes = 100_000) ?(gap = 1e-6) (p : Lp.problem) ~k
             <= i.Lp.objective +. 1e-9 +. (gap *. Float.abs i.Lp.objective)
           | None -> false
         in
-        if not prune then begin
+        if prune then Cim_obs.Metrics.incr m_pruned
+        else begin
           match most_fractional ~eps kinds sol.Lp.values with
           | None ->
             let sol = round_integral ~eps kinds sol in
-            if better sol then incumbent := Some sol
+            if better sol then begin
+              Cim_obs.Metrics.incr m_incumbents;
+              incumbent := Some sol
+            end
           | Some j ->
             let v = sol.Lp.values.(j) in
             let floor_v = Float.of_int (int_of_float (Float.floor v)) in
@@ -158,6 +171,9 @@ let solve ?(eps = 1e-6) ?(max_nodes = 100_000) ?(gap = 1e-6) (p : Lp.problem) ~k
     end
   done;
   if !root_unbounded then Unbounded
-  else if !truncated then Node_limit !incumbent
+  else if !truncated then begin
+    Cim_obs.Metrics.incr m_truncated;
+    Node_limit !incumbent
+  end
   else
     match !incumbent with None -> Infeasible | Some s -> Optimal s

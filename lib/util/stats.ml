@@ -32,11 +32,19 @@ let maximum = function
   | [] -> fail_empty "Stats.maximum"
   | x :: xs -> List.fold_left max x xs
 
+(* NaN poisons comparison-based sorting: polymorphic [compare] places NaN
+   inconsistently, so a silently mis-sorted array would yield an arbitrary
+   "percentile". Reject NaN up front and sort with the total order
+   [Float.compare]. *)
+let sorted_finite name xs =
+  if List.exists Float.is_nan xs then invalid_arg (name ^ ": NaN in input");
+  Array.of_list (List.sort Float.compare xs)
+
 let percentile p xs =
   if xs = [] then fail_empty "Stats.percentile";
+  if Float.is_nan p then invalid_arg "Stats.percentile: p is NaN";
   if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of [0,100]";
-  let sorted = List.sort compare xs in
-  let arr = Array.of_list sorted in
+  let arr = sorted_finite "Stats.percentile" xs in
   let n = Array.length arr in
   if n = 1 then arr.(0)
   else begin
@@ -44,14 +52,18 @@ let percentile p xs =
     let lo = int_of_float (floor rank) in
     let hi = min (lo + 1) (n - 1) in
     let frac = rank -. float_of_int lo in
-    arr.(lo) +. (frac *. (arr.(hi) -. arr.(lo)))
+    (* short-circuit exact ranks: with infinities in play the blended form
+       would evaluate inf - inf = NaN even though frac is 0 *)
+    if frac = 0. then arr.(lo)
+    else arr.(lo) +. (frac *. (arr.(hi) -. arr.(lo)))
   end
 
 let percentile_nearest_rank p xs =
   if xs = [] then fail_empty "Stats.percentile_nearest_rank";
+  if Float.is_nan p then invalid_arg "Stats.percentile_nearest_rank: p is NaN";
   if p < 0. || p > 100. then
     invalid_arg "Stats.percentile_nearest_rank: p out of [0,100]";
-  let arr = Array.of_list (List.sort compare xs) in
+  let arr = sorted_finite "Stats.percentile_nearest_rank" xs in
   let n = Array.length arr in
   let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
   arr.(max 0 (min (n - 1) (rank - 1)))

@@ -16,16 +16,18 @@ val maximum : float list -> float
 
 val percentile : float -> float list -> float
 (** [percentile p xs] with [p] in [0, 100], linear interpolation between
-    order statistics. Raises [Invalid_argument] on the empty list or if [p]
-    is out of range. *)
+    order statistics (sorted under the total order [Float.compare]). Raises
+    [Invalid_argument] on the empty list, if [p] is out of range or NaN, or
+    if any sample is NaN — NaN has no rank, and letting it through would
+    silently mis-sort the input. *)
 
 val percentile_nearest_rank : float -> float list -> float
 (** Nearest-rank percentile (the smallest sample with at least [p]% of the
     distribution at or below it) — never interpolates, so on a small sample
     a tail percentile reports an actual observation (p95 of fewer than 20
     samples is the maximum) instead of an optimistic blend of the two
-    largest. Raises [Invalid_argument] on the empty list or [p] out of
-    range. *)
+    largest. Raises [Invalid_argument] on the empty list, [p] out of range
+    or NaN, or any NaN sample (same rationale as {!percentile}). *)
 
 val median : float list -> float
 

@@ -90,10 +90,19 @@ let render_csv t =
   List.iter (function Rule -> () | Cells cells -> emit cells) (List.rev t.rows);
   Buffer.contents buf
 
+let title t = t.title
+let headers t = t.headers
+
+let data_rows t =
+  List.filter_map (function Rule -> None | Cells cells -> Some cells) (List.rev t.rows)
+
 let csv_dir = ref None
 let csv_counter = ref 0
 
 let set_csv_dir d = csv_dir := d
+
+let sink : (t -> unit) option ref = ref None
+let set_sink s = sink := s
 
 let slug_of_title t =
   match t.title with
@@ -117,6 +126,7 @@ let slug_of_title t =
 
 let print t =
   print_string (render t);
+  (match !sink with None -> () | Some f -> f t);
   match !csv_dir with
   | None -> ()
   | Some dir ->

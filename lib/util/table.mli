@@ -27,6 +27,17 @@ val set_csv_dir : string option -> unit
     [<dir>/<slug-of-title>.csv] (untitled tables get numbered slugs). The
     directory must exist. Used by the benchmark harness's [--csv] flag. *)
 
+val set_sink : (t -> unit) option -> unit
+(** Observer invoked by {!print} with every printed table, before any CSV
+    dump. The benchmark harness's [--json] flag uses it to collect result
+    rows for a machine-readable dump. *)
+
+val title : t -> string option
+val headers : t -> string list
+
+val data_rows : t -> string list list
+(** The data rows in print order, rules omitted. *)
+
 val print : t -> unit
 
 val cell_f : ?digits:int -> float -> string

@@ -1,0 +1,307 @@
+(* Tests for the observability layer: JSON round-trips, Chrome trace-event
+   structure (span nesting recovered by interval containment), metrics
+   accumulation, the zero-cost-when-disabled guarantee, and a golden trace
+   of a real compile + simulate run. *)
+
+module J = Cim_obs.Json
+module Trace = Cim_obs.Trace
+module Metrics = Cim_obs.Metrics
+module Config = Cim_arch.Config
+module Cmswitch = Cim_compiler.Cmswitch
+module Functional = Cim_sim.Functional
+module Timing = Cim_sim.Timing
+module Tensor = Cim_tensor.Tensor
+module Shape = Cim_tensor.Shape
+module Rng = Cim_util.Rng
+
+let chip = Config.dynaplasia
+
+(* trace and metrics state is global to the process; every test that
+   enables it must restore the disabled default or it would leak into the
+   other suites *)
+let with_obs f =
+  Trace.set_enabled true;
+  Trace.reset ();
+  Metrics.set_enabled true;
+  Metrics.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.set_enabled false;
+      Trace.reset ();
+      Metrics.set_enabled false;
+      Metrics.reset ())
+    f
+
+(* --- Json --- *)
+
+let test_json_roundtrip () =
+  let doc =
+    J.Obj
+      [ ("s", J.String "a \"quoted\"\nline\twith \\ specials");
+        ("i", J.Int (-42));
+        ("f", J.Float 2.5);
+        ("tiny", J.Float 1.25e-8);
+        ("b", J.Bool true);
+        ("n", J.Null);
+        ("l", J.List [ J.Int 1; J.Obj [ ("k", J.Bool false) ]; J.List [] ]) ]
+  in
+  let reparsed = J.of_string (J.to_string doc) in
+  Alcotest.(check bool) "compact round-trip" true (reparsed = doc);
+  let reparsed = J.of_string (J.to_string ~pretty:true doc) in
+  Alcotest.(check bool) "pretty round-trip" true (reparsed = doc);
+  (* non-finite floats have no JSON encoding and must degrade to null *)
+  Alcotest.(check string) "NaN is null" "null" (J.to_string (J.Float Float.nan));
+  Alcotest.(check string) "inf is null" "null"
+    (J.to_string (J.Float Float.infinity));
+  Alcotest.(check bool) "member hit" true
+    (J.member "i" doc = Some (J.Int (-42)));
+  Alcotest.(check bool) "member miss" true (J.member "zz" doc = None);
+  Alcotest.(check bool) "to_float of int" true (J.to_float (J.Int 3) = Some 3.)
+
+let test_json_malformed () =
+  List.iter
+    (fun src ->
+      match J.of_string src with
+      | exception J.Parse_error _ -> ()
+      | v -> Alcotest.failf "%S parsed to %s" src (J.to_string v))
+    [ "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2"; "" ]
+
+(* --- trace structure --- *)
+
+type span = { name : string; ts : float; dur : float; pid : int; tid : int }
+
+let spans_of_trace j =
+  let evs =
+    match J.member "traceEvents" j with
+    | Some (J.List evs) -> evs
+    | _ -> Alcotest.fail "no traceEvents list"
+  in
+  List.filter_map
+    (fun e ->
+      let str k = match J.member k e with Some (J.String s) -> Some s | _ -> None in
+      let num k = Option.bind (J.member k e) J.to_float in
+      let int k = match J.member k e with Some (J.Int i) -> Some i | _ -> None in
+      match (str "ph", str "name") with
+      | Some "X", Some name ->
+        let get what o = match o with Some v -> v | None -> Alcotest.failf "span %s lacks %s" name what in
+        Some
+          { name;
+            ts = get "ts" (num "ts");
+            dur = get "dur" (num "dur");
+            pid = get "pid" (int "pid");
+            tid = get "tid" (int "tid") }
+      | _ -> None)
+    evs
+
+let contains outer inner =
+  outer.ts <= inner.ts +. 1e-9
+  && inner.ts +. inner.dur <= outer.ts +. outer.dur +. 1e-9
+
+let test_span_nesting () =
+  with_obs @@ fun () ->
+  let v =
+    Trace.with_span "outer" @@ fun () ->
+    Trace.with_span "child1" (fun () -> ignore (Sys.opaque_identity 1));
+    Trace.with_span "child2" ~args:[ ("k", J.Int 7) ] (fun () -> ());
+    17
+  in
+  Alcotest.(check int) "with_span returns" 17 v;
+  (* parse the emitted text back, as an external consumer would *)
+  let j = J.of_string (J.to_string (Trace.export ())) in
+  let spans = spans_of_trace j in
+  let find n =
+    match List.find_opt (fun s -> s.name = n) spans with
+    | Some s -> s
+    | None -> Alcotest.failf "span %s missing" n
+  in
+  let outer = find "outer" and c1 = find "child1" and c2 = find "child2" in
+  Alcotest.(check bool) "child1 nested" true (contains outer c1);
+  Alcotest.(check bool) "child2 nested" true (contains outer c2);
+  Alcotest.(check bool) "children ordered" true (c1.ts <= c2.ts);
+  Alcotest.(check bool) "children disjoint" true (c1.ts +. c1.dur <= c2.ts +. 1e-9);
+  (* export sorts by (pid, ts): the parent precedes its children even
+     though spans are recorded at exit *)
+  let names = List.map (fun s -> s.name) spans in
+  Alcotest.(check (list string)) "begin order" [ "outer"; "child1"; "child2" ] names
+
+let test_span_survives_raise () =
+  with_obs @@ fun () ->
+  (match Trace.with_span "raiser" (fun () -> failwith "boom") with
+  | exception Failure _ -> ()
+  | () -> Alcotest.fail "exception swallowed");
+  let spans = spans_of_trace (Trace.export ()) in
+  Alcotest.(check bool) "span recorded despite raise" true
+    (List.exists (fun s -> s.name = "raiser") spans)
+
+(* --- metrics --- *)
+
+let test_metrics_accumulation () =
+  with_obs @@ fun () ->
+  let c = Metrics.counter "test.counter" in
+  Metrics.incr c;
+  Metrics.incr ~by:2.5 c;
+  Alcotest.(check (float 1e-9)) "counter sums" 3.5 (Metrics.counter_value c);
+  Alcotest.(check bool) "find-or-create aliases" true
+    (Metrics.counter_value (Metrics.counter "test.counter") = 3.5);
+  let g = Metrics.gauge "test.gauge" in
+  Metrics.set_gauge g 4.;
+  Metrics.set_gauge g 9.;
+  let h = Metrics.histogram "test.hist" in
+  List.iter (Metrics.observe h) [ 1.; 2.; 3.; 4. ];
+  Alcotest.(check int) "histogram count" 4 (Metrics.histogram_count h);
+  (match J.of_string (J.to_string (Metrics.to_json ())) with
+  | J.Obj _ as j ->
+    let counters = Option.get (J.member "counters" j) in
+    Alcotest.(check bool) "counter in json" true
+      (J.member "test.counter" counters = Some (J.Float 3.5));
+    let gauges = Option.get (J.member "gauges" j) in
+    Alcotest.(check bool) "gauge keeps last" true
+      (J.member "test.gauge" gauges = Some (J.Float 9.));
+    let hist = Option.get (J.member "test.hist" (Option.get (J.member "histograms" j))) in
+    Alcotest.(check bool) "hist p50" true
+      (match J.to_float (Option.get (J.member "p50" hist)) with
+      | Some v -> v >= 2. && v <= 3.
+      | None -> false)
+  | _ -> Alcotest.fail "metrics json not an object");
+  let md = Metrics.to_markdown () in
+  let has needle =
+    let n = String.length needle and h = String.length md in
+    let rec go i = i + n <= h && (String.sub md i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "markdown lists counter" true (has "test.counter");
+  Alcotest.(check bool) "markdown lists hist" true (has "test.hist");
+  (* a type clash on one name is a programming error, not a silent alias *)
+  (match Metrics.gauge "test.counter" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "type clash must raise");
+  Metrics.reset ();
+  Alcotest.(check (float 1e-9)) "reset zeroes" 0. (Metrics.counter_value c);
+  Alcotest.(check int) "reset empties hist" 0 (Metrics.histogram_count h)
+
+(* --- disabled mode: no effect, and no observable cost --- *)
+
+let test_disabled_noop () =
+  Trace.set_enabled false;
+  Trace.reset ();
+  Metrics.set_enabled false;
+  Metrics.reset ();
+  let v = Trace.with_span "ghost" (fun () -> 3) in
+  Alcotest.(check int) "with_span passthrough" 3 v;
+  Trace.instant "ghost-mark";
+  Trace.complete ~pid:1 ~tid:1 ~ts:0. ~dur:1. "ghost-complete";
+  Alcotest.(check bool) "no events recorded" true
+    (spans_of_trace (Trace.export ()) = []);
+  let c = Metrics.counter "test.disabled" in
+  Metrics.incr c;
+  let h = Metrics.histogram "test.disabled.h" in
+  Metrics.observe h 1.;
+  Alcotest.(check (float 1e-9)) "counter untouched" 0. (Metrics.counter_value c);
+  Alcotest.(check int) "histogram untouched" 0 (Metrics.histogram_count h)
+
+let test_disabled_overhead () =
+  Trace.set_enabled false;
+  Metrics.set_enabled false;
+  let c = Metrics.counter "test.overhead" in
+  let n = 1_000_000 in
+  let t0 = Unix.gettimeofday () in
+  let acc = ref 0 in
+  for i = 1 to n do
+    Trace.with_span "hot" (fun () -> acc := !acc + i);
+    Metrics.incr c
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  Alcotest.(check int) "work ran" (n * (n + 1) / 2) !acc;
+  (* a disabled span is one flag check + calling f; 1e6 of them finish in
+     a few ms, so a full second means the fast path regressed badly *)
+  Alcotest.(check bool)
+    (Printf.sprintf "1e6 disabled spans took %.3fs (< 1s)" dt)
+    true (dt < 1.)
+
+(* --- golden trace of a real compile + simulate --- *)
+
+let small_model rng = Cim_models.Mlp.build ~rng ~batch:2 ~dims:[ 64; 128; 32 ] ()
+
+let test_compile_trace () =
+  with_obs @@ fun () ->
+  let rng = Rng.create 31 in
+  let g = small_model rng in
+  let r = Cmswitch.compile chip g in
+  ignore (Timing.run chip r.Cmswitch.program);
+  let x = Tensor.rand rng (Shape.of_list [ 2; 64 ]) ~lo:(-1.) ~hi:1. in
+  ignore (Functional.run chip g r.Cmswitch.program ~inputs:[ ("x", x) ]);
+  let j = J.of_string (J.to_string (Trace.export ())) in
+  let spans = spans_of_trace j in
+  let named n = List.filter (fun s -> s.name = n) spans in
+  let compile =
+    match named "compile" with
+    | [ s ] -> s
+    | l -> Alcotest.failf "expected one compile span, got %d" (List.length l)
+  in
+  (* every pass span sits inside the root compile span *)
+  List.iter
+    (fun pass ->
+      match named pass with
+      | [] -> Alcotest.failf "missing %s span" pass
+      | l ->
+        List.iter
+          (fun s ->
+            Alcotest.(check bool) (pass ^ " inside compile") true
+              (contains compile s))
+          l)
+    [ "partition"; "dp.segmentation"; "placement"; "codegen"; "flow.validate" ];
+  Alcotest.(check bool) "per-segment solver spans" true (named "milp.segment" <> []);
+  (* the timing simulator contributes per-array residency tracks and
+     per-segment slabs on its own process *)
+  let residency pid =
+    List.filter (fun s -> s.pid = pid)
+      (List.filter
+         (fun s ->
+           s.name = "memory" || s.name = "compute"
+           || String.length s.name >= 6 && String.sub s.name 0 6 = "switch")
+         spans)
+  in
+  Alcotest.(check bool) "timing residency track events" true
+    (residency Trace.pid_simulator <> []);
+  Alcotest.(check bool) "machine residency track events" true
+    (residency Trace.pid_machine <> []);
+  (* metrics populated by the same run *)
+  let cv n = Metrics.counter_value (Metrics.counter n) in
+  Alcotest.(check bool) "bb nodes counted" true (cv "solver.bb.nodes" > 0.);
+  Alcotest.(check bool) "simplex pivots counted" true (cv "solver.simplex.pivots" > 0.);
+  Alcotest.(check bool) "segments counted" true (cv "compile.segments" > 0.);
+  Alcotest.(check bool) "sim cycles counted" true (cv "sim.cycles.total" > 0.);
+  Alcotest.(check bool) "mode switches counted" true
+    (cv "sim.switches.m2c" +. cv "sim.switches.c2m" > 0.)
+
+let test_write_file () =
+  with_obs @@ fun () ->
+  Trace.with_span "io" (fun () -> ());
+  let file = Filename.temp_file "cmswitch_trace" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      Trace.write_file file;
+      let ic = open_in file in
+      let src =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let spans = spans_of_trace (J.of_string src) in
+      Alcotest.(check bool) "file parses with span" true
+        (List.exists (fun s -> s.name = "io") spans))
+
+let suite =
+  ( "obs",
+    [
+      Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+      Alcotest.test_case "json malformed" `Quick test_json_malformed;
+      Alcotest.test_case "span nesting" `Quick test_span_nesting;
+      Alcotest.test_case "span survives raise" `Quick test_span_survives_raise;
+      Alcotest.test_case "metrics accumulation" `Quick test_metrics_accumulation;
+      Alcotest.test_case "disabled is no-op" `Quick test_disabled_noop;
+      Alcotest.test_case "disabled overhead guard" `Quick test_disabled_overhead;
+      Alcotest.test_case "golden compile trace" `Quick test_compile_trace;
+      Alcotest.test_case "trace file round-trip" `Quick test_write_file;
+    ] )

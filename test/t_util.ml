@@ -38,6 +38,33 @@ let test_percentile () =
     (Invalid_argument "Stats.percentile: p out of [0,100]") (fun () ->
       ignore (Stats.percentile 101. xs))
 
+let test_percentile_nan () =
+  let xs = [ 10.; Float.nan; 30. ] in
+  Alcotest.check_raises "percentile NaN input"
+    (Invalid_argument "Stats.percentile: NaN in input") (fun () ->
+      ignore (Stats.percentile 50. xs));
+  Alcotest.check_raises "nearest-rank NaN input"
+    (Invalid_argument "Stats.percentile_nearest_rank: NaN in input") (fun () ->
+      ignore (Stats.percentile_nearest_rank 50. xs));
+  Alcotest.check_raises "percentile NaN p"
+    (Invalid_argument "Stats.percentile: p is NaN") (fun () ->
+      ignore (Stats.percentile Float.nan [ 1.; 2. ]));
+  Alcotest.check_raises "nearest-rank NaN p"
+    (Invalid_argument "Stats.percentile_nearest_rank: p is NaN") (fun () ->
+      ignore (Stats.percentile_nearest_rank Float.nan [ 1.; 2. ]));
+  (* infinities are legal and must sort totally (Float.compare, not
+     polymorphic compare) *)
+  Alcotest.(check bool) "p100 with +inf" true
+    (Stats.percentile 100. [ 1.; Float.infinity; 0. ] = Float.infinity);
+  Alcotest.(check bool) "p0 with -inf" true
+    (Stats.percentile 0. [ 1.; Float.neg_infinity; 0. ] = Float.neg_infinity)
+
+let test_nearest_rank () =
+  let xs = [ 40.; 10.; 30.; 20. ] in
+  check_f "nr p95 = max" 40. (Stats.percentile_nearest_rank 95. xs);
+  check_f "nr p50" 20. (Stats.percentile_nearest_rank 50. xs);
+  check_f "nr p0 = min" 10. (Stats.percentile_nearest_rank 0. xs)
+
 let test_normalize () =
   Alcotest.(check (list (float 1e-9))) "normalize" [ 0.5; 1. ]
     (Stats.normalize_to_max [ 2.; 4. ]);
@@ -181,6 +208,8 @@ let suite =
       Alcotest.test_case "stats geomean" `Quick test_geomean;
       Alcotest.test_case "stats stdev" `Quick test_stdev;
       Alcotest.test_case "stats percentile" `Quick test_percentile;
+      Alcotest.test_case "stats percentile NaN guard" `Quick test_percentile_nan;
+      Alcotest.test_case "stats nearest rank" `Quick test_nearest_rank;
       Alcotest.test_case "stats normalize" `Quick test_normalize;
       qtest prop_percentile_bounds;
       qtest prop_geomean_between;
