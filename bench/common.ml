@@ -12,6 +12,7 @@ module Plan = Cim_compiler.Plan
 module Baseline = Cim_baselines.Baseline
 module Table = Cim_util.Table
 module Stats = Cim_util.Stats
+module Pool = Cim_util.Pool
 
 type compiler = Cms | Base of Baseline.which
 
@@ -22,15 +23,21 @@ let compiler_name = function
 let all_compilers = [ Base Baseline.Occ; Base Baseline.Puma; Base Baseline.Cim_mlc; Cms ]
 
 (* (chip name, compiler, model, workload) -> (total cycles, mem ratio,
-   compile seconds). The cache keeps repeated sweep points cheap. *)
+   compile seconds). The cache keeps repeated sweep points cheap; access is
+   mutex-guarded so {!par_map} sweeps may fill it from pool workers. *)
 let cache : (string * string * string * string, float * float * float) Hashtbl.t =
   Hashtbl.create 128
+
+let cache_mutex = Mutex.create ()
 
 let model_cost ?(chip = Config.dynaplasia) compiler key (w : Workload.t) =
   let ck =
     (chip.Chip.name, compiler_name compiler, key, Workload.to_string w)
   in
-  match Hashtbl.find_opt cache ck with
+  Mutex.lock cache_mutex;
+  let cached = Hashtbl.find_opt cache ck in
+  Mutex.unlock cache_mutex;
+  match cached with
   | Some r -> r
   | None ->
     let e =
@@ -41,16 +48,32 @@ let model_cost ?(chip = Config.dynaplasia) compiler key (w : Workload.t) =
     let r =
       match compiler with
       | Cms ->
-        let t0 = Sys.time () in
+        let t0 = Unix.gettimeofday () in
         let mc = Cmswitch.compile_model chip e w in
-        (mc.Cmswitch.total_cycles, mc.Cmswitch.mem_ratio, Sys.time () -. t0)
+        (mc.Cmswitch.total_cycles, mc.Cmswitch.mem_ratio,
+         Unix.gettimeofday () -. t0)
       | Base which ->
-        let t0 = Sys.time () in
+        let t0 = Unix.gettimeofday () in
         let cycles = Baseline.compile_model which chip e w in
-        (cycles, 0., Sys.time () -. t0)
+        (cycles, 0., Unix.gettimeofday () -. t0)
     in
+    (* two workers racing on one point compute the same value; last write
+       wins harmlessly *)
+    Mutex.lock cache_mutex;
     Hashtbl.replace cache ck r;
+    Mutex.unlock cache_mutex;
     r
+
+(* Evaluate independent sweep points on the segment-solver pool. Each point
+   compiles serially inside its worker (Segment.run's nested-parallelism
+   guard), so the domain count stays bounded by the pool size. Point order
+   in the result is preserved; with one recommended domain this is exactly
+   List.map. *)
+let par_map f xs =
+  let jobs = Pool.default_jobs () in
+  if jobs > 1 && Pool.current_worker () = None then
+    Pool.with_pool ~name:"bench-sweep" ~jobs (fun p -> Pool.map_list p f xs)
+  else List.map f xs
 
 let cycles ?chip compiler key w =
   let c, _, _ = model_cost ?chip compiler key w in

@@ -33,12 +33,23 @@ let run () =
           (("batch", Table.Right)
            :: List.map (fun s -> (Printf.sprintf "seq %d" s, Table.Right)) seqs)
       in
-      List.iter
-        (fun batch ->
+      (* all (batch, seq) points of one model are independent compiles:
+         evaluate them on the pool, then assemble rows in order *)
+      let points =
+        par_map
+          (fun (batch, seq) -> point key ~batch ~seq)
+          (List.concat_map
+             (fun batch -> List.map (fun seq -> (batch, seq)) seqs)
+             batches)
+      in
+      List.iteri
+        (fun bi batch ->
           let cells =
-            List.map
-              (fun seq ->
-                let speedup, ratio = point key ~batch ~seq in
+            List.mapi
+              (fun si _ ->
+                let speedup, ratio =
+                  List.nth points ((bi * List.length seqs) + si)
+                in
                 Printf.sprintf "%s (%s)" (Table.cell_speedup speedup)
                   (Table.cell_pct ratio))
               seqs

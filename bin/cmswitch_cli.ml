@@ -10,6 +10,7 @@ module Config = Cim_arch.Config
 module Workload = Cim_models.Workload
 module Zoo = Cim_models.Zoo
 module Cmswitch = Cim_compiler.Cmswitch
+module Segment = Cim_compiler.Segment
 module Plan = Cim_compiler.Plan
 module Degrade = Cim_compiler.Degrade
 module Faultmap = Cim_arch.Faultmap
@@ -86,6 +87,32 @@ let deadline_arg =
            ~doc:"Serve a small synthetic request trace against the compiled \
                  schedule, dropping requests whose completion would exceed \
                  this per-request deadline (in cycles).")
+
+(* validated through the same parser as the CMSWITCH_JOBS environment
+   override, so 0 / negatives / garbage are rejected with a usage error *)
+let jobs_conv =
+  let parse s =
+    match Cim_util.Pool.parse_jobs s with
+    | Ok n -> Ok n
+    | Error m -> Error (`Msg m)
+  in
+  Cmdliner.Arg.conv (parse, Format.pp_print_int)
+
+let jobs_arg =
+  Arg.(value & opt (some jobs_conv) None
+       & info [ "jobs" ] ~docv:"N"
+           ~doc:"Concurrent MILP solvers per DP frontier (default: \
+                 $(b,CMSWITCH_JOBS), else the recommended domain count). \
+                 Compilation output is byte-identical for every value; \
+                 only wall-clock changes.")
+
+let options_for jobs =
+  match jobs with
+  | None -> Cmswitch.default_options
+  | Some j ->
+    { Cmswitch.default_options with
+      Cmswitch.segment =
+        { Cmswitch.default_options.Cmswitch.segment with Segment.jobs = j } }
 
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Trace the compilation pipeline.")
@@ -172,7 +199,7 @@ let do_list () =
   Printf.printf "\nchips: %s\n" (String.concat ", " (List.map fst Config.presets))
 
 let do_compile chip key batch seq kv emit sim report fault_rate fault_seed
-    deadline verbose trace metrics =
+    deadline jobs verbose trace metrics =
   setup_logs verbose;
   setup_obs ~trace ~metrics;
   let e = find_model key in
@@ -196,7 +223,7 @@ let do_compile chip key batch seq kv emit sim report fault_rate fault_seed
     end
   in
   let mc =
-    try Cmswitch.compile_model ~options:Cmswitch.default_options ?faults chip e w
+    try Cmswitch.compile_model ~options:(options_for jobs) ?faults chip e w
     with Failure msg | Invalid_argument msg ->
       Printf.eprintf "compilation failed: %s\n" msg;
       exit 1
@@ -258,12 +285,15 @@ let do_compile chip key batch seq kv emit sim report fault_rate fault_seed
       s.Serving.tokens_per_megacycle);
   finish_obs ~trace ~metrics
 
-let do_compare chip key batch seq kv trace metrics =
+let do_compare chip key batch seq kv jobs trace metrics =
   setup_obs ~trace ~metrics;
   let e = find_model key in
   let w = workload_of e ~batch ~seq ~kv in
   Printf.printf "%s on %s, %s\n" e.Zoo.display chip.Chip.name (Workload.to_string w);
-  let cms = (Cmswitch.compile_model chip e w).Cmswitch.total_cycles in
+  let cms =
+    (Cmswitch.compile_model ~options:(options_for jobs) chip e w)
+      .Cmswitch.total_cycles
+  in
   Printf.printf "  %-10s %.4e cycles\n" "CMSwitch" cms;
   List.iter
     (fun which ->
@@ -281,13 +311,13 @@ let compile_cmd =
   Cmd.v (Cmd.info "compile" ~doc:"Compile a model and print the schedule")
     Term.(const do_compile $ chip_arg $ model_arg $ batch_arg $ seq_arg
           $ kv_arg $ emit_arg $ sim_arg $ report_arg $ fault_rate_arg
-          $ fault_seed_arg $ deadline_arg $ verbose_arg $ trace_arg
-          $ metrics_arg)
+          $ fault_seed_arg $ deadline_arg $ jobs_arg $ verbose_arg
+          $ trace_arg $ metrics_arg)
 
 let compare_cmd =
   Cmd.v (Cmd.info "compare" ~doc:"Compare CMSwitch against the baselines")
     Term.(const do_compare $ chip_arg $ model_arg $ batch_arg $ seq_arg
-          $ kv_arg $ trace_arg $ metrics_arg)
+          $ kv_arg $ jobs_arg $ trace_arg $ metrics_arg)
 
 let () =
   let info =

@@ -98,7 +98,7 @@ let record_compile_metrics (dp : Segment.stats) places (schedule : Plan.schedule
   Cim_obs.Metrics.observe (Metrics.histogram "compile.seconds") seconds
 
 let compile ?(options = default_options) ?faults chip graph =
-  let t0 = Sys.time () in
+  let t0 = Unix.gettimeofday () in
   Trace.with_span "compile" ~cat:"compiler"
     ~args:
       [ ("graph", J.String graph.Cim_nnir.Graph.graph_name);
@@ -220,7 +220,7 @@ let compile ?(options = default_options) ?faults chip graph =
       Degrade.events = List.rev !events;
       diagnostics }
   in
-  let compile_seconds = Sys.time () -. t0 in
+  let compile_seconds = Unix.gettimeofday () -. t0 in
   record_compile_metrics dp_stats places schedule ~seconds:compile_seconds;
   {
     chip;
@@ -238,7 +238,7 @@ let compile ?(options = default_options) ?faults chip graph =
    allocation, no DP and no MIP. Used when the normal pipeline cannot
    produce a plan at all. *)
 let compile_serial ?(options = default_options) ?faults chip graph events =
-  let t0 = Sys.time () in
+  let t0 = Unix.gettimeofday () in
   Trace.with_span "compile.serial" ~cat:"compiler"
     ~args:[ ("graph", J.String graph.Cim_nnir.Graph.graph_name) ]
   @@ fun () ->
@@ -289,7 +289,7 @@ let compile_serial ?(options = default_options) ?faults chip graph events =
     { Segment.mip_solves = 0; mip_cache_hits = 0;
       candidates = Array.length ops; pruned_infeasible = 0 }
   in
-  let compile_seconds = Sys.time () -. t0 in
+  let compile_seconds = Unix.gettimeofday () -. t0 in
   record_compile_metrics dp_stats places schedule ~seconds:compile_seconds;
   {
     chip;

@@ -11,6 +11,15 @@ type options = {
   memoize : bool;
       (** cache MIP results by segment signature — identical transformer
           blocks then cost one solve (the block-reuse of Fig. 18) *)
+  jobs : int;
+      (** concurrent MILP solvers per DP frontier. [1] = serial on the
+          calling domain; [n > 1] = a {!Cim_util.Pool} of [n] worker
+          domains. Defaults to {!Cim_util.Pool.default_jobs} (the
+          [CMSWITCH_JOBS] environment override, else
+          [Domain.recommended_domain_count ()]). The compilation result —
+          plans, programs, stats, metrics — is identical for every job
+          count; only wall-clock changes. Nested runs (from inside a pool
+          worker) degrade to serial automatically. *)
 }
 
 val default_options : options
@@ -29,7 +38,11 @@ val run :
     goes through the {!Degrade.solve} chain, so a node-limited MIP degrades
     to its incumbent or the greedy allocator instead of dropping the window;
     [on_stage] observes every such fallback (memoised windows replay the
-    cached plan without re-firing it). Raises [Failure] when some operator
-    cannot be scheduled at all (does not fit the chip alone — cannot happen
-    for operator lists produced by {!Opinfo.extract} against the same
-    chip). *)
+    cached plan without re-firing it). With [jobs > 1] the candidate
+    windows of each DP frontier are solved concurrently on a domain pool;
+    [on_stage] callbacks and trace spans are replayed by the calling domain
+    in deterministic (submission) order, so outputs are byte-identical to
+    a [jobs = 1] run. Raises [Invalid_argument] when [options.jobs < 1],
+    and [Failure] when some operator cannot be scheduled at all (does not
+    fit the chip alone — cannot happen for operator lists produced by
+    {!Opinfo.extract} against the same chip). *)

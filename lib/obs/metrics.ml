@@ -1,100 +1,137 @@
-type counter = { cname : string; mutable count : float; mutable c_touched : bool }
-type gauge = { gname : string; mutable value : float; mutable g_touched : bool }
+(* Domain-safe instruments: counters, gauges and histogram buffers are
+   Atomic.t cells (float adds and list prepends go through CAS loops), so
+   solver counters bumped from pool worker domains accumulate exactly the
+   same totals as a serial run — addition order differs, but counter
+   increments are integral and gauges are last-write, so the rendered dump
+   is identical whatever the job count. The registry itself is guarded by a
+   mutex; call sites register at module initialisation, so the hot path is
+   the atomic bump, not the lookup. *)
+
+type counter = { cname : string; count : float Atomic.t; c_touched : bool Atomic.t }
+type gauge = { gname : string; value : float Atomic.t; g_touched : bool Atomic.t }
 
 type histogram = {
   hname : string;
-  mutable samples : float list; (* reversed *)
-  mutable n : int;
+  samples : float list Atomic.t; (* reversed *)
+  n : int Atomic.t;
 }
 
 type instrument = C of counter | G of gauge | H of histogram
 
-let on = ref false
-let set_enabled b = on := b
-let enabled () = !on
+let on = Atomic.make false
+let set_enabled b = Atomic.set on b
+let enabled () = Atomic.get on
 
 let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
+let registry_mutex = Mutex.create ()
 
 let reset () =
+  Mutex.lock registry_mutex;
   Hashtbl.iter
     (fun _ i ->
       match i with
       | C c ->
-        c.count <- 0.;
-        c.c_touched <- false
+        Atomic.set c.count 0.;
+        Atomic.set c.c_touched false
       | G g ->
-        g.value <- 0.;
-        g.g_touched <- false
+        Atomic.set g.value 0.;
+        Atomic.set g.g_touched false
       | H h ->
-        h.samples <- [];
-        h.n <- 0)
-    registry
+        Atomic.set h.samples [];
+        Atomic.set h.n 0)
+    registry;
+  Mutex.unlock registry_mutex
 
 let clash name = invalid_arg ("Metrics: " ^ name ^ " already registered with another type")
 
+(* find-or-create under the registry mutex; the instrument cells themselves
+   are atomics, so only registration needs the lock *)
+let find_or_create name make select =
+  Mutex.lock registry_mutex;
+  let r =
+    match Hashtbl.find_opt registry name with
+    | Some i -> ( match select i with Some x -> Ok x | None -> Error ())
+    | None ->
+      let i, x = make () in
+      Hashtbl.replace registry name i;
+      Ok x
+  in
+  Mutex.unlock registry_mutex;
+  match r with Ok x -> x | Error () -> clash name
+
 let counter name =
-  match Hashtbl.find_opt registry name with
-  | Some (C c) -> c
-  | Some _ -> clash name
-  | None ->
-    let c = { cname = name; count = 0.; c_touched = false } in
-    Hashtbl.replace registry name (C c);
-    c
+  find_or_create name
+    (fun () ->
+      let c =
+        { cname = name; count = Atomic.make 0.; c_touched = Atomic.make false }
+      in
+      (C c, c))
+    (function C c -> Some c | G _ | H _ -> None)
+
+let rec atomic_add cell by =
+  let v = Atomic.get cell in
+  if not (Atomic.compare_and_set cell v (v +. by)) then atomic_add cell by
 
 let incr ?(by = 1.) c =
-  if !on then begin
-    c.count <- c.count +. by;
-    c.c_touched <- true
+  if Atomic.get on then begin
+    atomic_add c.count by;
+    Atomic.set c.c_touched true
   end
 
-let counter_value c = c.count
+let counter_value c = Atomic.get c.count
 
 let gauge name =
-  match Hashtbl.find_opt registry name with
-  | Some (G g) -> g
-  | Some _ -> clash name
-  | None ->
-    let g = { gname = name; value = 0.; g_touched = false } in
-    Hashtbl.replace registry name (G g);
-    g
+  find_or_create name
+    (fun () ->
+      let g =
+        { gname = name; value = Atomic.make 0.; g_touched = Atomic.make false }
+      in
+      (G g, g))
+    (function G g -> Some g | C _ | H _ -> None)
 
 let set_gauge g v =
-  if !on then begin
-    g.value <- v;
-    g.g_touched <- true
+  if Atomic.get on then begin
+    Atomic.set g.value v;
+    Atomic.set g.g_touched true
   end
 
 let histogram name =
-  match Hashtbl.find_opt registry name with
-  | Some (H h) -> h
-  | Some _ -> clash name
-  | None ->
-    let h = { hname = name; samples = []; n = 0 } in
-    Hashtbl.replace registry name (H h);
-    h
+  find_or_create name
+    (fun () ->
+      let h = { hname = name; samples = Atomic.make []; n = Atomic.make 0 } in
+      (H h, h))
+    (function H h -> Some h | C _ | G _ -> None)
+
+let rec atomic_prepend cell v =
+  let xs = Atomic.get cell in
+  if not (Atomic.compare_and_set cell xs (v :: xs)) then atomic_prepend cell v
 
 let observe h v =
-  if !on then begin
-    h.samples <- v :: h.samples;
-    h.n <- h.n + 1
+  if Atomic.get on then begin
+    atomic_prepend h.samples v;
+    Atomic.incr h.n
   end
 
-let histogram_count h = h.n
+let histogram_count h = Atomic.get h.n
 
 let touched () =
-  Hashtbl.fold
-    (fun name i acc ->
-      match i with
-      | C c when c.c_touched -> (name, i) :: acc
-      | G g when g.g_touched -> (name, i) :: acc
-      | H h when h.n > 0 -> (name, i) :: acc
-      | C _ | G _ | H _ -> acc)
-    registry []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  Mutex.lock registry_mutex;
+  let l =
+    Hashtbl.fold
+      (fun name i acc ->
+        match i with
+        | C c when Atomic.get c.c_touched -> (name, i) :: acc
+        | G g when Atomic.get g.g_touched -> (name, i) :: acc
+        | H h when Atomic.get h.n > 0 -> (name, i) :: acc
+        | C _ | G _ | H _ -> acc)
+      registry []
+  in
+  Mutex.unlock registry_mutex;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) l
 
 let summarize (h : histogram) =
-  let xs = h.samples in
-  let count = h.n in
+  let xs = Atomic.get h.samples in
+  let count = List.length xs in
   let mean = Cim_util.Stats.mean xs in
   let p50 = Cim_util.Stats.percentile_nearest_rank 50. xs in
   let p95 = Cim_util.Stats.percentile_nearest_rank 95. xs in
@@ -113,8 +150,12 @@ let to_markdown () =
   List.iter
     (fun (name, i) ->
       match i with
-      | C c -> Buffer.add_string buf (Printf.sprintf "| %s | counter | %s |\n" name (num c.count))
-      | G g -> Buffer.add_string buf (Printf.sprintf "| %s | gauge | %s |\n" name (num g.value))
+      | C c ->
+        Buffer.add_string buf
+          (Printf.sprintf "| %s | counter | %s |\n" name (num (Atomic.get c.count)))
+      | G g ->
+        Buffer.add_string buf
+          (Printf.sprintf "| %s | gauge | %s |\n" name (num (Atomic.get g.value)))
       | H h ->
         let count, mean, mn, p50, p95, mx = summarize h in
         Buffer.add_string buf
@@ -129,8 +170,8 @@ let to_json () =
   List.iter
     (fun (name, i) ->
       match i with
-      | C c -> counters := (name, Json.Float c.count) :: !counters
-      | G g -> gauges := (name, Json.Float g.value) :: !gauges
+      | C c -> counters := (name, Json.Float (Atomic.get c.count)) :: !counters
+      | G g -> gauges := (name, Json.Float (Atomic.get g.value)) :: !gauges
       | H h ->
         let count, mean, mn, p50, p95, mx = summarize h in
         histos :=

@@ -5,6 +5,11 @@
     lazily. Recording is globally disabled by default; every mutator checks
     one boolean first, keeping disabled instrumentation free.
 
+    Domain-safe: instrument cells are [Atomic.t] (counter adds and
+    histogram prepends are CAS loops), so recording from pool worker
+    domains is race-free and counter totals are independent of the job
+    count; the registry itself is mutex-guarded.
+
     Naming convention (see docs/ARCHITECTURE.md, "Observability"):
     dot-separated [subsystem.noun.detail], e.g. [solver.bb.nodes],
     [compile.alloc.greedy_fallback], [sim.cycles.compute]. *)

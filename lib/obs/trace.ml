@@ -9,65 +9,117 @@ type event = {
   args : (string * Json.t) list;
 }
 
-let on = ref false
-let set_enabled b = on := b
-let enabled () = !on
+(* domain-safe: the flag is read on every hot path from any domain *)
+let on = Atomic.make false
+let set_enabled b = Atomic.set on b
+let enabled () = Atomic.get on
 
-(* recording order, reversed *)
+(* recording order, reversed; main-domain state guarded by [mutex].
+   Worker domains never touch it directly — they record into a
+   domain-local buffer ({!with_buffer}) merged by the coordinator. *)
 let events : event list ref = ref []
 let named : (int * int * string, unit) Hashtbl.t = Hashtbl.create 16
-
-let reset () =
-  events := [];
-  Hashtbl.reset named
+let mutex = Mutex.create ()
 
 let pid_compiler = 1
 let pid_simulator = 2
 let pid_machine = 3
 
+(* Per-domain recording state. [buffer_key]: where pushes land (None = the
+   shared list); [tid_key]: the lane spans are attributed to — pool workers
+   get their own tid so Perfetto shows the parallel solves side by side. *)
+let buffer_key : event list ref option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let tid_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 1)
+
+let set_domain_tid tid = Domain.DLS.set tid_key tid
+let domain_tid () = Domain.DLS.get tid_key
+
 let epoch = Unix.gettimeofday ()
-let last = ref 0.
+let last = Atomic.make 0.
 
-(* strictly increasing: consecutive calls within one microsecond still get
-   distinct stamps (1 ns apart), so a parent span always opens strictly
-   before and closes strictly after its children — interval containment
-   stays unambiguous even for empty spans *)
-let now_us () =
+(* strictly increasing across *all* domains: a CAS loop publishes each
+   stamp, so consecutive acquisitions anywhere in the process get distinct,
+   monotone values (1 ns apart when the wall clock does not advance) —
+   merged per-domain buffers can therefore never produce a span that ends
+   before it starts or a child stamped before its parent entered *)
+let rec now_us () =
   let t = (Unix.gettimeofday () -. epoch) *. 1e6 in
-  let t = if t > !last then t else !last +. 0.001 in
-  last := t;
-  t
+  let l = Atomic.get last in
+  let t = if t > l then t else l +. 0.001 in
+  if Atomic.compare_and_set last l t then t else now_us ()
 
-let push e = events := e :: !events
+let reset () =
+  Mutex.lock mutex;
+  events := [];
+  Hashtbl.reset named;
+  Mutex.unlock mutex
+
+let push e =
+  match Domain.DLS.get buffer_key with
+  | Some buf -> buf := e :: !buf
+  | None ->
+    Mutex.lock mutex;
+    events := e :: !events;
+    Mutex.unlock mutex
+
+let with_buffer f =
+  let saved = Domain.DLS.get buffer_key in
+  let buf = ref [] in
+  Domain.DLS.set buffer_key (Some buf);
+  let restore () = Domain.DLS.set buffer_key saved in
+  match f () with
+  | v ->
+    restore ();
+    (v, List.rev !buf)
+  | exception e ->
+    let bt = Printexc.get_raw_backtrace () in
+    restore ();
+    Printexc.raise_with_backtrace e bt
+
+let merge buffered =
+  if buffered <> [] then begin
+    Mutex.lock mutex;
+    events := List.rev_append buffered !events;
+    Mutex.unlock mutex
+  end
 
 let complete ?(cat = "span") ?(args = []) ~pid ~tid ~ts ~dur name =
-  if !on then push { name; cat; ph = "X"; ts; dur = Some dur; pid; tid; args }
+  if Atomic.get on then
+    push { name; cat; ph = "X"; ts; dur = Some dur; pid; tid; args }
 
 let instant ?(cat = "mark") ?(args = []) name =
-  if !on then
+  if Atomic.get on then
     push
       { name; cat; ph = "i"; ts = now_us (); dur = None; pid = pid_compiler;
-        tid = 1; args }
+        tid = domain_tid (); args }
 
 let counter ?(cat = "counter") ~pid ~ts name samples =
-  if !on then
+  if Atomic.get on then
     push
       { name; cat; ph = "C"; ts; dur = None; pid; tid = 0;
         args = List.map (fun (k, v) -> (k, Json.Float v)) samples }
 
 let metadata ~pid ~tid meta label =
-  if !on && not (Hashtbl.mem named (pid, tid, meta)) then begin
-    Hashtbl.replace named (pid, tid, meta) ();
-    push
-      { name = meta; cat = "__metadata"; ph = "M"; ts = 0.; dur = None; pid; tid;
-        args = [ ("name", Json.String label) ] }
+  if Atomic.get on then begin
+    Mutex.lock mutex;
+    let fresh = not (Hashtbl.mem named (pid, tid, meta)) in
+    if fresh then begin
+      Hashtbl.replace named (pid, tid, meta) ();
+      events :=
+        { name = meta; cat = "__metadata"; ph = "M"; ts = 0.; dur = None; pid;
+          tid; args = [ ("name", Json.String label) ] }
+        :: !events
+    end;
+    Mutex.unlock mutex
   end
 
 let name_process ~pid label = metadata ~pid ~tid:0 "process_name" label
 let name_thread ~pid ~tid label = metadata ~pid ~tid "thread_name" label
 
 let with_span ?(cat = "span") ?(args = []) name f =
-  if not !on then f ()
+  if not (Atomic.get on) then f ()
   else begin
     let t0 = now_us () in
     Fun.protect
@@ -77,7 +129,7 @@ let with_span ?(cat = "span") ?(args = []) name f =
            children; the exporter re-sorts by ts to restore begin order *)
         push
           { name; cat; ph = "X"; ts = t0; dur = Some (t1 -. t0);
-            pid = pid_compiler; tid = 1; args })
+            pid = pid_compiler; tid = domain_tid (); args })
       f
   end
 
@@ -95,7 +147,9 @@ let event_json e =
   Json.Obj (base @ dur @ args)
 
 let export () =
+  Mutex.lock mutex;
   let evs = List.rev !events in
+  Mutex.unlock mutex;
   (* stable sort on (pid, ts): within one process, parents (earlier ts)
      precede children, which Perfetto's "X"-event nesting expects. Spans
      recorded at exit can share a ts with their children when the clock

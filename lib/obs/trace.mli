@@ -18,6 +18,9 @@
     - pid {!pid_machine} — machine steps (one per executed meta-operator
       effect, per-array mode residency from the functional machine). *)
 
+type event
+(** One recorded trace event (opaque; see {!with_buffer} / {!merge}). *)
+
 val set_enabled : bool -> unit
 val enabled : unit -> bool
 
@@ -30,9 +33,36 @@ val pid_machine : int
 
 val now_us : unit -> float
 (** Microseconds since the trace module was initialised, clamped to be
-    strictly increasing across calls (consecutive calls within one
-    microsecond are spread 1 ns apart, so span intervals never
-    degenerate). *)
+    strictly increasing across calls {e from any domain} (stamps are
+    published through an atomic CAS; consecutive acquisitions within one
+    microsecond are spread 1 ns apart, so span intervals never degenerate
+    and per-domain buffers merge onto one monotone timeline). *)
+
+(** {2 Domain-safety}
+
+    All recording entry points may be called from any domain. By default
+    events land in the shared (mutex-guarded) list; a worker that wraps its
+    work in {!with_buffer} records into a domain-local buffer instead, and
+    the coordinator appends the buffers with {!merge} in an order of its
+    choosing — [Segment.run] merges in task-submission order, so the event
+    sequence is identical whatever the job count. *)
+
+val with_buffer : (unit -> 'a) -> 'a * event list
+(** Run [f] with this domain's recording redirected to a fresh local
+    buffer; returns [f]'s value and the buffered events in recording
+    order. Nestable; the previous destination is restored even when [f]
+    raises (buffered events of a raising [f] are dropped with it). *)
+
+val merge : event list -> unit
+(** Append events captured by {!with_buffer} to the shared list, preserving
+    their order. *)
+
+val set_domain_tid : int -> unit
+(** Set the Chrome-trace thread id spans from this domain are attributed
+    to (default 1). Pool workers get distinct tids so parallel solves
+    appear as parallel lanes in Perfetto. *)
+
+val domain_tid : unit -> int
 
 val with_span :
   ?cat:string -> ?args:(string * Json.t) list -> string -> (unit -> 'a) -> 'a

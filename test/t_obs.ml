@@ -133,6 +133,81 @@ let test_span_survives_raise () =
   Alcotest.(check bool) "span recorded despite raise" true
     (List.exists (fun s -> s.name = "raiser") spans)
 
+(* --- domain safety: the clock, buffered recording, atomic metrics --- *)
+
+let test_monotone_clock_across_domains () =
+  (* stamps must be strictly increasing within each domain and globally
+     distinct, so per-domain buffers merge onto one monotone timeline *)
+  let per_domain = 2_000 in
+  let sample () = Array.init per_domain (fun _ -> Trace.now_us ()) in
+  let d1 = Domain.spawn sample and d2 = Domain.spawn sample in
+  let here = sample () in
+  let a = Domain.join d1 and b = Domain.join d2 in
+  let strictly_increasing ts =
+    Array.for_all Fun.id (Array.init (per_domain - 1) (fun i -> ts.(i) < ts.(i + 1)))
+  in
+  List.iter
+    (fun (who, ts) ->
+      Alcotest.(check bool) (who ^ " strictly increasing") true
+        (strictly_increasing ts))
+    [ ("domain1", a); ("domain2", b); ("caller", here) ];
+  let all = Array.concat [ a; b; here ] in
+  let module FS = Set.Make (Float) in
+  Alcotest.(check int) "no stamp issued twice"
+    (Array.length all)
+    (FS.cardinal (FS.of_list (Array.to_list all)))
+
+let test_buffered_merge () =
+  with_obs @@ fun () ->
+  (* two domains record into local buffers on distinct lanes; the
+     coordinator merges in an order of its choosing and the merged export
+     is exactly the usual span structure *)
+  let worker tid name =
+    Domain.spawn (fun () ->
+        Trace.set_domain_tid tid;
+        Trace.with_buffer (fun () ->
+            Trace.with_span name (fun () -> ignore (Sys.opaque_identity 1))))
+  in
+  let d1 = worker 7 "buffered1" and d2 = worker 8 "buffered2" in
+  let (), ev1 = Domain.join d1 in
+  let (), ev2 = Domain.join d2 in
+  Trace.with_span "direct" (fun () -> ());
+  Trace.merge ev1;
+  Trace.merge ev2;
+  let spans = spans_of_trace (J.of_string (J.to_string (Trace.export ()))) in
+  let find n =
+    match List.find_opt (fun s -> s.name = n) spans with
+    | Some s -> s
+    | None -> Alcotest.failf "span %s missing after merge" n
+  in
+  Alcotest.(check int) "worker lane preserved" 7 (find "buffered1").tid;
+  Alcotest.(check int) "second lane preserved" 8 (find "buffered2").tid;
+  Alcotest.(check int) "unbuffered span on the default lane" 1 (find "direct").tid;
+  (* a raising buffered section drops its events with the exception *)
+  (match Trace.with_buffer (fun () -> failwith "boom") with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "exception swallowed by with_buffer")
+
+let test_atomic_metrics_across_domains () =
+  with_obs @@ fun () ->
+  let c = Metrics.counter "test.par.counter" in
+  let h = Metrics.histogram "test.par.hist" in
+  let n = 10_000 in
+  let hammer () =
+    for i = 1 to n do
+      Metrics.incr c;
+      Metrics.observe h (float_of_int i)
+    done
+  in
+  let ds = List.init 3 (fun _ -> Domain.spawn hammer) in
+  hammer ();
+  List.iter Domain.join ds;
+  Alcotest.(check (float 1e-9)) "no lost counter increments"
+    (float_of_int (4 * n))
+    (Metrics.counter_value c);
+  Alcotest.(check int) "no lost histogram samples" (4 * n)
+    (Metrics.histogram_count h)
+
 (* --- metrics --- *)
 
 let test_metrics_accumulation () =
@@ -203,17 +278,22 @@ let test_disabled_overhead () =
   Trace.set_enabled false;
   Metrics.set_enabled false;
   let c = Metrics.counter "test.overhead" in
+  let g = Metrics.gauge "test.overhead.g" in
+  let h = Metrics.histogram "test.overhead.h" in
   let n = 1_000_000 in
   let t0 = Unix.gettimeofday () in
   let acc = ref 0 in
   for i = 1 to n do
     Trace.with_span "hot" (fun () -> acc := !acc + i);
-    Metrics.incr c
+    Metrics.incr c;
+    Metrics.set_gauge g (float_of_int i);
+    Metrics.observe h (float_of_int i)
   done;
   let dt = Unix.gettimeofday () -. t0 in
   Alcotest.(check int) "work ran" (n * (n + 1) / 2) !acc;
-  (* a disabled span is one flag check + calling f; 1e6 of them finish in
-     a few ms, so a full second means the fast path regressed badly *)
+  (* a disabled span or metric update is one flag check (now an Atomic.get)
+     + calling f; 1e6 iterations of all four finish in a few ms, so a full
+     second means the fast path regressed badly *)
   Alcotest.(check bool)
     (Printf.sprintf "1e6 disabled spans took %.3fs (< 1s)" dt)
     true (dt < 1.)
@@ -299,6 +379,11 @@ let suite =
       Alcotest.test_case "json malformed" `Quick test_json_malformed;
       Alcotest.test_case "span nesting" `Quick test_span_nesting;
       Alcotest.test_case "span survives raise" `Quick test_span_survives_raise;
+      Alcotest.test_case "monotone clock across domains" `Quick
+        test_monotone_clock_across_domains;
+      Alcotest.test_case "buffered spans merge" `Quick test_buffered_merge;
+      Alcotest.test_case "atomic metrics across domains" `Quick
+        test_atomic_metrics_across_domains;
       Alcotest.test_case "metrics accumulation" `Quick test_metrics_accumulation;
       Alcotest.test_case "disabled is no-op" `Quick test_disabled_noop;
       Alcotest.test_case "disabled overhead guard" `Quick test_disabled_overhead;
