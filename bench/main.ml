@@ -18,11 +18,12 @@ let experiments =
     ("e11", "ablations: partitioning, DP window, MIP vs greedy, Eq. 9 vs DES", E11_ablation.run);
     ("e12", "energy and EDP, dual-mode vs all-compute", E12_energy.run);
     ("micro", "bechamel micro-benchmarks", Micro.run);
+    ("solver", "per-MILP solver cost, revised vs dense backend", Micro.run_solver);
   ]
 
 let usage () =
   print_endline
-    "usage: main.exe [e1 .. e12 | micro | all] ... [--csv DIR] [--json FILE]";
+    "usage: main.exe [e1 .. e12 | micro | solver | all] ... [--csv DIR] [--json FILE]";
   List.iter (fun (id, desc, _) -> Printf.printf "  %-5s %s\n" id desc) experiments
 
 (* Sys.mkdir is not recursive; "--csv out/csv" must create "out" first. *)
@@ -101,7 +102,9 @@ let () =
     List.iter
       (fun req ->
         if req = "all" then
-          List.iter (fun (id, _, f) -> if id <> "micro" then f ()) experiments
+          List.iter
+            (fun (id, _, f) -> if id <> "micro" && id <> "solver" then f ())
+            experiments
         else
           match List.find_opt (fun (id, _, _) -> id = req) experiments with
           | Some (_, _, f) -> f ()

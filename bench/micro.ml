@@ -34,6 +34,70 @@ let sample_lp =
     upper = Array.make 6 infinity;
   }
 
+(* ---- solver micro-benchmark ---------------------------------------------- *)
+
+(* Per-MILP solver cost on real segment models (resnet18 CNN windows,
+   bert-large transformer windows), both LP backends in the same run:
+   wall-clock from repeated timed solves, pivot/refactorization counts from
+   the solver's own metrics. Emitted as a Table so `--json` captures it
+   (BENCH_solver.json in CI). *)
+
+let resnet_ops = lazy (Opinfo.extract chip (Lazy.force resnet))
+
+module Metrics = Cim_obs.Metrics
+module Milp = Cim_solver.Milp
+
+let solver_windows =
+  [ ("resnet18", resnet_ops, 0, 4); ("resnet18", resnet_ops, 5, 9);
+    ("bert-large", bert_ops, 0, 3); ("bert-large", bert_ops, 4, 9);
+    ("bert-large", bert_ops, 0, 9) ]
+
+let run_solver () =
+  section "solver | per-MILP pivots, refactorizations, wall-clock";
+  let reps = 20 in
+  let tbl =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "solver micro-benchmark: per-MILP cost on segment models (mean of %d solves)"
+           reps)
+      [ ("segment", Table.Left); ("backend", Table.Left);
+        ("wall (ms)", Table.Right); ("pivots", Table.Right);
+        ("refactorizations", Table.Right); ("bb nodes", Table.Right) ]
+  in
+  List.iter
+    (fun (model, ops, lo, hi) ->
+      let ops = Lazy.force ops in
+      let hi = min hi (Array.length ops - 1) in
+      let p, kinds = Alloc.segment_problem chip ops ~lo ~hi in
+      List.iter
+        (fun (bname, backend, pivot_counter) ->
+          Metrics.set_enabled true;
+          Metrics.reset ();
+          let t0 = Unix.gettimeofday () in
+          for _ = 1 to reps do
+            ignore (Milp.solve ~gap:5e-3 ~backend p ~kinds)
+          done;
+          let wall = (Unix.gettimeofday () -. t0) /. float_of_int reps in
+          let per c =
+            Metrics.counter_value (Metrics.counter c) /. float_of_int reps
+          in
+          let pivots = per pivot_counter in
+          let refactors = per "solver.simplex.refactorizations" in
+          let nodes = per "solver.bb.nodes" in
+          Metrics.set_enabled false;
+          Metrics.reset ();
+          Table.add_row tbl
+            [ Printf.sprintf "%s %d..%d" model lo hi; bname;
+              Table.cell_f ~digits:4 (wall *. 1e3);
+              Table.cell_f ~digits:1 pivots;
+              Table.cell_f ~digits:1 refactors;
+              Table.cell_f ~digits:1 nodes ])
+        [ ("revised", Milp.Revised, "solver.simplex.pivots");
+          ("dense", Milp.Dense, "solver.lp_dense.pivots") ])
+    solver_windows;
+  Table.print tbl
+
 let tests =
   Test.make_grouped ~name:"cmswitch"
     [
@@ -57,6 +121,8 @@ let tests =
         (Staged.stage (fun () -> Cmswitch.compile chip (Lazy.force resnet)));
       Test.make ~name:"lp-simplex/6var"
         (Staged.stage (fun () -> Lp.solve sample_lp));
+      Test.make ~name:"lp-simplex-dense/6var"
+        (Staged.stage (fun () -> Cim_solver.Lp_dense.solve sample_lp));
       Test.make ~name:"shape-infer/resnet18"
         (Staged.stage (fun () -> Cim_nnir.Shape_infer.infer (Lazy.force resnet)));
     ]

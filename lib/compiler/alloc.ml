@@ -6,10 +6,12 @@ type options = {
   milp_max_nodes : int;
   refine : bool;
   force_all_compute : bool;
+  lp_backend : Cim_solver.Milp.backend;
 }
 
 let default_options =
-  { milp_max_nodes = 600; refine = true; force_all_compute = false }
+  { milp_max_nodes = 600; refine = true; force_all_compute = false;
+    lp_backend = Cim_solver.Milp.Revised }
 
 let ceil_div = Cim_util.Bytesize.ceil_div
 
@@ -149,6 +151,15 @@ let build ~options chip (ops : Opinfo.t array) ~lo ~hi ~z_ub =
   Model.add_le m capacity_terms (float_of_int n_cim);
   (m, vars, z, capacity_terms)
 
+let segment_problem ?(options = default_options) chip (ops : Opinfo.t array)
+    ~lo ~hi =
+  if lo < 0 || hi >= Array.length ops || lo > hi then
+    invalid_arg "Alloc.segment_problem: bad uid range";
+  let z_ub = z_upper chip ops ~lo ~hi in
+  let m, _vars, z, _capacity_terms = build ~options chip ops ~lo ~hi ~z_ub in
+  Model.maximize m [ (1., z) ];
+  Model.to_problem m
+
 let read_plan (ops : Opinfo.t array) chip m vars ~lo ~hi =
   let allocs =
     List.init (hi - lo + 1) (fun k ->
@@ -204,7 +215,10 @@ let solve_outcome ?(options = default_options) chip (ops : Opinfo.t array) ~lo ~
     let z_ub = z_upper chip ops ~lo ~hi in
     let m, vars, z, _capacity_terms = build ~options chip ops ~lo ~hi ~z_ub in
     Model.maximize m [ (1., z) ];
-    match Model.solve ~max_nodes:options.milp_max_nodes ~gap:5e-3 m with
+    match
+      Model.solve ~max_nodes:options.milp_max_nodes ~gap:5e-3
+        ~backend:options.lp_backend m
+    with
     | Model.Infeasible | Model.Unbounded -> Infeasible
     | Model.Truncated None -> Truncated_no_incumbent
     | Model.Truncated (Some _) ->
@@ -227,7 +241,10 @@ let solve_outcome ?(options = default_options) chip (ops : Opinfo.t array) ~lo ~
             List.filter (fun (c, _) -> c > 0.) cap2
           in
           Model.minimize m2 arrays_expr;
-          match Model.solve ~max_nodes:options.milp_max_nodes ~gap:5e-3 m2 with
+          match
+            Model.solve ~max_nodes:options.milp_max_nodes ~gap:5e-3
+              ~backend:options.lp_backend m2
+          with
           | Model.Optimal _ ->
             let refined = read_plan ops chip m2 vars2 ~lo ~hi in
             (* guard against numeric slack: keep the refined plan only if it

@@ -14,6 +14,11 @@ type options = {
   force_all_compute : bool;
       (** restrict memory-mode variables to zero — this is how the CIM-MLC
           baseline is expressed in the same machinery *)
+  lp_backend : Cim_solver.Milp.backend;
+      (** LP core for the branch-and-bound relaxations: [Revised] (default)
+          is the warm-started bounded-variable revised simplex; [Dense] is
+          the original tableau solver, kept for differential testing and
+          for benchmarking the speedup in the same run *)
 }
 
 val default_options : options
@@ -33,6 +38,14 @@ val plan_feasible : Cim_arch.Chip.t -> Opinfo.t array -> Plan.seg_plan -> bool
 (** The contract a plan must honour before the compiler trusts it: every
     operator at or above its minimum compute arrays, non-negative buffer
     counts, and Eq. 8 capacity respected. *)
+
+val segment_problem :
+  ?options:options -> Cim_arch.Chip.t -> Opinfo.t array -> lo:int -> hi:int ->
+  Cim_solver.Lp.problem * Cim_solver.Milp.kind array
+(** The exact MILP {!solve_outcome} hands to the solver for operators
+    [lo..hi] (maximise throughput [z]), in computational form. Exposed so
+    the differential suite can replay real segment models against both LP
+    backends and the solver micro-benchmark can time them in isolation. *)
 
 val solve_outcome :
   ?options:options -> Cim_arch.Chip.t -> Opinfo.t array -> lo:int -> hi:int ->

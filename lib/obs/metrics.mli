@@ -12,7 +12,15 @@
 
     Naming convention (see docs/ARCHITECTURE.md, "Observability"):
     dot-separated [subsystem.noun.detail], e.g. [solver.bb.nodes],
-    [compile.alloc.greedy_fallback], [sim.cycles.compute]. *)
+    [compile.alloc.greedy_fallback], [sim.cycles.compute]. The solver
+    family splits by layer: [solver.lp.*] (revised-simplex driver:
+    solves, wall_seconds, warm_starts, warm_rejects), [solver.simplex.*]
+    (pivot engine: pivots, dual_pivots, bound_flips, bland_fallbacks,
+    refactorizations), [solver.lp_dense.*] (the dense oracle), and
+    [solver.bb.*] (branch-and-bound: nodes, warm_hits, rc_tightened,
+    lp_iteration_limits, ...). Counters named [*.wall_seconds] hold
+    elapsed time and are excluded from cross-run determinism
+    comparisons (see test/t_parallel.ml). *)
 
 type counter
 type gauge

@@ -9,7 +9,25 @@ type problem = {
 }
 
 type solution = { values : float array; objective : float }
-type result = Optimal of solution | Infeasible | Unbounded
+type result = Optimal of solution | Infeasible | Unbounded | Iteration_limit
+
+type vstat = Basic | Nonbasic_lower | Nonbasic_upper
+
+type basis = {
+  b_rows : int;
+  b_cols : int;
+  b_stat : vstat array;
+  b_order : int array;
+  b_binv : float array array;
+      (* B^-1 at snapshot time. A branch-and-bound child has the same
+         constraint matrix (only bounds move), so installing the copy is
+         O(m^2) where refactorizing would be O(m^3). *)
+  b_updates : int;
+      (* product-form updates accumulated when the snapshot was taken;
+         carried so drift along a warm-start chain still triggers the
+         periodic refactorization *)
+}
+
 
 exception Ill_formed of string
 
@@ -17,12 +35,13 @@ let ill fmt = Printf.ksprintf (fun s -> raise (Ill_formed s)) fmt
 
 (* registered once; recording is a no-op unless Cim_obs.Metrics is enabled *)
 let m_solves = Cim_obs.Metrics.counter "solver.lp.solves"
+let m_wall = Cim_obs.Metrics.counter "solver.lp.wall_seconds"
 let m_pivots = Cim_obs.Metrics.counter "solver.simplex.pivots"
-
-(* The tableau holds one row per constraint plus an objective row. Columns:
-   structural variables (shifted to 0 lower bound), then slack/surplus
-   variables, then artificial variables, then the RHS. We run phase 1 over
-   the artificial objective, then phase 2 over the real one. *)
+let m_dual_pivots = Cim_obs.Metrics.counter "solver.simplex.dual_pivots"
+let m_flips = Cim_obs.Metrics.counter "solver.simplex.bound_flips"
+let m_bland = Cim_obs.Metrics.counter "solver.simplex.bland_fallbacks"
+let m_warm_used = Cim_obs.Metrics.counter "solver.lp.warm_starts"
+let m_warm_rejected = Cim_obs.Metrics.counter "solver.lp.warm_rejects"
 
 let check p =
   if p.n_vars <= 0 then ill "no variables";
@@ -43,221 +62,577 @@ let check p =
         coeffs)
     p.rows
 
-let solve ?(eps = 1e-9) ?(max_iters = 20_000) p =
-  check p;
-  Cim_obs.Metrics.incr m_solves;
+(* ---- solver state ------------------------------------------------------- *)
+
+(* Computational form: every row becomes an equality [a.x + s = b] with one
+   slack column per row (Ge rows are negated to Le first, so inequality
+   slacks live in [0, inf) and Eq slacks are fixed at [0, 0]). Rows are
+   equilibrated by their largest structural coefficient — the allocation
+   MILPs mix MAC counts around 1e9 with per-array rates around 1e2, and the
+   scaling is what keeps the factorization honest across that spread.
+   Scaling changes neither the feasible set nor the reduced costs. *)
+(* The bound-independent part of the computational form: scaled columns,
+   rhs, objective, Eq-row marks. A branch-and-bound search solves the same
+   rows dozens of times under different bounds; preparing once amortises
+   the O(n.m) negation/equilibration pass over the whole tree. *)
+(* Reusable solver scratch: bounds, statuses and the factorized basis for
+   one solve. A branch-and-bound tree re-solves the same prepared form
+   hundreds of times strictly sequentially, so the arrays (including the
+   m x m inverse) are allocated once per tree instead of once per solve.
+   Basis snapshots deep-copy out of here ({!snapshot}), so reuse cannot
+   corrupt a parent basis held by the search stack. *)
+type ws = {
+  w_lb : float array;          (* ncols; slack lower bounds stay 0 *)
+  w_ub : float array;
+  w_stat : vstat array;
+  w_order : int array;
+  w_xb : float array;
+  w_rhs : float array;         (* m scratch: compute_xb right-hand side *)
+  w_cb : float array;          (* m scratch: basic objective coefficients *)
+  w_y : float array;           (* m scratch: pricing vector *)
+  w_fact : Basis.t;
+}
+
+type prepared = {
+  q_n : int;
+  q_m : int;
+  q_acol : float array array;  (* structural columns, scaled, length m each *)
+  q_b : float array;           (* scaled rhs *)
+  q_eq : bool array;           (* row slack fixed at [0, 0] *)
+  q_c : float array;           (* objective over all columns; slacks 0 *)
+  mutable q_ws : ws option;    (* lazily built; makes [prepared] single-domain *)
+}
+
+let prepare (p : problem) =
   let n = p.n_vars in
-  (* Shift variables to zero lower bound; fold finite upper bounds into
-     extra <= rows. *)
-  let shift = p.lower in
-  let base_rows =
-    List.map
-      (fun (coeffs, op, rhs) ->
-        let adj = ref rhs in
-        Array.iteri (fun j c -> adj := !adj -. (c *. shift.(j))) coeffs;
-        (Array.copy coeffs, op, !adj))
-      p.rows
-  in
-  let bound_rows =
-    List.concat
-      (List.init n (fun j ->
-           if Float.is_finite p.upper.(j) then begin
-             let coeffs = Array.make n 0. in
-             coeffs.(j) <- 1.;
-             [ (coeffs, Le, p.upper.(j) -. shift.(j)) ]
-           end
-           else []))
-  in
-  let rows = Array.of_list (base_rows @ bound_rows) in
+  let rows = Array.of_list p.rows in
   let m = Array.length rows in
-  (* Normalise RHS to be non-negative. *)
-  let rows =
-    Array.map
-      (fun (coeffs, op, rhs) ->
-        if rhs < 0. then
-          ( Array.map (fun c -> -.c) coeffs,
-            (match op with Le -> Ge | Ge -> Le | Eq -> Eq),
-            -.rhs )
-        else (coeffs, op, rhs))
-      rows
-  in
-  (* Count slack and artificial columns. *)
-  let n_slack = ref 0 and n_art = ref 0 in
-  Array.iter
-    (fun (_, op, _) ->
-      match op with
-      | Le -> incr n_slack
-      | Ge -> incr n_slack; incr n_art
-      | Eq -> incr n_art)
-    rows;
-  let total = n + !n_slack + !n_art in
-  let t = Array.make_matrix (m + 1) (total + 1) 0. in
-  let basis = Array.make m (-1) in
-  let art_cols = ref [] in
-  let slack_at = ref n and art_at = ref (n + !n_slack) in
+  let acol = Array.init n (fun _ -> Array.make m 0.) in
+  let b = Array.make m 0. in
+  let eq = Array.make m false in
+  let c = Array.make (n + m) 0. in
+  Array.blit p.maximize 0 c 0 (min n (Array.length p.maximize));
   Array.iteri
     (fun i (coeffs, op, rhs) ->
-      Array.blit coeffs 0 t.(i) 0 n;
-      t.(i).(total) <- rhs;
-      (match op with
-      | Le ->
-        t.(i).(!slack_at) <- 1.;
-        basis.(i) <- !slack_at;
-        incr slack_at
-      | Ge ->
-        t.(i).(!slack_at) <- -1.;
-        incr slack_at;
-        t.(i).(!art_at) <- 1.;
-        basis.(i) <- !art_at;
-        art_cols := !art_at :: !art_cols;
-        incr art_at
-      | Eq ->
-        t.(i).(!art_at) <- 1.;
-        basis.(i) <- !art_at;
-        art_cols := !art_at :: !art_cols;
-        incr art_at))
+      let sgn = match op with Ge -> -1. | Le | Eq -> 1. in
+      let scale = ref 0. in
+      Array.iter
+        (fun v ->
+          let a = Float.abs v in
+          if a > !scale then scale := a)
+        coeffs;
+      let s = if !scale > 0. then !scale else 1. in
+      for j = 0 to min n (Array.length coeffs) - 1 do
+        acol.(j).(i) <- sgn *. coeffs.(j) /. s
+      done;
+      b.(i) <- sgn *. rhs /. s;
+      if op = Eq then eq.(i) <- true)
     rows;
-  let is_artificial = Array.make total false in
-  List.iter (fun c -> is_artificial.(c) <- true) !art_cols;
-  let obj = m in
-  (* One simplex run over the current objective row. [restrict] excludes
-     columns (artificials in phase 2) from entering the basis.
-     Returns false on unboundedness. *)
-  let iterate restrict =
-    let iters = ref 0 in
-    let continue_ = ref true in
-    let bounded = ref true in
-    while !continue_ do
-      incr iters;
-      if !iters > max_iters then failwith "Lp.solve: iteration limit exceeded";
-      (* Bland's rule: smallest-index column with negative reduced cost. *)
-      let entering = ref (-1) in
+  { q_n = n; q_m = m; q_acol = acol; q_b = b; q_eq = eq; q_c = c; q_ws = None }
+
+type st = {
+  n : int;                     (* structural columns *)
+  m : int;                     (* rows = slack columns *)
+  ncols : int;                 (* n + m *)
+  acol : float array array;    (* shared with the prepared form, read-only *)
+  lb : float array;            (* per column, length ncols *)
+  ub : float array;
+  c : float array;             (* shared, read-only; slacks 0 *)
+  b : float array;             (* shared, read-only; scaled rhs *)
+  stat : vstat array;
+  order : int array;           (* basic column of each row *)
+  xb : float array;            (* values of basic variables, by row *)
+  rhs : float array;           (* scratch, length m *)
+  cb : float array;            (* scratch, length m *)
+  y : float array;             (* scratch, length m: pricing vector *)
+  fact : Basis.t;
+  eps : float;
+  max_iters : int;
+  mutable iters : int;
+  mutable bland : bool;        (* Bland fallback armed (sticky per solve) *)
+  mutable degen : int;         (* consecutive degenerate pivots *)
+}
+
+let get_ws q =
+  match q.q_ws with
+  | Some w -> w
+  | None ->
+    let ncols = q.q_n + q.q_m in
+    let w =
+      {
+        w_lb = Array.make ncols 0.;
+        w_ub = Array.make ncols infinity;
+        w_stat = Array.make ncols Nonbasic_lower;
+        w_order = Array.make q.q_m 0;
+        w_xb = Array.make q.q_m 0.;
+        w_rhs = Array.make q.q_m 0.;
+        w_cb = Array.make q.q_m 0.;
+        w_y = Array.make q.q_m 0.;
+        w_fact = Basis.create q.q_m;
+      }
+    in
+    q.q_ws <- Some w;
+    w
+
+(* Reinitializes the workspace to the all-slack start; does NOT reset the
+   basis inverse — a cold start must [Basis.reset] it, a warm start
+   overwrites it wholesale via [Basis.restore]. *)
+let mk_state ~eps ~max_iters q ~lower ~upper =
+  let n = q.q_n and m = q.q_m in
+  let ncols = n + m in
+  let w = get_ws q in
+  let lb = w.w_lb and ub = w.w_ub and stat = w.w_stat and order = w.w_order in
+  Array.blit lower 0 lb 0 n;
+  Array.blit upper 0 ub 0 n;
+  for i = 0 to m - 1 do
+    ub.(n + i) <- (if q.q_eq.(i) then 0. else infinity)
+  done;
+  Array.fill stat 0 ncols Nonbasic_lower;
+  for i = 0 to m - 1 do
+    stat.(n + i) <- Basic;
+    order.(i) <- n + i
+  done;
+  {
+    n; m; ncols; acol = q.q_acol; lb; ub; c = q.q_c; b = q.q_b; stat; order;
+    xb = w.w_xb;
+    rhs = w.w_rhs;
+    cb = w.w_cb;
+    y = w.w_y;
+    fact = w.w_fact;
+    eps; max_iters; iters = 0; bland = false; degen = 0;
+  }
+
+let col_vec st j =
+  if j < st.n then st.acol.(j)
+  else begin
+    let v = Array.make st.m 0. in
+    v.(j - st.n) <- 1.;
+    v
+  end
+
+let col_dot st (v : float array) j =
+  if j < st.n then begin
+    let a = st.acol.(j) in
+    let acc = ref 0. in
+    for i = 0 to st.m - 1 do
+      acc := !acc +. (v.(i) *. a.(i))
+    done;
+    !acc
+  end
+  else v.(j - st.n)
+
+let nb_val st j =
+  match st.stat.(j) with
+  | Nonbasic_lower -> st.lb.(j)
+  | Nonbasic_upper -> st.ub.(j)
+  | Basic -> assert false
+
+let compute_xb st =
+  let r = st.rhs in
+  Array.blit st.b 0 r 0 st.m;
+  for j = 0 to st.ncols - 1 do
+    if st.stat.(j) <> Basic then begin
+      let v = nb_val st j in
+      if v <> 0. then
+        if j < st.n then begin
+          let a = st.acol.(j) in
+          for i = 0 to st.m - 1 do
+            r.(i) <- r.(i) -. (a.(i) *. v)
+          done
+        end
+        else r.(j - st.n) <- r.(j - st.n) -. v
+    end
+  done;
+  Basis.ftran_into st.fact r st.xb
+
+let refactor st = Basis.refactor st.fact ~col:(col_vec st) ~order:st.order
+
+let pricing_vector st =
+  for i = 0 to st.m - 1 do
+    st.cb.(i) <- st.c.(st.order.(i))
+  done;
+  Basis.btran_into st.fact st.cb st.y;
+  st.y
+
+(* primal feasibility is judged relative to bound magnitude *)
+let ftol st bound = st.eps *. 1e2 *. (1. +. Float.abs bound)
+
+let bland_after st = 100 + (2 * (st.m + st.n))
+
+let note_degenerate st degenerate =
+  if degenerate then begin
+    st.degen <- st.degen + 1;
+    if (not st.bland) && st.degen > bland_after st then begin
+      st.bland <- true;
+      Cim_obs.Metrics.incr m_bland
+    end
+  end
+  else st.degen <- 0
+
+type phase_res = R_done | R_unbounded | R_infeasible | R_iters
+
+(* ---- primal simplex ------------------------------------------------------ *)
+
+let primal st =
+  let res = ref None in
+  while !res = None do
+    if st.iters >= st.max_iters then res := Some R_iters
+    else begin
+      st.iters <- st.iters + 1;
+      let y = pricing_vector st in
+      (* entering: Dantzig (largest improving reduced cost); Bland mode
+         takes the smallest improving index instead *)
+      let e = ref (-1) and best = ref st.eps in
       (try
-         for j = 0 to total - 1 do
-           if (not (restrict && is_artificial.(j))) && t.(obj).(j) < -.eps then begin
-             entering := j;
-             raise Exit
+         for j = 0 to st.ncols - 1 do
+           if st.stat.(j) <> Basic && st.lb.(j) < st.ub.(j) then begin
+             let d = st.c.(j) -. col_dot st y j in
+             let score =
+               match st.stat.(j) with
+               | Nonbasic_lower -> d
+               | Nonbasic_upper -> -.d
+               | Basic -> 0.
+             in
+             if score > !best then begin
+               e := j;
+               best := score;
+               if st.bland then raise Exit
+             end
            end
          done
        with Exit -> ());
-      if !entering < 0 then continue_ := false
+      if !e < 0 then res := Some R_done
       else begin
-        let e = !entering in
-        (* Smallest ratio; ties broken by smallest basis index (Bland). *)
-        let leave = ref (-1) and best = ref infinity in
-        for i = 0 to m - 1 do
-          if t.(i).(e) > eps then begin
-            let ratio = t.(i).(total) /. t.(i).(e) in
+        let e = !e in
+        let w = Basis.ftran st.fact (col_vec st e) in
+        let dir = match st.stat.(e) with Nonbasic_lower -> 1. | _ -> -1. in
+        (* bounded ratio test: the entering variable's own span competes
+           with every basic variable's blocking bound *)
+        let tmin = ref (st.ub.(e) -. st.lb.(e)) and lrow = ref (-1) in
+        for i = 0 to st.m - 1 do
+          let wi = dir *. w.(i) in
+          let bi = st.order.(i) in
+          let t =
+            if wi > st.eps then Float.max 0. ((st.xb.(i) -. st.lb.(bi)) /. wi)
+            else if wi < -.st.eps && st.ub.(bi) < infinity then
+              Float.max 0. ((st.xb.(i) -. st.ub.(bi)) /. wi)
+            else infinity
+          in
+          if t < infinity then
             if
-              ratio < !best -. eps
-              || (Float.abs (ratio -. !best) <= eps
-                  && !leave >= 0
-                  && basis.(i) < basis.(!leave))
+              t < !tmin -. 1e-12
+              || (t <= !tmin +. 1e-12 && !lrow >= 0
+                  &&
+                  if st.bland then bi < st.order.(!lrow)
+                  else Float.abs wi > Float.abs (dir *. w.(!lrow)))
             then begin
-              best := ratio;
-              leave := i
+              tmin := t;
+              lrow := i
             end
-          end
         done;
-        if !leave < 0 then begin
-          bounded := false;
-          continue_ := false
+        if !tmin = infinity then res := Some R_unbounded
+        else if !lrow < 0 then begin
+          (* bound flip: cheaper than a pivot — no basis change at all *)
+          Cim_obs.Metrics.incr m_flips;
+          let t = !tmin in
+          for i = 0 to st.m - 1 do
+            st.xb.(i) <- st.xb.(i) -. (t *. dir *. w.(i))
+          done;
+          st.stat.(e) <-
+            (match st.stat.(e) with
+            | Nonbasic_lower -> Nonbasic_upper
+            | _ -> Nonbasic_lower);
+          note_degenerate st (t <= st.eps)
         end
         else begin
           Cim_obs.Metrics.incr m_pivots;
-          let l = !leave in
-          let pivot = t.(l).(e) in
-          for j = 0 to total do
-            t.(l).(j) <- t.(l).(j) /. pivot
+          let r = !lrow and t = !tmin in
+          let enter_val = nb_val st e +. (dir *. t) in
+          for i = 0 to st.m - 1 do
+            if i <> r then st.xb.(i) <- st.xb.(i) -. (t *. dir *. w.(i))
           done;
-          for i = 0 to m do
-            if i <> l && Float.abs t.(i).(e) > 0. then begin
-              let f = t.(i).(e) in
-              for j = 0 to total do
-                t.(i).(j) <- t.(i).(j) -. (f *. t.(l).(j))
-              done
-            end
-          done;
-          basis.(l) <- e
+          let leave = st.order.(r) in
+          st.stat.(leave) <-
+            (if dir *. w.(r) > 0. then Nonbasic_lower else Nonbasic_upper);
+          st.stat.(e) <- Basic;
+          st.order.(r) <- e;
+          st.xb.(r) <- enter_val;
+          Basis.pivot st.fact ~row:r ~w;
+          if Basis.needs_refactor st.fact then
+            if refactor st then compute_xb st else res := Some R_iters;
+          note_degenerate st (t <= st.eps)
         end
       end
-    done;
-    !bounded
-  in
-  let price_out () =
-    (* Make the objective row consistent with the current basis. *)
-    for i = 0 to m - 1 do
-      let c = t.(obj).(basis.(i)) in
-      if Float.abs c > 0. then
-        for j = 0 to total do
-          t.(obj).(j) <- t.(obj).(j) -. (c *. t.(i).(j))
-        done
-    done
-  in
-  (* Phase 1: minimise the sum of artificials, i.e. maximise -sum. *)
-  let infeasible = ref false in
-  if !n_art > 0 then begin
-    for j = 0 to total do
-      t.(obj).(j) <- 0.
-    done;
-    List.iter (fun c -> t.(obj).(c) <- 1.) !art_cols;
-    price_out ();
-    ignore (iterate false);
-    (* t.(obj).(total) now holds -(sum of artificials). *)
-    if Float.abs t.(obj).(total) > 1e-6 then infeasible := true
-    else
-      (* Pivot any artificial still in the basis out (degenerate rows). *)
-      for i = 0 to m - 1 do
-        if is_artificial.(basis.(i)) then begin
-          let found = ref (-1) in
-          (try
-             for j = 0 to total - 1 do
-               if (not is_artificial.(j)) && Float.abs t.(i).(j) > eps then begin
-                 found := j;
-                 raise Exit
-               end
-             done
-           with Exit -> ());
-          match !found with
-          | -1 -> () (* all-zero row: redundant constraint, harmless *)
-          | e ->
-            let pivot = t.(i).(e) in
-            for j = 0 to total do
-              t.(i).(j) <- t.(i).(j) /. pivot
-            done;
-            for i' = 0 to m do
-              if i' <> i && Float.abs t.(i').(e) > 0. then begin
-                let f = t.(i').(e) in
-                for j = 0 to total do
-                  t.(i').(j) <- t.(i').(j) -. (f *. t.(i).(j))
-                done
-              end
-            done;
-            basis.(i) <- e
-        end
-      done
-  end;
-  if !infeasible then Infeasible
-  else begin
-    (* Phase 2: real objective (maximise c.x -> row holds -c priced out). *)
-    for j = 0 to total do
-      t.(obj).(j) <- 0.
-    done;
-    for j = 0 to n - 1 do
-      t.(obj).(j) <- -.p.maximize.(j)
-    done;
-    price_out ();
-    if not (iterate true) then Unbounded
+    end
+  done;
+  Option.get !res
+
+(* ---- dual simplex -------------------------------------------------------- *)
+
+(* With [zero_obj] the objective is identically zero, which makes any basis
+   dual-feasible: running the dual simplex then simply restores primal
+   feasibility from the all-slack basis (phase 1). With the real objective
+   it repairs a warm-started basis whose bounds moved. *)
+let dual ?(zero_obj = false) st =
+  let res = ref None in
+  while !res = None do
+    if st.iters >= st.max_iters then res := Some R_iters
     else begin
-      let values = Array.make n 0. in
-      for i = 0 to m - 1 do
-        if basis.(i) < n then values.(basis.(i)) <- t.(i).(total)
+      st.iters <- st.iters + 1;
+      (* leaving: most violated basic bound (Bland: smallest variable index) *)
+      let r = ref (-1) and viol = ref 0. and below = ref false in
+      for i = 0 to st.m - 1 do
+        let bi = st.order.(i) in
+        let v = st.xb.(i) in
+        let lo = st.lb.(bi) and hi = st.ub.(bi) in
+        let record d is_below =
+          if
+            (st.bland && (!r < 0 || bi < st.order.(!r)))
+            || ((not st.bland) && d > !viol)
+          then begin
+            r := i;
+            viol := d;
+            below := is_below
+          end
+        in
+        if v < lo -. ftol st lo then record (lo -. v) true
+        else if hi < infinity && v > hi +. ftol st hi then record (v -. hi) false
       done;
-      let values = Array.mapi (fun j v -> v +. shift.(j)) values in
-      let objective =
-        Array.to_list (Array.mapi (fun j c -> c *. values.(j)) p.maximize)
-        |> List.fold_left ( +. ) 0.
-      in
-      Optimal { values; objective }
+      if !r < 0 then res := Some R_done
+      else begin
+        let r = !r and below = !below in
+        let rho = Basis.row st.fact r in
+        let y = if zero_obj then None else Some (pricing_vector st) in
+        (* dual ratio test: among columns whose motion can repair the
+           violation, the one whose reduced cost reaches zero first keeps
+           every other reduced cost on its feasible side *)
+        let e = ref (-1) and bestkey = ref infinity and bestalpha = ref 0. in
+        for j = 0 to st.ncols - 1 do
+          if st.stat.(j) <> Basic && st.lb.(j) < st.ub.(j) then begin
+            let alpha = col_dot st rho j in
+            let eligible =
+              match (st.stat.(j), below) with
+              | Nonbasic_lower, true -> alpha < -.st.eps
+              | Nonbasic_upper, true -> alpha > st.eps
+              | Nonbasic_lower, false -> alpha > st.eps
+              | Nonbasic_upper, false -> alpha < -.st.eps
+              | Basic, _ -> false
+            in
+            if eligible then begin
+              let d =
+                match y with
+                | None -> 0.
+                | Some y -> st.c.(j) -. col_dot st y j
+              in
+              let rat = d /. alpha in
+              let key = if below then rat else -.rat in
+              if
+                key < !bestkey -. 1e-12
+                || (key <= !bestkey +. 1e-12 && !e >= 0 && (not st.bland)
+                    && Float.abs alpha > !bestalpha)
+              then begin
+                e := j;
+                bestkey := Float.min !bestkey key;
+                bestalpha := Float.abs alpha
+              end
+            end
+          end
+        done;
+        if !e < 0 then res := Some R_infeasible
+        else begin
+          Cim_obs.Metrics.incr m_pivots;
+          Cim_obs.Metrics.incr m_dual_pivots;
+          let e = !e in
+          let w = Basis.ftran st.fact (col_vec st e) in
+          let bi = st.order.(r) in
+          let target = if below then st.lb.(bi) else st.ub.(bi) in
+          let delta = (st.xb.(r) -. target) /. w.(r) in
+          let d_e =
+            match y with None -> 0. | Some y -> st.c.(e) -. col_dot st y e
+          in
+          let enter_val = nb_val st e +. delta in
+          for i = 0 to st.m - 1 do
+            if i <> r then st.xb.(i) <- st.xb.(i) -. (delta *. w.(i))
+          done;
+          st.stat.(bi) <- (if below then Nonbasic_lower else Nonbasic_upper);
+          st.stat.(e) <- Basic;
+          st.order.(r) <- e;
+          st.xb.(r) <- enter_val;
+          Basis.pivot st.fact ~row:r ~w;
+          if Basis.needs_refactor st.fact then
+            if refactor st then compute_xb st else res := Some R_iters;
+          note_degenerate st (Float.abs (d_e *. delta) <= 1e-12)
+        end
+      end
+    end
+  done;
+  Option.get !res
+
+(* ---- warm start ---------------------------------------------------------- *)
+
+let install_warm st (wb : basis) =
+  if
+    wb.b_rows <> st.m || wb.b_cols <> st.ncols
+    || Array.length wb.b_stat <> st.ncols
+    || Array.length wb.b_order <> st.m
+  then false
+  else begin
+    let ok = ref true in
+    let basic_count = ref 0 in
+    Array.iteri
+      (fun j s ->
+        match s with
+        | Basic -> incr basic_count
+        | Nonbasic_upper -> if st.ub.(j) = infinity then ok := false
+        | Nonbasic_lower -> ())
+      wb.b_stat;
+    if !basic_count <> st.m then ok := false;
+    Array.iter
+      (fun j ->
+        if j < 0 || j >= st.ncols || wb.b_stat.(j) <> Basic then ok := false)
+      wb.b_order;
+    if not !ok then false
+    else begin
+      Array.blit wb.b_stat 0 st.stat 0 st.ncols;
+      Array.blit wb.b_order 0 st.order 0 st.m;
+      (* the snapshot's inverse is exact for any problem sharing the
+         constraint matrix (the warm-start contract), so restoring it
+         skips the O(m^3) refactorization entirely *)
+      Basis.restore st.fact wb.b_binv ~updates:wb.b_updates;
+      if Basis.needs_refactor st.fact && not (refactor st) then false
+      else begin
+        compute_xb st;
+        true
+      end
     end
   end
+
+(* ---- driver -------------------------------------------------------------- *)
+
+let snapshot st =
+  {
+    b_rows = st.m;
+    b_cols = st.ncols;
+    b_stat = Array.copy st.stat;
+    b_order = Array.copy st.order;
+    b_binv = Basis.export st.fact;
+    b_updates = Basis.updates_since_refactor st.fact;
+  }
+
+let basis_status b j = b.b_stat.(j)
+
+(* Structural reduced costs priced from the snapshot's own inverse:
+   y = c_B B^-1, then d_j = c_j - y.A_j. Only the root of a
+   branch-and-bound tree needs these (for reduced-cost bound tightening),
+   so they are computed on demand here instead of on every re-solve. *)
+let reduced_costs (q : prepared) (wb : basis) =
+  let m = q.q_m in
+  let y = Array.make m 0. in
+  for i = 0 to m - 1 do
+    let ci = q.q_c.(wb.b_order.(i)) in
+    if ci <> 0. then begin
+      let r = wb.b_binv.(i) in
+      for j = 0 to m - 1 do
+        y.(j) <- y.(j) +. (ci *. r.(j))
+      done
+    end
+  done;
+  Array.init q.q_n (fun j ->
+      if wb.b_stat.(j) = Basic then 0.
+      else begin
+        let a = q.q_acol.(j) in
+        let acc = ref 0. in
+        for i = 0 to m - 1 do
+          acc := !acc +. (y.(i) *. a.(i))
+        done;
+        q.q_c.(j) -. !acc
+      end)
+
+let extract st =
+  (* product-form drift here is bounded by the refactor_every threshold
+     (the pivot loops rebuild eagerly past it), well inside the callers'
+     1e-6 tolerances — a final O(m^3) cleanup would cost more than every
+     warm-started re-solve it polishes *)
+  let values = Array.make st.n 0. in
+  for j = 0 to st.n - 1 do
+    match st.stat.(j) with
+    | Nonbasic_lower -> values.(j) <- st.lb.(j)
+    | Nonbasic_upper -> values.(j) <- st.ub.(j)
+    | Basic -> ()
+  done;
+  for i = 0 to st.m - 1 do
+    if st.order.(i) < st.n then values.(st.order.(i)) <- st.xb.(i)
+  done;
+  let objective = ref 0. in
+  for j = 0 to st.n - 1 do
+    objective := !objective +. (st.c.(j) *. values.(j))
+  done;
+  { values; objective = !objective }
+
+let solve_prepared ?(eps = 1e-9) ?(max_iters = 20_000) ?warm q ~lower ~upper =
+  Cim_obs.Metrics.incr m_solves;
+  let timed = Cim_obs.Metrics.enabled () in
+  let t0 = if timed then Unix.gettimeofday () else 0. in
+  let st = mk_state ~eps ~max_iters q ~lower ~upper in
+  let warmed =
+    match warm with
+    | None -> false
+    | Some wb ->
+      if install_warm st wb then begin
+        Cim_obs.Metrics.incr m_warm_used;
+        true
+      end
+      else begin
+        Cim_obs.Metrics.incr m_warm_rejected;
+        (* install_warm may have scribbled on the state: rebuild *)
+        false
+      end
+  in
+  let st =
+    if warmed || Option.is_none warm then st
+    else mk_state ~eps ~max_iters q ~lower ~upper
+  in
+  (* cold starts run from the all-slack identity basis (warm installs
+     overwrite the whole inverse, so only cold paths pay the reset) *)
+  if not warmed then begin
+    Basis.reset st.fact;
+    compute_xb st
+  end;
+  let phase =
+    if warmed then
+      (* the bounds moved under a basis that is dual-feasible by the
+         warm-start contract, and the dual ratio test preserves dual
+         feasibility at every pivot — so R_done already proves
+         optimality and the primal polish pass would only re-scan *)
+      dual st
+    else
+      (* cold: zero-objective dual simplex is phase 1, primal is phase 2 *)
+      match dual ~zero_obj:true st with R_done -> primal st | r -> r
+  in
+  let out =
+    match phase with
+    | R_done ->
+      (* the snapshot (status/order copies plus an O(m^2) inverse export)
+         is deferred behind a closure: branch-and-bound materializes it
+         only for nodes that actually branch — pruned nodes, integral
+         leaves and rounding attempts skip the copy entirely. Valid only
+         until the next solve reuses the workspace. *)
+      (Optimal (extract st), Some (fun () -> snapshot st))
+    | R_infeasible -> (Infeasible, None)
+    | R_unbounded -> (Unbounded, None)
+    | R_iters -> (Iteration_limit, None)
+  in
+  if timed then
+    Cim_obs.Metrics.incr m_wall ~by:(Unix.gettimeofday () -. t0);
+  out
+
+let solve_info ?eps ?max_iters ?(validate = false) ?warm p =
+  if validate then check p;
+  let r, snap =
+    solve_prepared ?eps ?max_iters ?warm (prepare p) ~lower:p.lower
+      ~upper:p.upper
+  in
+  (r, Option.map (fun f -> f ()) snap)
+
+let solve ?eps ?max_iters ?validate ?warm p =
+  fst (solve_info ?eps ?max_iters ?validate ?warm p)

@@ -1,0 +1,16 @@
+(** Dense two-phase tableau simplex — the original CMSwitch LP core, kept
+    verbatim as a differential oracle for the bounded-variable revised
+    simplex in {!Lp} (and as the [Dense] backend of {!Milp}, so benches can
+    measure both cores on identical branch-and-bound trees).
+
+    Finite upper bounds are folded into explicit [<=] rows and the tableau
+    is rebuilt from scratch on every call, which is exactly the cost the
+    revised solver removes; do not use this on hot paths. Shares
+    {!Lp.problem} / {!Lp.result}. *)
+
+val solve :
+  ?eps:float -> ?max_iters:int -> ?validate:bool -> Lp.problem -> Lp.result
+(** [eps] is the feasibility/optimality tolerance (default 1e-9).
+    [validate] (default [false]) runs {!Lp.check} first. Returns
+    [Lp.Iteration_limit] when the pivot budget (default 20_000) runs
+    out. *)

@@ -222,6 +222,174 @@ let milp_vs_oracle =
     (QCheck.Test.make ~name:"MILP matches brute-force oracle" ~count:220
        arb_instance check)
 
+(* ---- revised simplex vs the dense oracle --------------------------------- *)
+
+module Lp = Cim_solver.Lp
+module Lp_dense = Cim_solver.Lp_dense
+module Milp = Cim_solver.Milp
+
+let show_lp_result = function
+  | Lp.Optimal s -> Printf.sprintf "Optimal %.9g" s.Lp.objective
+  | Lp.Infeasible -> "Infeasible"
+  | Lp.Unbounded -> "Unbounded"
+  | Lp.Iteration_limit -> "Iteration_limit"
+
+(* the returned vertex must be a point of the stated polytope, not just
+   carry the right objective *)
+let vertex_feasible (p : Lp.problem) (s : Lp.solution) =
+  let tol v = 1e-6 *. (1. +. Float.abs v) in
+  let ok = ref true in
+  Array.iteri
+    (fun j v ->
+      if v < p.Lp.lower.(j) -. tol p.Lp.lower.(j) then ok := false;
+      if v > p.Lp.upper.(j) +. tol p.Lp.upper.(j) then ok := false)
+    s.Lp.values;
+  List.iter
+    (fun (coeffs, op, rhs) ->
+      let lhs = ref 0. in
+      Array.iteri (fun j c -> lhs := !lhs +. (c *. s.Lp.values.(j))) coeffs;
+      let lhs = !lhs in
+      match op with
+      | Lp.Le -> if lhs > rhs +. tol rhs then ok := false
+      | Lp.Ge -> if lhs < rhs -. tol rhs then ok := false
+      | Lp.Eq -> if Float.abs (lhs -. rhs) > tol rhs then ok := false)
+    p.Lp.rows;
+  !ok
+
+let compare_backends name (p : Lp.problem) =
+  match (Lp.solve p, Lp_dense.solve p) with
+  | Lp.Optimal r, Lp.Optimal d ->
+    let tol = 1e-6 *. (1. +. Float.abs d.Lp.objective) in
+    if Float.abs (r.Lp.objective -. d.Lp.objective) > tol then
+      QCheck.Test.fail_reportf "%s: revised %.17g, dense oracle %.17g" name
+        r.Lp.objective d.Lp.objective;
+    if not (vertex_feasible p r) then
+      QCheck.Test.fail_reportf "%s: revised vertex violates the polytope" name;
+    true
+  | Lp.Infeasible, Lp.Infeasible | Lp.Unbounded, Lp.Unbounded -> true
+  | r, d ->
+    QCheck.Test.fail_reportf "%s: revised says %s, dense oracle says %s" name
+      (show_lp_result r) (show_lp_result d)
+
+(* The same 220 random segment models, replayed at LP granularity: the
+   revised simplex must agree with the dense oracle on the root relaxation
+   (objective to 1e-6, returned vertex feasible) and, at gap 0, the two
+   branch-and-bound backends must find integral optima of equal value. *)
+let check_segment_lp inst =
+  let chip = chip_of inst in
+  let ops = ops_of inst in
+  let hi = Array.length ops - 1 in
+  let p, kinds = Alloc.segment_problem chip ops ~lo:0 ~hi in
+  ignore (compare_backends "segment relaxation" p);
+  let milp backend = Milp.solve ~gap:0. ~backend p ~kinds in
+  match (milp Milp.Revised, milp Milp.Dense) with
+  | Milp.Optimal r, Milp.Optimal d ->
+    let tol = 1e-6 *. (1. +. Float.abs d.Lp.objective) in
+    if Float.abs (r.Lp.objective -. d.Lp.objective) > tol then
+      QCheck.Test.fail_reportf "segment MILP: revised %.17g, dense %.17g"
+        r.Lp.objective d.Lp.objective;
+    vertex_feasible p r
+    || QCheck.Test.fail_reportf "segment MILP: revised vertex infeasible"
+  | Milp.Infeasible, Milp.Infeasible -> true
+  | r, d ->
+    let show = function
+      | Milp.Optimal s -> Printf.sprintf "Optimal %.9g" s.Lp.objective
+      | Milp.Infeasible -> "Infeasible"
+      | Milp.Unbounded -> "Unbounded"
+      | Milp.Node_limit _ -> "Node_limit"
+    in
+    QCheck.Test.fail_reportf "segment MILP: revised says %s, dense says %s"
+      (show r) (show d)
+
+let segment_lp_differential =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"revised simplex matches dense oracle on segments"
+       ~count:220 arb_instance check_segment_lp)
+
+(* Random degenerate / upper-bounded LPs aimed at the paths the segment
+   models exercise least: finite boxes whose optima sit on variable bounds
+   (bound flips), duplicated and tied rows (degenerate pivots), Eq rows. *)
+type lp_spec = {
+  ncols : int;
+  obj : int list;
+  ub_spec : int option list;      (* None = infinity *)
+  lrows : (int list * int * int) list;  (* coeffs, op selector, rhs *)
+  dup_first : bool;
+}
+
+let lp_of_spec spec =
+  let n = spec.ncols in
+  let arr l = Array.of_list (List.map float_of_int l) in
+  let rows =
+    List.map
+      (fun (coeffs, opsel, rhs) ->
+        let op = match opsel mod 10 with
+          | 0 | 1 -> Lp.Ge
+          | 2 -> Lp.Eq
+          | _ -> Lp.Le
+        in
+        (arr coeffs, op, float_of_int rhs))
+      spec.lrows
+  in
+  let rows =
+    match (spec.dup_first, rows) with
+    | true, (c, op, rhs) :: _ -> (Array.copy c, op, rhs) :: rows
+    | _ -> rows
+  in
+  {
+    Lp.n_vars = n;
+    maximize = arr spec.obj;
+    rows;
+    lower = Array.make n 0.;
+    upper =
+      Array.of_list
+        (List.map
+           (function Some u -> float_of_int u | None -> infinity)
+           spec.ub_spec);
+  }
+
+let gen_lp_spec =
+  let open QCheck.Gen in
+  let* ncols = int_range 1 4 in
+  let* obj = list_repeat ncols (int_range (-3) 3) in
+  let* ub_spec =
+    list_repeat ncols
+      (frequency [ (3, map (fun u -> Some u) (int_range 0 4)); (1, return None) ])
+  in
+  let* nrows = int_range 0 4 in
+  let* lrows =
+    list_repeat nrows
+      (triple
+         (list_repeat ncols (int_range (-2) 2))
+         (int_range 0 9)
+         (* small rhs set so several rows tie at the optimum *)
+         (int_range 0 3))
+  in
+  let* dup_first = bool in
+  return { ncols; obj; ub_spec; lrows; dup_first }
+
+let print_lp_spec spec =
+  let p = lp_of_spec spec in
+  Printf.sprintf "max [%s] rows=[%s] ub=[%s]"
+    (String.concat " " (Array.to_list (Array.map string_of_float p.Lp.maximize)))
+    (String.concat "; "
+       (List.map
+          (fun (c, op, rhs) ->
+            Printf.sprintf "[%s] %s %g"
+              (String.concat " " (Array.to_list (Array.map string_of_float c)))
+              (match op with Lp.Le -> "<=" | Lp.Ge -> ">=" | Lp.Eq -> "=")
+              rhs)
+          p.Lp.rows))
+    (String.concat " " (Array.to_list (Array.map string_of_float p.Lp.upper)))
+
+let degenerate_lp_differential =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make
+       ~name:"revised simplex matches dense oracle on degenerate boxed LPs"
+       ~count:400
+       (QCheck.make ~print:print_lp_spec gen_lp_spec)
+       (fun spec -> compare_backends "boxed LP" (lp_of_spec spec)))
+
 (* A couple of pinned instances covering the interesting branches, so a
    regression reproduces without a QCheck seed. *)
 let test_pinned () =
@@ -250,4 +418,6 @@ let test_pinned () =
 let suite =
   ( "differential",
     [ milp_vs_oracle;
+      segment_lp_differential;
+      degenerate_lp_differential;
       Alcotest.test_case "pinned instances" `Quick test_pinned ] )

@@ -20,6 +20,7 @@ let expect_optimal name p expected_obj expected_values =
       Alcotest.(check (array (float 1e-6))) (name ^ " values") vs s.Lp.values)
   | Lp.Infeasible -> Alcotest.failf "%s: unexpectedly infeasible" name
   | Lp.Unbounded -> Alcotest.failf "%s: unexpectedly unbounded" name
+  | Lp.Iteration_limit -> Alcotest.failf "%s: unexpected iteration limit" name
 
 let test_lp_textbook () =
   (* max 3x+2y st x+y<=4, x+3y<=6 -> (4,0), obj 12 *)
@@ -62,14 +63,79 @@ let test_lp_degenerate () =
     2. None
 
 let test_lp_ill_formed () =
-  (match Lp.solve (lp 2 [| 1. |] [] ()) with
+  (* validation is opt-in: hot warm-started re-solves skip the O(n.m) scan *)
+  (match Lp.solve ~validate:true (lp 2 [| 1. |] [] ()) with
   | exception Lp.Ill_formed _ -> ()
   | _ -> Alcotest.fail "expected Ill_formed (objective length)");
   match
-    Lp.solve (lp 1 [| 1. |] [] ~lower:[| neg_infinity |] ())
+    Lp.solve ~validate:true (lp 1 [| 1. |] [] ~lower:[| neg_infinity |] ())
   with
   | exception Lp.Ill_formed _ -> ()
   | _ -> Alcotest.fail "expected Ill_formed (infinite lower bound)"
+
+let test_lp_iteration_limit () =
+  (* a 1-iteration budget cannot finish phase 1 + phase 2 on a problem that
+     needs pivots; the solver must report Iteration_limit, not raise *)
+  let p =
+    lp 2 [| 3.; 2. |]
+      [ ([| 1.; 1. |], Lp.Ge, 1.); ([| 1.; 3. |], Lp.Le, 6. ) ]
+      ~upper:[| 4.; 4. |] ()
+  in
+  match Lp.solve ~max_iters:1 p with
+  | Lp.Iteration_limit -> ()
+  | Lp.Optimal _ -> Alcotest.fail "cannot be optimal in one iteration"
+  | Lp.Infeasible | Lp.Unbounded -> Alcotest.fail "feasible and bounded"
+
+let test_lp_bound_flip () =
+  (* max x+y st x+y<=3 with x,y in [0,2]: the optimum has one variable
+     nonbasic at its upper bound, forcing the bound-flip machinery *)
+  expect_optimal "bound flip"
+    (lp 2 [| 1.; 1. |] [ ([| 1.; 1. |], Lp.Le, 3.) ] ~upper:[| 2.; 2. |] ())
+    3. None;
+  (* all-upper optimum with a slack-only constraint set: pure flips *)
+  expect_optimal "all at upper"
+    (lp 3 [| 1.; 2.; 3. |] [ ([| 1.; 1.; 1. |], Lp.Le, 100.) ]
+       ~upper:[| 2.; 2.; 2. |] ())
+    12. (Some [| 2.; 2.; 2. |])
+
+let test_lp_warm_start () =
+  (* solve, snapshot the basis, tighten one bound (the branch-and-bound
+     child shape), re-solve warm: the result must match a cold solve *)
+  let p =
+    lp 2 [| 3.; 2. |]
+      [ ([| 1.; 1. |], Lp.Le, 4.); ([| 1.; 3. |], Lp.Le, 6.) ] ()
+  in
+  match Lp.solve_info p with
+  | Lp.Optimal root, Some basis ->
+    Alcotest.(check (float 1e-6)) "root objective" 12. root.Lp.objective;
+    (* structural statuses are exposed for the tightening pass *)
+    Alcotest.(check bool) "x basic" true
+      (Lp.basis_status basis 0 = Lp.Basic);
+    let child = { p with Lp.upper = [| 3.; infinity |] } in
+    (match Lp.solve ~warm:basis child, Lp.solve child with
+    | Lp.Optimal w, Lp.Optimal c ->
+      Alcotest.(check (float 1e-6)) "warm = cold" c.Lp.objective w.Lp.objective;
+      Alcotest.(check (float 1e-6)) "child objective" 11. w.Lp.objective
+    | _ -> Alcotest.fail "child solves must be optimal");
+    (* a snapshot from the wrong shape is rejected, not trusted *)
+    let other =
+      lp 3 [| 1.; 1.; 1. |] [ ([| 1.; 1.; 1. |], Lp.Le, 3.) ] ()
+    in
+    (match Lp.solve ~warm:basis other with
+    | Lp.Optimal s -> Alcotest.(check (float 1e-6)) "fallback cold" 3. s.Lp.objective
+    | _ -> Alcotest.fail "mismatched warm basis must fall back to cold")
+  | _ -> Alcotest.fail "expected optimal root with basis info"
+
+let test_lp_reduced_costs () =
+  (* max 3x+2y st x+y<=4: at the optimum (4,0), y is nonbasic at lower with
+     reduced cost 2-3 = -1 (entering y trades 1-for-1 against x) *)
+  let p = lp 2 [| 3.; 2. |] [ ([| 1.; 1. |], Lp.Le, 4.) ] () in
+  match Lp.solve_info p with
+  | Lp.Optimal _, Some basis ->
+    let reduced = Lp.reduced_costs (Lp.prepare p) basis in
+    Alcotest.(check (float 1e-6)) "basic reduced cost" 0. reduced.(0);
+    Alcotest.(check (float 1e-6)) "nonbasic reduced cost" (-1.) reduced.(1)
+  | _ -> Alcotest.fail "expected optimal with basis"
 
 (* --- MILP --- *)
 
@@ -228,6 +294,10 @@ let suite =
       Alcotest.test_case "lp unbounded" `Quick test_lp_unbounded;
       Alcotest.test_case "lp degenerate" `Quick test_lp_degenerate;
       Alcotest.test_case "lp ill-formed" `Quick test_lp_ill_formed;
+      Alcotest.test_case "lp iteration limit" `Quick test_lp_iteration_limit;
+      Alcotest.test_case "lp bound flip" `Quick test_lp_bound_flip;
+      Alcotest.test_case "lp warm start" `Quick test_lp_warm_start;
+      Alcotest.test_case "lp reduced costs" `Quick test_lp_reduced_costs;
       Alcotest.test_case "milp knapsack" `Quick test_milp_knapsack;
       Alcotest.test_case "milp mixed" `Quick test_milp_mixed;
       Alcotest.test_case "milp integer-infeasible" `Quick test_milp_infeasible;
