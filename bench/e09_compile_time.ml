@@ -34,10 +34,7 @@ let graph_of key =
   | Zoo.Encoder_only -> (Option.get e.Zoo.layer) (Workload.prefill ~batch:1 64)
   | Zoo.Decoder_only -> (Option.get e.Zoo.layer) (Workload.decode ~batch:1 64)
 
-let options_with_jobs jobs =
-  { Cmswitch.default_options with
-    Cmswitch.segment =
-      { Cmswitch.default_options.Cmswitch.segment with Segment.jobs } }
+let config_with_jobs jobs = Cmswitch.Config.(with_jobs jobs default)
 
 let run () =
   section "E9 | Fig. 18: compilation overhead";
@@ -62,11 +59,11 @@ let run () =
       let g = graph_of key in
       let t_mlc = time (fun () -> Baseline.compile Baseline.Cim_mlc chip g) in
       let t_cms =
-        time (fun () -> Cmswitch.compile ~options:(options_with_jobs 1) chip g)
+        time (fun () -> Cmswitch.compile ~config:(config_with_jobs 1) chip g)
       in
       let t_par =
         time (fun () ->
-            Cmswitch.compile ~options:(options_with_jobs par_jobs) chip g)
+            Cmswitch.compile ~config:(config_with_jobs par_jobs) chip g)
       in
       let e = Option.get (Zoo.find key) in
       (match e.Zoo.family with
@@ -87,13 +84,8 @@ let run () =
      over every branch-and-bound relaxation of the compile). The revised
      simplex owes its margin to warm-started re-solves + the factorized
      basis; the dense tableau rebuilds from scratch at every node. *)
-  let options_with_backend backend =
-    { Cmswitch.default_options with
-      Cmswitch.segment =
-        { Cmswitch.default_options.Cmswitch.segment with
-          Segment.jobs = 1;
-          Segment.alloc =
-            { Alloc.default_options with Alloc.lp_backend = backend } } }
+  let config_with_backend backend =
+    Cmswitch.Config.(with_jobs 1 (with_lp_backend backend default))
   in
   let lp_reps = 7 in
   let lp_tbl =
@@ -120,7 +112,7 @@ let run () =
         Metrics.set_enabled true;
         Metrics.reset ();
         ignore
-          (Cmswitch.compile ~options:(options_with_backend backend) chip g);
+          (Cmswitch.compile ~config:(config_with_backend backend) chip g);
         let wall = Metrics.counter_value (Metrics.counter wall_counter) in
         let pivots = Metrics.counter_value (Metrics.counter pivot_counter) in
         Metrics.set_enabled false;

@@ -20,14 +20,9 @@ let run () =
   let demo = Cim_models.Mlp.build ~batch:1 ~dims:[ 1024; 1024; 1024; 1024 ] () in
   let dual = Cmswitch.compile chip demo in
   let fixed =
-    let options =
-      { Cmswitch.default_options with
-        Cmswitch.segment =
-          { Segment.default_options with
-            Segment.alloc =
-              { Alloc.default_options with Alloc.force_all_compute = true } } }
-    in
-    Cmswitch.compile ~options chip demo
+    Cmswitch.compile
+      ~config:Cmswitch.Config.(with_force_all_compute true default)
+      chip demo
   in
   Printf.printf
     "Fig. 4 contrast on a batch-1 1024-wide MLP:\n\

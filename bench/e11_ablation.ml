@@ -13,11 +13,11 @@ module Pipeline = Cim_compiler.Pipeline
 
 let chip = Config.dynaplasia
 
-let compile_with options key (w : Workload.t) =
+let compile_with config key (w : Workload.t) =
   let e = Option.get (Zoo.find key) in
   let g = match e.Zoo.layer with Some f -> f w | None -> e.Zoo.build w in
   let t0 = Sys.time () in
-  let r = Cmswitch.compile ~options chip g in
+  let r = Cmswitch.compile ~config chip g in
   (r, Sys.time () -. t0)
 
 let sweep_partition () =
@@ -28,9 +28,9 @@ let sweep_partition () =
   in
   List.iter
     (fun frac ->
-      let options = { Cmswitch.default_options with Cmswitch.partition_fraction = frac } in
-      let rb, _ = compile_with options "bert-large" (Workload.prefill ~batch:1 64) in
-      let rv, _ = compile_with options "vgg16" (Workload.prefill ~batch:1 1) in
+      let config = Cmswitch.Config.(with_partition_fraction frac default) in
+      let rb, _ = compile_with config "bert-large" (Workload.prefill ~batch:1 64) in
+      let rv, _ = compile_with config "vgg16" (Workload.prefill ~batch:1 1) in
       Table.add_row tbl
         [ Table.cell_f frac;
           Table.cell_si rb.Cmswitch.schedule.Plan.total_cycles;
@@ -48,12 +48,8 @@ let sweep_window () =
   in
   List.iter
     (fun window ->
-      let options =
-        { Cmswitch.default_options with
-          Cmswitch.segment =
-            { Segment.default_options with Segment.max_segment_ops = window } }
-      in
-      let r, secs = compile_with options "bert-large" (Workload.prefill ~batch:1 64) in
+      let config = Cmswitch.Config.(with_max_segment_ops window default) in
+      let r, secs = compile_with config "bert-large" (Workload.prefill ~batch:1 64) in
       Table.add_row tbl
         [ string_of_int window;
           Table.cell_si r.Cmswitch.schedule.Plan.total_cycles;
@@ -104,14 +100,9 @@ let refine_ablation () =
   in
   List.iter
     (fun (key, w) ->
-      let on, _ = compile_with Cmswitch.default_options key w in
-      let off_options =
-        { Cmswitch.default_options with
-          Cmswitch.segment =
-            { Segment.default_options with
-              Segment.alloc = { Alloc.default_options with Alloc.refine = false } } }
-      in
-      let off, _ = compile_with off_options key w in
+      let on, _ = compile_with Cmswitch.Config.default key w in
+      let off_config = Cmswitch.Config.(with_refine false default) in
+      let off, _ = compile_with off_config key w in
       Table.add_row tbl
         [ key;
           Table.cell_si on.Cmswitch.schedule.Plan.total_cycles;

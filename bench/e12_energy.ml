@@ -10,16 +10,12 @@ module Timing = Cim_sim.Timing
 
 let chip = Config.dynaplasia
 
-let flow_of options key (w : Workload.t) =
+let flow_of config key (w : Workload.t) =
   let e = Option.get (Zoo.find key) in
   let g = match e.Zoo.layer with Some f -> f w | None -> e.Zoo.build w in
-  (Cmswitch.compile ~options chip g).Cmswitch.program
+  (Cmswitch.compile ~config chip g).Cmswitch.program
 
-let restricted =
-  { Cmswitch.default_options with
-    Cmswitch.segment =
-      { Segment.default_options with
-        Segment.alloc = { Alloc.default_options with Alloc.force_all_compute = true } } }
+let restricted = Cmswitch.Config.(with_force_all_compute true default)
 
 let run () =
   section "E12 | energy and energy-delay product (dual-mode vs all-compute)";
@@ -32,7 +28,7 @@ let run () =
   in
   List.iter
     (fun (key, w) ->
-      let dual = Energy_sim.run chip (flow_of Cmswitch.default_options key w) in
+      let dual = Energy_sim.run chip (flow_of Cmswitch.Config.default key w) in
       let fixed = Energy_sim.run chip (flow_of restricted key w) in
       Table.add_row tbl
         [ (Option.get (Zoo.find key)).Zoo.display;
@@ -51,6 +47,6 @@ let run () =
       ("opt-13b", Workload.decode ~batch:1 64) ];
   Table.print tbl;
   (* detailed breakdown for one case *)
-  let dual = Energy_sim.run chip (flow_of Cmswitch.default_options "llama2-7b"
+  let dual = Energy_sim.run chip (flow_of Cmswitch.Config.default "llama2-7b"
                                     (Workload.decode ~batch:1 64)) in
   Format.printf "LLaMA2-7B decode block, dual-mode:@.%a@." Energy_sim.pp dual

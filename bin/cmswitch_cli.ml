@@ -2,11 +2,13 @@
 
    cmswitch list
    cmswitch compile MODEL [--chip X] [--batch N] [--seq N | --kv N] [--emit] [--sim]
-   cmswitch compare MODEL [--chip X] [--batch N] [--seq N | --kv N] *)
+   cmswitch compare MODEL [--chip X] [--batch N] [--seq N | --kv N]
+   cmswitch cache (stats|clear|verify) [--cache-dir DIR] *)
 
 open Cmdliner
 module Chip = Cim_arch.Chip
 module Config = Cim_arch.Config
+module Store = Cim_cache.Store
 module Workload = Cim_models.Workload
 module Zoo = Cim_models.Zoo
 module Cmswitch = Cim_compiler.Cmswitch
@@ -106,13 +108,50 @@ let jobs_arg =
                  Compilation output is byte-identical for every value; \
                  only wall-clock changes.")
 
-let options_for jobs =
-  match jobs with
-  | None -> Cmswitch.default_options
-  | Some j ->
-    { Cmswitch.default_options with
-      Cmswitch.segment =
-        { Cmswitch.default_options.Cmswitch.segment with Segment.jobs = j } }
+let cache_dir_arg =
+  Arg.(value & opt (some string) None
+       & info [ "cache-dir" ] ~docv:"DIR"
+           ~doc:"Persist the compilation cache (per-segment MILP solutions \
+                 and whole-program plans) under DIR, so repeat compiles are \
+                 warm across processes. Defaults to $(b,CMSWITCH_CACHE_DIR) \
+                 when that is set.")
+
+let no_cache_arg =
+  Arg.(value & flag
+       & info [ "no-cache" ]
+           ~doc:"Disable the compilation cache, overriding $(b,--cache-dir) \
+                 and $(b,CMSWITCH_CACHE_DIR).")
+
+let env_cache_dir () =
+  match Sys.getenv_opt "CMSWITCH_CACHE_DIR" with
+  | Some d when d <> "" -> Some d
+  | _ -> None
+
+let store_for ~cache_dir ~no_cache =
+  if no_cache then None
+  else
+    match (cache_dir, env_cache_dir ()) with
+    | Some d, _ | None, Some d -> Some (Store.open_dir d)
+    | None, None -> None
+
+let config_for ~jobs ~store =
+  let cfg = Cmswitch.Config.default in
+  let cfg =
+    match jobs with None -> cfg | Some j -> Cmswitch.Config.with_jobs j cfg
+  in
+  Cmswitch.Config.with_cache store cfg
+
+let report_cache_counters store =
+  match store with
+  | None -> ()
+  | Some s ->
+    let line tier (c : Store.counters) =
+      Printf.printf
+        "cache %-4s: hits=%d misses=%d invalid=%d puts=%d (dir %s)\n" tier
+        c.Store.hits c.Store.misses c.Store.invalid c.Store.puts (Store.dir s)
+    in
+    line "prog" (Store.tier_counters s Cim_compiler.Ccache.prog_tier);
+    line "seg" (Store.tier_counters s Cim_compiler.Ccache.seg_tier)
 
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Trace the compilation pipeline.")
@@ -199,9 +238,10 @@ let do_list () =
   Printf.printf "\nchips: %s\n" (String.concat ", " (List.map fst Config.presets))
 
 let do_compile chip key batch seq kv emit sim report fault_rate fault_seed
-    deadline jobs verbose trace metrics =
+    deadline jobs cache_dir no_cache verbose trace metrics =
   setup_logs verbose;
   setup_obs ~trace ~metrics;
+  let store = store_for ~cache_dir ~no_cache in
   let e = find_model key in
   let w = workload_of e ~batch ~seq ~kv in
   Printf.printf "compiling %s for %s on %s ...\n%!" e.Zoo.display
@@ -223,7 +263,7 @@ let do_compile chip key batch seq kv emit sim report fault_rate fault_seed
     end
   in
   let mc =
-    try Cmswitch.compile_model ~options:(options_for jobs) ?faults chip e w
+    try Cmswitch.compile_model ~config:(config_for ~jobs ~store) ?faults chip e w
     with Failure msg | Invalid_argument msg ->
       Printf.eprintf "compilation failed: %s\n" msg;
       exit 1
@@ -242,6 +282,9 @@ let do_compile chip key batch seq kv emit sim report fault_rate fault_seed
       (Cim_util.Table.cell_pct (Cmswitch.memory_mode_ratio r))
       r.Cmswitch.dp_stats.Cim_compiler.Segment.mip_solves
       r.Cmswitch.dp_stats.Cim_compiler.Segment.mip_cache_hits;
+    Printf.printf "program_md5=%s\n"
+      (Digest.to_hex
+         (Digest.string (Cim_metaop.Flow.to_string r.Cmswitch.program)));
     (* --trace implies a timing pass: the simulator populates the per-array
        mode-residency tracks and the cycles-by-mode counters *)
     if sim || trace <> None then begin
@@ -283,15 +326,17 @@ let do_compile chip key batch seq kv emit sim report fault_rate fault_seed
        latency %.3e, %.2f tokens/Mcycle\n"
       d s.Serving.completed s.Serving.dropped s.Serving.p95_latency
       s.Serving.tokens_per_megacycle);
+  report_cache_counters store;
   finish_obs ~trace ~metrics
 
-let do_compare chip key batch seq kv jobs trace metrics =
+let do_compare chip key batch seq kv jobs cache_dir no_cache trace metrics =
   setup_obs ~trace ~metrics;
+  let store = store_for ~cache_dir ~no_cache in
   let e = find_model key in
   let w = workload_of e ~batch ~seq ~kv in
   Printf.printf "%s on %s, %s\n" e.Zoo.display chip.Chip.name (Workload.to_string w);
   let cms =
-    (Cmswitch.compile_model ~options:(options_for jobs) chip e w)
+    (Cmswitch.compile_model ~config:(config_for ~jobs ~store) chip e w)
       .Cmswitch.total_cycles
   in
   Printf.printf "  %-10s %.4e cycles\n" "CMSwitch" cms;
@@ -301,7 +346,48 @@ let do_compare chip key batch seq kv jobs trace metrics =
       Printf.printf "  %-10s %.4e cycles (CMSwitch %.2fx faster)\n"
         (Baseline.name which) c (c /. cms))
     [ Baseline.Cim_mlc; Baseline.Puma; Baseline.Occ ];
+  report_cache_counters store;
   finish_obs ~trace ~metrics
+
+(* ---- cache subcommand ---------------------------------------------------- *)
+
+let cache_dir_required cache_dir =
+  match (cache_dir, env_cache_dir ()) with
+  | Some d, _ | None, Some d -> d
+  | None, None ->
+    Printf.eprintf
+      "no cache directory: pass --cache-dir or set CMSWITCH_CACHE_DIR\n";
+    exit 2
+
+let do_cache_stats cache_dir =
+  let s = Store.open_dir (cache_dir_required cache_dir) in
+  let d = Store.disk_stats s in
+  Printf.printf "cache at %s: %d entries, %d bytes\n" (Store.dir s)
+    d.Store.total_entries d.Store.total_bytes;
+  List.iter
+    (fun (t : Store.tier_stats) ->
+      Printf.printf "  %-4s %6d entries %10d bytes\n" t.Store.tier
+        t.Store.entries t.Store.bytes)
+    d.Store.tiers
+
+let do_cache_clear cache_dir =
+  let s = Store.open_dir (cache_dir_required cache_dir) in
+  let n = Store.clear s in
+  Printf.printf "cleared %d entries from %s\n" n (Store.dir s)
+
+let do_cache_verify cache_dir =
+  let s = Store.open_dir (cache_dir_required cache_dir) in
+  match Store.verify s with
+  | [] ->
+    let d = Store.disk_stats s in
+    Printf.printf "cache at %s: %d entries verified, all sound\n" (Store.dir s)
+      d.Store.total_entries
+  | problems ->
+    List.iter
+      (fun (path, problem) -> Printf.eprintf "%s: %s\n" path problem)
+      problems;
+    Printf.eprintf "%d bad entries\n" (List.length problems);
+    exit 1
 
 let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List models and hardware presets")
@@ -311,17 +397,37 @@ let compile_cmd =
   Cmd.v (Cmd.info "compile" ~doc:"Compile a model and print the schedule")
     Term.(const do_compile $ chip_arg $ model_arg $ batch_arg $ seq_arg
           $ kv_arg $ emit_arg $ sim_arg $ report_arg $ fault_rate_arg
-          $ fault_seed_arg $ deadline_arg $ jobs_arg $ verbose_arg
-          $ trace_arg $ metrics_arg)
+          $ fault_seed_arg $ deadline_arg $ jobs_arg $ cache_dir_arg
+          $ no_cache_arg $ verbose_arg $ trace_arg $ metrics_arg)
 
 let compare_cmd =
   Cmd.v (Cmd.info "compare" ~doc:"Compare CMSwitch against the baselines")
     Term.(const do_compare $ chip_arg $ model_arg $ batch_arg $ seq_arg
-          $ kv_arg $ jobs_arg $ trace_arg $ metrics_arg)
+          $ kv_arg $ jobs_arg $ cache_dir_arg $ no_cache_arg $ trace_arg
+          $ metrics_arg)
+
+let cache_cmd =
+  let stats =
+    Cmd.v (Cmd.info "stats" ~doc:"Entry counts and bytes per tier")
+      Term.(const do_cache_stats $ cache_dir_arg)
+  in
+  let clear =
+    Cmd.v (Cmd.info "clear" ~doc:"Remove every cached entry")
+      Term.(const do_cache_clear $ cache_dir_arg)
+  in
+  let verify =
+    Cmd.v
+      (Cmd.info "verify"
+         ~doc:"Integrity-check every entry; non-zero exit on corruption")
+      Term.(const do_cache_verify $ cache_dir_arg)
+  in
+  Cmd.group (Cmd.info "cache" ~doc:"Inspect or maintain the compilation cache")
+    [ stats; clear; verify ]
 
 let () =
   let info =
     Cmd.info "cmswitch" ~version:"1.0.0"
       ~doc:"Dual-mode-aware DNN compiler for CIM accelerators"
   in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; compile_cmd; compare_cmd ]))
+  exit
+    (Cmd.eval (Cmd.group info [ list_cmd; compile_cmd; compare_cmd; cache_cmd ]))

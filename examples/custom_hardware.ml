@@ -73,16 +73,13 @@ let () =
     [ 16; 32; 64; 128 ];
   Table.print tbl;
 
-  (* Compiler knobs travel with the options record. *)
-  let fast_options =
-    { Cmswitch.default_options with
-      Cmswitch.segment =
-        { Segment.default_options with
-          Segment.max_segment_ops = 4;
-          Segment.alloc = { Alloc.default_options with Alloc.milp_max_nodes = 100 } } }
+  (* Compiler knobs travel with the unified config. *)
+  let fast_config =
+    Cmswitch.Config.(
+      default |> with_max_segment_ops 4 |> with_milp_max_nodes 100)
   in
   let t0 = Sys.time () in
-  let quick = Cmswitch.compile_model ~options:fast_options edge_chip entry w in
+  let quick = Cmswitch.compile_model ~config:fast_config edge_chip entry w in
   Printf.printf
     "\nreduced search (segment window 4, 100 B&B nodes): %.3e cycles in %.2fs (full: %.3e)\n"
     quick.Cmswitch.total_cycles (Sys.time () -. t0) c

@@ -86,23 +86,16 @@ let puma_plan chip ops (lo, hi) =
   in
   { Plan.lo; hi; allocs; reuse = []; intra_cycles = intra }
 
-let compile ?(options = Cmswitch.default_options) which chip graph =
+let compile ?(config = Cmswitch.Config.default) which chip graph =
   match which with
   | Cim_mlc ->
-    let restricted =
-      { options with
-        Cmswitch.segment =
-          { options.Cmswitch.segment with
-            Segment.alloc =
-              { options.Cmswitch.segment.Segment.alloc with
-                Alloc.force_all_compute = true } } }
-    in
-    let r = Cmswitch.compile ~options:restricted chip graph in
+    let restricted = Cmswitch.Config.with_force_all_compute true config in
+    let r = Cmswitch.compile ~config:restricted chip graph in
     { r.Cmswitch.schedule with Plan.compiler = "CIM-MLC" }
   | Occ | Puma ->
     let ops =
-      Opinfo.extract chip ~partition_fraction:options.Cmswitch.partition_fraction
-        graph
+      Opinfo.extract chip
+        ~partition_fraction:config.Cmswitch.Config.partition_fraction graph
     in
     let segs = greedy_segments chip ops in
     let plans =
@@ -114,15 +107,15 @@ let compile ?(options = Cmswitch.default_options) which chip graph =
     in
     Plan.roll_up ~compiler:(name which) chip ops plans
 
-let head_cycles ?options which chip (e : Zoo.entry) w =
+let head_cycles ?config which chip (e : Zoo.entry) w =
   (* reuse CMSwitch's head-graph construction through a private rebuild *)
   match Cmswitch.head_graph e w with
   | None -> 0.
-  | Some g -> (compile ?options which chip g).Plan.total_cycles
+  | Some g -> (compile ?config which chip g).Plan.total_cycles
 
-let compile_model ?options which chip (e : Zoo.entry) w =
+let compile_model ?config which chip (e : Zoo.entry) w =
   match e.Zoo.layer with
-  | None -> (compile ?options which chip (e.Zoo.build w)).Plan.total_cycles
+  | None -> (compile ?config which chip (e.Zoo.build w)).Plan.total_cycles
   | Some build_layer ->
-    let layer = (compile ?options which chip (build_layer w)).Plan.total_cycles in
-    (float_of_int e.Zoo.n_layers *. layer) +. head_cycles ?options which chip e w
+    let layer = (compile ?config which chip (build_layer w)).Plan.total_cycles in
+    (float_of_int e.Zoo.n_layers *. layer) +. head_cycles ?config which chip e w

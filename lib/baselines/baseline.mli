@@ -17,11 +17,11 @@ type which = Occ | Puma | Cim_mlc
 val name : which -> string
 
 val compile :
-  ?options:Cim_compiler.Cmswitch.options -> which -> Cim_arch.Chip.t ->
+  ?config:Cim_compiler.Cmswitch.Config.t -> which -> Cim_arch.Chip.t ->
   Cim_nnir.Graph.t -> Cim_compiler.Plan.schedule
 
 val compile_model :
-  ?options:Cim_compiler.Cmswitch.options -> which -> Cim_arch.Chip.t ->
+  ?config:Cim_compiler.Cmswitch.Config.t -> which -> Cim_arch.Chip.t ->
   Cim_models.Zoo.entry -> Cim_models.Workload.t -> float
 (** Total cycles with the same block-reuse convention as
     {!Cim_compiler.Cmswitch.compile_model}. *)

@@ -1,0 +1,323 @@
+module J = Cim_obs.Json
+module Metrics = Cim_obs.Metrics
+module Trace = Cim_obs.Trace
+
+let entry_version = 1
+
+type counters = {
+  hits : int;
+  misses : int;
+  invalid : int;
+  evictions : int;
+  puts : int;
+}
+
+let zero_counters = { hits = 0; misses = 0; invalid = 0; evictions = 0; puts = 0 }
+
+type mut_counters = {
+  mutable c_hits : int;
+  mutable c_misses : int;
+  mutable c_invalid : int;
+  mutable c_evictions : int;
+  mutable c_puts : int;
+}
+
+let fresh_mut () =
+  { c_hits = 0; c_misses = 0; c_invalid = 0; c_evictions = 0; c_puts = 0 }
+
+let freeze (m : mut_counters) =
+  { hits = m.c_hits; misses = m.c_misses; invalid = m.c_invalid;
+    evictions = m.c_evictions; puts = m.c_puts }
+
+type t = {
+  root : string;
+  max_bytes : int option;
+  mutex : Mutex.t;
+  total : mut_counters;
+  by_tier : (string, mut_counters) Hashtbl.t;
+}
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir && parent <> "." then mkdir_p parent;
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.is_directory dir -> ()
+  end
+
+let open_dir ?max_bytes root =
+  (match max_bytes with
+  | Some b when b <= 0 -> invalid_arg "Store.open_dir: max_bytes must be positive"
+  | _ -> ());
+  mkdir_p root;
+  { root; max_bytes; mutex = Mutex.create (); total = fresh_mut ();
+    by_tier = Hashtbl.create 4 }
+
+let dir t = t.root
+
+(* --- counters ------------------------------------------------------------ *)
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let tier_mut t tier =
+  match Hashtbl.find_opt t.by_tier tier with
+  | Some m -> m
+  | None ->
+    let m = fresh_mut () in
+    Hashtbl.add t.by_tier tier m;
+    m
+
+let metric tier name = Metrics.counter (Printf.sprintf "cache.%s.%s" tier name)
+let metric_total name = Metrics.counter ("cache." ^ name)
+
+let bump t tier f metric_name =
+  locked t (fun () ->
+      f t.total;
+      f (tier_mut t tier));
+  Metrics.incr (metric_total metric_name);
+  Metrics.incr (metric tier metric_name)
+
+let record_hit t tier = bump t tier (fun m -> m.c_hits <- m.c_hits + 1) "hits"
+let record_miss t tier = bump t tier (fun m -> m.c_misses <- m.c_misses + 1) "misses"
+
+let record_invalid t tier =
+  bump t tier (fun m -> m.c_invalid <- m.c_invalid + 1) "invalid"
+
+let record_eviction t tier =
+  bump t tier (fun m -> m.c_evictions <- m.c_evictions + 1) "evictions"
+
+let record_put t tier = bump t tier (fun m -> m.c_puts <- m.c_puts + 1) "puts"
+
+let counters t = locked t (fun () -> freeze t.total)
+
+let tier_counters t tier =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.by_tier tier with
+      | Some m -> freeze m
+      | None -> zero_counters)
+
+(* --- paths --------------------------------------------------------------- *)
+
+let entry_path t ~tier ~key =
+  Filename.concat (Filename.concat t.root tier)
+    (Digest.to_hex (Digest.string key) ^ ".json")
+
+let is_entry_file name = Filename.check_suffix name ".json"
+let is_temp_file name = Filename.check_suffix name ".tmp"
+
+let tier_dirs t =
+  if Sys.file_exists t.root && Sys.is_directory t.root then
+    Sys.readdir t.root |> Array.to_list
+    |> List.filter (fun d -> Sys.is_directory (Filename.concat t.root d))
+    |> List.sort compare
+  else []
+
+let entries_of_tier t tier =
+  let d = Filename.concat t.root tier in
+  if Sys.file_exists d && Sys.is_directory d then
+    Sys.readdir d |> Array.to_list |> List.filter is_entry_file
+    |> List.sort compare
+    |> List.map (Filename.concat d)
+  else []
+
+let all_entries t =
+  List.concat_map (fun tier -> entries_of_tier t tier) (tier_dirs t)
+
+(* --- entry (de)serialisation --------------------------------------------- *)
+
+let entry_to_string ~tier ~key ~payload =
+  J.to_string
+    (J.Obj
+       [ ("version", J.Int entry_version);
+         ("tier", J.String tier);
+         ("key", J.String key);
+         ("payload_md5", J.String (Digest.to_hex (Digest.string payload)));
+         ("payload", J.String payload) ])
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Parse and integrity-check one entry file; [Ok (key, payload)] only when
+   the digest matches. *)
+let parse_entry src =
+  match J.of_string src with
+  | exception J.Parse_error m -> Error ("unparseable entry: " ^ m)
+  | j -> (
+    let str k = match J.member k j with Some (J.String s) -> Some s | _ -> None in
+    match (J.member "version" j, str "tier", str "key", str "payload_md5",
+           str "payload")
+    with
+    | Some (J.Int v), _, _, _, _ when v <> entry_version ->
+      Error (Printf.sprintf "unsupported entry version %d" v)
+    | Some (J.Int _), Some tier, Some key, Some md5, Some payload ->
+      if Digest.to_hex (Digest.string payload) <> md5 then
+        Error "payload digest mismatch (corrupted or truncated entry)"
+      else Ok (tier, key, payload)
+    | _ -> Error "missing or ill-typed entry field")
+
+(* --- find ---------------------------------------------------------------- *)
+
+let find t ~tier ~key =
+  Trace.with_span "cache.find" ~cat:"cache" ~args:[ ("tier", J.String tier) ]
+  @@ fun () ->
+  let path = entry_path t ~tier ~key in
+  if not (Sys.file_exists path) then begin
+    record_miss t tier;
+    None
+  end
+  else
+    let verdict =
+      match read_file path with
+      | exception Sys_error m -> Error ("unreadable entry: " ^ m)
+      | src -> (
+        match parse_entry src with
+        | Error _ as e -> e
+        | Ok (etier, ekey, payload) ->
+          if etier <> tier || ekey <> key then
+            Error "entry key does not match the requested key"
+          else Ok payload)
+    in
+    match verdict with
+    | Ok payload ->
+      record_hit t tier;
+      Some payload
+    | Error _ ->
+      (* a bad entry is a miss, loudly accounted; [verify] can still find
+         and describe it on disk *)
+      record_invalid t tier;
+      record_miss t tier;
+      None
+
+let note_invalid t ~tier =
+  record_invalid t tier;
+  record_miss t tier
+
+(* --- put + eviction ------------------------------------------------------ *)
+
+let file_size path = match (Unix.stat path).Unix.st_size with s -> s
+
+let disk_bytes t =
+  List.fold_left (fun acc p -> acc + try file_size p with Unix.Unix_error _ -> 0)
+    0 (all_entries t)
+
+let evict_to_budget t ~keep =
+  match t.max_bytes with
+  | None -> ()
+  | Some budget ->
+    let entries =
+      all_entries t
+      |> List.filter_map (fun p ->
+             if p = keep then None
+             else
+               match Unix.stat p with
+               | st -> Some (p, st.Unix.st_size, st.Unix.st_mtime)
+               | exception Unix.Unix_error _ -> None)
+      (* oldest first; name as tie-break so eviction order is stable *)
+      |> List.sort (fun (p1, _, m1) (p2, _, m2) ->
+             match compare m1 m2 with 0 -> compare p1 p2 | c -> c)
+    in
+    let total = ref (List.fold_left (fun a (_, s, _) -> a + s) 0 entries) in
+    let keep_size = try file_size keep with Unix.Unix_error _ -> 0 in
+    total := !total + keep_size;
+    List.iter
+      (fun (p, size, _) ->
+        if !total > budget then begin
+          (try Sys.remove p with Sys_error _ -> ());
+          total := !total - size;
+          let tier = Filename.basename (Filename.dirname p) in
+          record_eviction t tier
+        end)
+      entries
+
+let put t ~tier ~key ~payload =
+  Trace.with_span "cache.put" ~cat:"cache" ~args:[ ("tier", J.String tier) ]
+  @@ fun () ->
+  let path = entry_path t ~tier ~key in
+  (try
+     mkdir_p (Filename.dirname path);
+     let tmp =
+       Printf.sprintf "%s.%d.%d.tmp" path (Unix.getpid ())
+         (Domain.self () :> int)
+     in
+     let oc = open_out_bin tmp in
+     Fun.protect
+       ~finally:(fun () -> close_out_noerr oc)
+       (fun () -> output_string oc (entry_to_string ~tier ~key ~payload));
+     Sys.rename tmp path;
+     record_put t tier;
+     (* not under [locked]: record_eviction takes the counter mutex itself,
+        and relocking here would raise (and get swallowed below), silently
+        abandoning the eviction sweep. Concurrent sweeps are safe — removal
+        of an already-removed entry is ignored. *)
+     evict_to_budget t ~keep:path
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  Metrics.set_gauge (Metrics.gauge "cache.bytes") (float_of_int (disk_bytes t))
+
+(* --- maintenance --------------------------------------------------------- *)
+
+type tier_stats = { tier : string; entries : int; bytes : int }
+
+type disk_stats = { total_entries : int; total_bytes : int; tiers : tier_stats list }
+
+let disk_stats t =
+  let tiers =
+    List.map
+      (fun tier ->
+        let files = entries_of_tier t tier in
+        { tier;
+          entries = List.length files;
+          bytes =
+            List.fold_left
+              (fun a p -> a + try file_size p with Unix.Unix_error _ -> 0)
+              0 files })
+      (tier_dirs t)
+  in
+  { total_entries = List.fold_left (fun a s -> a + s.entries) 0 tiers;
+    total_bytes = List.fold_left (fun a s -> a + s.bytes) 0 tiers;
+    tiers }
+
+let clear t =
+  let removed = ref 0 in
+  List.iter
+    (fun tier ->
+      let d = Filename.concat t.root tier in
+      Array.iter
+        (fun name ->
+          let p = Filename.concat d name in
+          if is_entry_file name then begin
+            (try
+               Sys.remove p;
+               incr removed
+             with Sys_error _ -> ())
+          end
+          else if is_temp_file name then try Sys.remove p with Sys_error _ -> ())
+        (try Sys.readdir d with Sys_error _ -> [||]))
+    (tier_dirs t);
+  Metrics.set_gauge (Metrics.gauge "cache.bytes") (float_of_int (disk_bytes t));
+  !removed
+
+let verify t =
+  List.filter_map
+    (fun path ->
+      let problem =
+        match read_file path with
+        | exception Sys_error m -> Some ("unreadable: " ^ m)
+        | src -> (
+          match parse_entry src with
+          | Error m -> Some m
+          | Ok (tier, key, _payload) ->
+            let expected = entry_path t ~tier ~key in
+            if expected <> path then
+              Some
+                (Printf.sprintf
+                   "entry key hashes to %s (file moved or key tampered)"
+                   expected)
+            else None)
+      in
+      Option.map (fun m -> (path, m)) problem)
+    (all_entries t)

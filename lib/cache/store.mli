@@ -1,0 +1,89 @@
+(** Content-addressed compilation cache: a directory of self-describing
+    JSON entries, addressed by the MD5 of a caller-supplied key string.
+
+    The store is deliberately dumb — it maps [(tier, key)] to an opaque
+    payload string and guarantees only {e integrity}: an entry is returned
+    iff its recorded key matches the requested key byte-for-byte and the
+    payload's MD5 matches the digest recorded at write time. Semantic
+    validation of the payload (does this plan still fit this chip? does the
+    program pass the flow validator?) is the caller's job; callers report
+    such failures back through {!note_invalid} so they land in the same
+    [cache.invalid] accounting as integrity failures.
+
+    Tiers partition the key space into subdirectories ([seg/], [prog/]) so
+    per-segment allocation entries and whole-program entries can be
+    inspected, sized and cleared independently.
+
+    Entries are written atomically (temp file + rename), so a concurrent
+    reader never observes a torn entry and a crash mid-write leaves at
+    worst an orphan temp file. [find]/[put] may be called from pool worker
+    domains; the store's own counters are mutex-guarded.
+
+    Metrics (recorded when {!Cim_obs.Metrics} is enabled): [cache.hits],
+    [cache.misses], [cache.invalid], [cache.evictions], [cache.puts]
+    globally, the same rooted at [cache.<tier>.] per tier, and the
+    [cache.bytes] gauge tracking the on-disk footprint after each write. *)
+
+type t
+
+val open_dir : ?max_bytes:int -> string -> t
+(** Open (creating directories as needed) a cache rooted at the given
+    path. With [max_bytes], every {!put} that pushes the store's on-disk
+    footprint above the budget evicts oldest-modified entries until it
+    fits again (the entry just written is never evicted). Raises
+    [Invalid_argument] on a non-positive [max_bytes] and [Sys_error] when
+    the directory cannot be created. *)
+
+val dir : t -> string
+
+val find : t -> tier:string -> key:string -> string option
+(** The payload stored for [(tier, key)], or [None]. A present-but-bad
+    entry — unreadable, unparseable, wrong version, recorded key differing
+    from [key] (hash collision or relocated file), or payload digest
+    mismatch (corruption, truncation) — is a miss that also increments the
+    invalid counters; it is left on disk for [verify] to report. *)
+
+val put : t -> tier:string -> key:string -> payload:string -> unit
+(** Write (or overwrite) the entry for [(tier, key)]. I/O failures are
+    swallowed — a cache that cannot write degrades to a smaller cache, it
+    never fails the compile. *)
+
+val note_invalid : t -> tier:string -> unit
+(** Record a semantic-validation failure for an entry this store returned:
+    the caller parsed the payload and found it stale or meaningless. Counts
+    exactly like an integrity failure. *)
+
+type counters = {
+  hits : int;
+  misses : int;
+  invalid : int;  (** subset of [misses] caused by bad entries *)
+  evictions : int;
+  puts : int;
+}
+
+val counters : t -> counters
+(** Totals across tiers for this store handle's lifetime (in-process; disk
+    state is accounted by {!disk_stats}). *)
+
+val tier_counters : t -> string -> counters
+
+type tier_stats = { tier : string; entries : int; bytes : int }
+
+type disk_stats = { total_entries : int; total_bytes : int; tiers : tier_stats list }
+
+val disk_stats : t -> disk_stats
+(** Walk the directory and size every entry, grouped by tier. *)
+
+val clear : t -> int
+(** Remove every entry (and orphan temp file); returns the number of entry
+    files removed. *)
+
+val verify : t -> (string * string) list
+(** Integrity-check every entry on disk: parse, version, digest, and that
+    the entry sits at the path its recorded key hashes to. Returns
+    [(path, problem)] for each bad entry; an empty list means the cache is
+    sound. Does not touch the hit/miss counters. *)
+
+val entry_path : t -> tier:string -> key:string -> string
+(** Where the entry for [(tier, key)] lives (whether or not it exists) —
+    exposed for tests that corrupt entries on purpose. *)

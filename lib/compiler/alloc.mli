@@ -22,6 +22,7 @@ type options = {
 }
 
 val default_options : options
+[@@deprecated "construct via Cmswitch.Config (Config.to_alloc_options)"]
 
 (** Solver outcome distinguishing a genuinely infeasible segment from a
     node-limited search, so the {!Degrade} chain can fall back instead of

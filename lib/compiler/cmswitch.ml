@@ -1,3 +1,7 @@
+[@@@alert "-deprecated"]
+(* the legacy nested-options records are deprecated construction surfaces
+   for callers; this file is the bridge that keeps them alive *)
+
 module Chip = Cim_arch.Chip
 module Cost = Cim_arch.Cost
 module Faultmap = Cim_arch.Faultmap
@@ -8,6 +12,7 @@ module Shape = Cim_tensor.Shape
 module Trace = Cim_obs.Trace
 module Metrics = Cim_obs.Metrics
 module J = Cim_obs.Json
+module Store = Cim_cache.Store
 
 let log_src = Logs.Src.create "cmswitch" ~doc:"CMSwitch compilation pipeline"
 
@@ -20,6 +25,175 @@ type options = {
 
 let default_options =
   { partition_fraction = 0.5; segment = Segment.default_options }
+
+module Config = struct
+  type t = {
+    partition_fraction : float;
+    max_segment_ops : int;
+    memoize : bool;
+    jobs : int;
+    milp_max_nodes : int;
+    refine : bool;
+    force_all_compute : bool;
+    lp_backend : Cim_solver.Milp.backend;
+    faults : Faultmap.t option;
+    cache : Store.t option;
+  }
+
+  let default =
+    {
+      partition_fraction = default_options.partition_fraction;
+      max_segment_ops = Segment.default_options.Segment.max_segment_ops;
+      memoize = Segment.default_options.Segment.memoize;
+      jobs = Segment.default_options.Segment.jobs;
+      milp_max_nodes = Alloc.default_options.Alloc.milp_max_nodes;
+      refine = Alloc.default_options.Alloc.refine;
+      force_all_compute = Alloc.default_options.Alloc.force_all_compute;
+      lp_backend = Alloc.default_options.Alloc.lp_backend;
+      faults = None;
+      cache = None;
+    }
+
+  let with_partition_fraction v t = { t with partition_fraction = v }
+  let with_max_segment_ops v t = { t with max_segment_ops = v }
+  let with_memoize v t = { t with memoize = v }
+  let with_jobs v t = { t with jobs = v }
+  let with_milp_max_nodes v t = { t with milp_max_nodes = v }
+  let with_refine v t = { t with refine = v }
+  let with_force_all_compute v t = { t with force_all_compute = v }
+  let with_lp_backend v t = { t with lp_backend = v }
+  let with_faults v t = { t with faults = v }
+  let with_cache v t = { t with cache = v }
+  let with_cache_dir dir t = { t with cache = Some (Store.open_dir dir) }
+
+  let to_alloc_options t =
+    {
+      Alloc.milp_max_nodes = t.milp_max_nodes;
+      refine = t.refine;
+      force_all_compute = t.force_all_compute;
+      lp_backend = t.lp_backend;
+    }
+
+  let to_segment_options t =
+    {
+      Segment.alloc = to_alloc_options t;
+      max_segment_ops = t.max_segment_ops;
+      memoize = t.memoize;
+      jobs = t.jobs;
+      cache = t.cache;
+    }
+
+  let to_options t =
+    { partition_fraction = t.partition_fraction; segment = to_segment_options t }
+
+  let of_options ?faults (o : options) =
+    {
+      partition_fraction = o.partition_fraction;
+      max_segment_ops = o.segment.Segment.max_segment_ops;
+      memoize = o.segment.Segment.memoize;
+      jobs = o.segment.Segment.jobs;
+      milp_max_nodes = o.segment.Segment.alloc.Alloc.milp_max_nodes;
+      refine = o.segment.Segment.alloc.Alloc.refine;
+      force_all_compute = o.segment.Segment.alloc.Alloc.force_all_compute;
+      lp_backend = o.segment.Segment.alloc.Alloc.lp_backend;
+      faults;
+      cache = o.segment.Segment.cache;
+    }
+
+  (* The cache-key serialisation: every semantic field in fixed order,
+     floats as exact binary64 hex. Excluded by design: [jobs] (pure
+     execution strategy under the byte-identical determinism contract),
+     [faults] (a separate key component, see Ccache.prog_key) and [cache]
+     (plumbing, not semantics). *)
+  let canonical t =
+    Printf.sprintf
+      "cmswitch.config.v1{partition_fraction=%h;max_segment_ops=%d;memoize=%b;milp_max_nodes=%d;refine=%b;force_all_compute=%b;lp_backend=%s}"
+      t.partition_fraction t.max_segment_ops t.memoize t.milp_max_nodes
+      t.refine t.force_all_compute
+      (Ccache.backend_to_string t.lp_backend)
+
+  let of_canonical s =
+    let ( let* ) = Result.bind in
+    let prefix = "cmswitch.config.v1{" in
+    let plen = String.length prefix in
+    if
+      not
+        (String.length s > plen
+        && String.sub s 0 plen = prefix
+        && s.[String.length s - 1] = '}')
+    then Error "not a cmswitch.config.v1 string"
+    else begin
+      let body = String.sub s plen (String.length s - plen - 1) in
+      let fields = String.split_on_char ';' body in
+      let field k =
+        let p = k ^ "=" in
+        match List.find_opt (String.starts_with ~prefix:p) fields with
+        | Some f ->
+          Ok (String.sub f (String.length p) (String.length f - String.length p))
+        | None -> Error (Printf.sprintf "config: missing field %s" k)
+      in
+      let float_field k =
+        let* v = field k in
+        match float_of_string_opt v with
+        | Some f -> Ok f
+        | None -> Error (Printf.sprintf "config: bad float in %s" k)
+      in
+      let int_field k =
+        let* v = field k in
+        match int_of_string_opt v with
+        | Some i -> Ok i
+        | None -> Error (Printf.sprintf "config: bad int in %s" k)
+      in
+      let bool_field k =
+        let* v = field k in
+        match bool_of_string_opt v with
+        | Some b -> Ok b
+        | None -> Error (Printf.sprintf "config: bad bool in %s" k)
+      in
+      if List.length fields <> 7 then
+        Error
+          (Printf.sprintf "config: expected 7 fields, got %d"
+             (List.length fields))
+      else
+        let* partition_fraction = float_field "partition_fraction" in
+        let* max_segment_ops = int_field "max_segment_ops" in
+        let* memoize = bool_field "memoize" in
+        let* milp_max_nodes = int_field "milp_max_nodes" in
+        let* refine = bool_field "refine" in
+        let* force_all_compute = bool_field "force_all_compute" in
+        let* backend_s = field "lp_backend" in
+        let* lp_backend =
+          match Ccache.backend_of_string backend_s with
+          | Some b -> Ok b
+          | None -> Error ("config: unknown lp_backend " ^ backend_s)
+        in
+        Ok
+          {
+            default with
+            partition_fraction;
+            max_segment_ops;
+            memoize;
+            milp_max_nodes;
+            refine;
+            force_all_compute;
+            lp_backend;
+            faults = None;
+            cache = None;
+          }
+    end
+end
+
+(* precedence: an explicit [config] wins over [options]; an explicit
+   [faults] argument always wins over [config.faults] *)
+let resolve_config ?config ?options ?faults () =
+  let cfg =
+    match config with
+    | Some c -> c
+    | None -> Config.of_options (Option.value options ~default:default_options)
+  in
+  match faults with
+  | None -> cfg
+  | Some fm -> { cfg with Config.faults = Some fm }
 
 type result = {
   chip : Chip.t;
@@ -97,13 +271,8 @@ let record_compile_metrics (dp : Segment.stats) places (schedule : Plan.schedule
     schedule.Plan.total_cycles;
   Cim_obs.Metrics.observe (Metrics.histogram "compile.seconds") seconds
 
-let compile ?(options = default_options) ?faults chip graph =
+let compile_uncached ~options ?faults chip graph =
   let t0 = Unix.gettimeofday () in
-  Trace.with_span "compile" ~cat:"compiler"
-    ~args:
-      [ ("graph", J.String graph.Cim_nnir.Graph.graph_name);
-        ("chip", J.String chip.Chip.name) ]
-  @@ fun () ->
   Log.debug (fun m ->
       m "compiling %s on %s" graph.Cim_nnir.Graph.graph_name chip.Chip.name);
   (* the solver plans against the flexible pool only; placement runs on the
@@ -154,7 +323,10 @@ let compile ?(options = default_options) ?faults chip graph =
     Trace.with_span "placement" ~cat:"compiler" (fun () ->
         Placement.place chip ?faults ops segments)
   in
-  let schedule = placed_schedule chip ops places in
+  let schedule =
+    Trace.with_span "schedule" ~cat:"compiler" (fun () ->
+        placed_schedule chip ops places)
+  in
   (* The DP's inter-segment costs are estimates, so the dual-mode plan can
      in corner cases place worse than a pure all-compute plan would. The
      dual-mode search space strictly contains the all-compute one, so when
@@ -234,10 +406,185 @@ let compile ?(options = default_options) ?faults chip graph =
     compile_seconds;
   }
 
+(* Rebuild a full result from a cached segmentation by running the live
+   deterministic passes (extraction, placement, schedule roll-up, codegen)
+   — the cached entry only decides WHICH feasible segmentation is used, so
+   a warm compile is byte-identical to the cold one that stored it.
+   Returns [Error] (-> cache miss) whenever anything about the entry fails
+   to reproduce a clean compile. *)
+let replay_program ~options ?faults chip graph (p : Ccache.prog_payload) =
+  let solve_chip =
+    match faults with None -> chip | Some fm -> Faultmap.effective_chip fm
+  in
+  let healthy =
+    match faults with
+    | None -> chip.Chip.n_arrays
+    | Some fm -> Faultmap.flexible_count fm
+  in
+  let ops =
+    Trace.with_span "partition" ~cat:"compiler"
+      ~args:[ ("fraction", J.Float options.partition_fraction) ]
+      (fun () ->
+        Opinfo.extract solve_chip
+          ~partition_fraction:options.partition_fraction graph)
+  in
+  let m = Array.length ops in
+  let rec tile expect = function
+    | [] -> expect = m
+    | (s : Plan.seg_plan) :: rest ->
+      s.Plan.lo = expect && s.Plan.hi >= s.Plan.lo && tile (s.Plan.hi + 1) rest
+  in
+  if not (tile 0 p.Ccache.segments) then
+    Error "cached segments do not tile the operator list"
+  else begin
+    let rec validate acc = function
+      | [] -> Ok (List.rev acc)
+      | s :: rest -> (
+        match Ccache.revalidate_plan ~chip:solve_chip ~ops s with
+        | Ok s -> validate (s :: acc) rest
+        | Error e -> Error e)
+    in
+    match
+      Trace.with_span "cache.revalidate" ~cat:"cache" (fun () ->
+          validate [] p.Ccache.segments)
+    with
+    | Error e -> Error e
+    | Ok segments ->
+      let places =
+        Trace.with_span "placement" ~cat:"compiler" (fun () ->
+            Placement.place chip ?faults ops segments)
+      in
+      let schedule =
+        Trace.with_span "schedule" ~cat:"compiler" (fun () ->
+            placed_schedule chip ops places)
+      in
+      let program =
+        Trace.with_span "codegen" ~cat:"compiler" (fun () ->
+            Codegen.generate chip graph ops places)
+      in
+      if
+        Trace.with_span "cache.compare" ~cat:"cache" (fun () ->
+            Digest.to_hex (Digest.string (Cim_metaop.Flow.to_string program))
+            <> p.Ccache.program_md5)
+      then Error "regenerated program differs from cached program digest"
+      else begin
+        let diagnostics =
+          Trace.with_span "flow.validate" ~cat:"compiler" (fun () ->
+              List.map Cim_metaop.Check.diagnostic_to_string
+                (Cim_metaop.Check.errors
+                   (Cim_metaop.Check.run chip ?faults program)))
+        in
+        match diagnostics with
+        | d :: _ -> Error ("flow validator rejected cached program: " ^ d)
+        | [] ->
+          let degradation =
+            { (Degrade.empty_report ~total:chip.Chip.n_arrays ~healthy) with
+              Degrade.events = p.Ccache.events;
+              diagnostics = [] }
+          in
+          let dp_stats =
+            { Segment.mip_solves = p.Ccache.mip_solves;
+              mip_cache_hits = p.Ccache.mip_cache_hits;
+              candidates = p.Ccache.candidates;
+              pruned_infeasible = p.Ccache.pruned_infeasible }
+          in
+          Ok
+            {
+              chip;
+              graph;
+              ops;
+              schedule;
+              places;
+              program;
+              dp_stats;
+              degradation;
+              compile_seconds = 0.;
+            }
+      end
+  end
+
+let prog_cache_key ~cfg chip graph =
+  Trace.with_span "cache.key" ~cat:"cache" (fun () ->
+      Ccache.prog_key
+        ~graph_text:(Cim_nnir.Text.to_string graph)
+        ~chip ~faults:cfg.Config.faults
+        ~config:(Config.canonical cfg))
+
+let prog_cache_find ~cfg ~options ?faults chip graph =
+  match cfg.Config.cache with
+  | None -> None
+  | Some store -> (
+    let key = prog_cache_key ~cfg chip graph in
+    match Store.find store ~tier:Ccache.prog_tier ~key with
+    | None -> None
+    | Some payload -> (
+      let invalid e =
+        Log.warn (fun m -> m "program cache entry rejected: %s" e);
+        Store.note_invalid store ~tier:Ccache.prog_tier;
+        None
+      in
+      match
+        Trace.with_span "cache.decode" ~cat:"cache" (fun () ->
+            Ccache.prog_payload_of_string payload)
+      with
+      | Error e -> invalid e
+      | Ok p -> (
+        match
+          try replay_program ~options ?faults chip graph p with
+          | Failure e | Invalid_argument e -> Error e
+          | Opinfo.Unsupported e -> Error ("unsupported graph: " ^ e)
+        with
+        | Ok r -> Some r
+        | Error e -> invalid e)))
+
+(* cache only clean results: no flow-validator findings means the program
+   can be trusted wholesale after the (cheap) replay validation *)
+let prog_cache_store ~cfg chip graph (r : result) =
+  match cfg.Config.cache with
+  | None -> ()
+  | Some store ->
+    if r.degradation.Degrade.diagnostics = [] then
+      let payload =
+        {
+          Ccache.segments = List.map (fun sp -> sp.Placement.plan) r.places;
+          program_md5 =
+            Digest.to_hex (Digest.string (Cim_metaop.Flow.to_string r.program));
+          mip_solves = r.dp_stats.Segment.mip_solves;
+          mip_cache_hits = r.dp_stats.Segment.mip_cache_hits;
+          candidates = r.dp_stats.Segment.candidates;
+          pruned_infeasible = r.dp_stats.Segment.pruned_infeasible;
+          events = r.degradation.Degrade.events;
+        }
+      in
+      Store.put store ~tier:Ccache.prog_tier
+        ~key:(prog_cache_key ~cfg chip graph)
+        ~payload:(Ccache.prog_payload_to_string payload)
+
+let compile ?config ?options ?faults chip graph =
+  let cfg = resolve_config ?config ?options ?faults () in
+  let options = Config.to_options cfg in
+  let faults = cfg.Config.faults in
+  let t0 = Unix.gettimeofday () in
+  Trace.with_span "compile" ~cat:"compiler"
+    ~args:
+      [ ("graph", J.String graph.Cim_nnir.Graph.graph_name);
+        ("chip", J.String chip.Chip.name) ]
+  @@ fun () ->
+  match prog_cache_find ~cfg ~options ?faults chip graph with
+  | Some r ->
+    let compile_seconds = Unix.gettimeofday () -. t0 in
+    record_compile_metrics r.dp_stats r.places r.schedule
+      ~seconds:compile_seconds;
+    { r with compile_seconds }
+  | None ->
+    let r = compile_uncached ~options ?faults chip graph in
+    prog_cache_store ~cfg chip graph r;
+    r
+
 (* Last-resort serial schedule: one operator per segment, greedy
    allocation, no DP and no MIP. Used when the normal pipeline cannot
-   produce a plan at all. *)
-let compile_serial ?(options = default_options) ?faults chip graph events =
+   produce a plan at all. Never consulted from / stored into the cache. *)
+let compile_serial ~options ?faults chip graph events =
   let t0 = Unix.gettimeofday () in
   Trace.with_span "compile.serial" ~cat:"compiler"
     ~args:[ ("graph", J.String graph.Cim_nnir.Graph.graph_name) ]
@@ -303,8 +650,9 @@ let compile_serial ?(options = default_options) ?faults chip graph events =
     compile_seconds;
   }
 
-let compile_robust ?(options = default_options) ?faults chip graph =
-  match compile ~options ?faults chip graph with
+let compile_robust ?config ?options ?faults chip graph =
+  let cfg = resolve_config ?config ?options ?faults () in
+  match compile ~config:cfg chip graph with
   | r -> Ok r
   | exception (Failure first_error | Invalid_argument first_error) -> begin
     Log.warn (fun m ->
@@ -315,6 +663,8 @@ let compile_robust ?(options = default_options) ?faults chip graph =
         [ { Degrade.lo = 0; hi = 0; stage = Degrade.Serial_fallback;
             detail = "pipeline failed: " ^ first_error } ]
     in
+    let options = Config.to_options cfg in
+    let faults = cfg.Config.faults in
     match compile_serial ~options ?faults chip graph events with
     | r -> Ok r
     | exception (Failure second_error | Invalid_argument second_error) ->
@@ -375,10 +725,11 @@ let head_graph (e : Zoo.entry) (w : Workload.t) =
     let out = B.linear ~bias:false b x ~in_dim:d ~out_dim:vocab ~prefix:"lm_head" in
     Some (B.finish b ~outputs:[ out ])
 
-let compile_model ?(options = default_options) ?faults chip (e : Zoo.entry) w =
+let compile_model ?config ?options ?faults chip (e : Zoo.entry) w =
+  let cfg = resolve_config ?config ?options ?faults () in
   match e.Zoo.layer with
   | None ->
-    let r = compile ~options ?faults chip (e.Zoo.build w) in
+    let r = compile ~config:cfg chip (e.Zoo.build w) in
     {
       model = e.Zoo.display;
       workload = w;
@@ -390,8 +741,8 @@ let compile_model ?(options = default_options) ?faults chip (e : Zoo.entry) w =
       compile_seconds = r.compile_seconds;
     }
   | Some build_layer ->
-    let rl = compile ~options ?faults chip (build_layer w) in
-    let rh = Option.map (compile ~options ?faults chip) (head_graph e w) in
+    let rl = compile ~config:cfg chip (build_layer w) in
+    let rh = Option.map (compile ~config:cfg chip) (head_graph e w) in
     let head_cycles =
       match rh with Some r -> r.schedule.Plan.total_cycles | None -> 0.
     in

@@ -1,6 +1,18 @@
 (** CMSwitch compilation driver: the end-to-end pipeline of Fig. 7
     (graph -> operator extraction -> DP segmentation with per-segment MIP
-    allocation -> placement -> meta-operator code generation). *)
+    allocation -> placement -> meta-operator code generation).
+
+    Compilation is configured through {!Config} — one flat record covering
+    what used to be scattered across [Cmswitch.options] ⊃
+    [Segment.options] ⊃ [Alloc.options] plus the [?faults] argument. The
+    nested records still work (and still drive the engine internally) but
+    are deprecated as a construction surface; [Config.canonical] is the
+    basis of the compilation-cache keys, which is why the flattening
+    matters: a cache key must cover {e every} semantic knob exactly once. *)
+
+[@@@alert "-deprecated"]
+(* this signature both defines the deprecated legacy records and mentions
+   them in the Config bridge; the alert is for outside construction sites *)
 
 val log_src : Logs.src
 (** The compiler's log source ("cmswitch"): enable [Debug] to trace the
@@ -10,8 +22,78 @@ type options = {
   partition_fraction : float;   (** sub-operator cap, fraction of the chip *)
   segment : Segment.options;
 }
+[@@deprecated "construct through Cmswitch.Config (Config.to_options bridges)"]
 
 val default_options : options
+[@@deprecated "use Cmswitch.Config.default |> Config.to_options"]
+
+(** The unified compiler configuration: every semantic knob of the nested
+    [options] records, flattened, plus the fault map and the compilation
+    cache. Build with the [with_*] combinators:
+    {[Config.default |> Config.with_jobs 4
+                     |> Config.with_lp_backend Cim_solver.Milp.Revised]} *)
+module Config : sig
+  type t = {
+    partition_fraction : float;
+        (** sub-operator cap, fraction of the chip (Opinfo.extract) *)
+    max_segment_ops : int;        (** DP window cap (Segment) *)
+    memoize : bool;               (** memoise window MIPs by signature *)
+    jobs : int;
+        (** concurrent MILP solvers per DP frontier; output is
+            byte-identical for every value, so [jobs] is {e excluded} from
+            {!canonical} *)
+    milp_max_nodes : int;         (** branch-and-bound node budget (Alloc) *)
+    refine : bool;                (** lexicographic array-count refinement *)
+    force_all_compute : bool;     (** CIM-MLC restriction *)
+    lp_backend : Cim_solver.Milp.backend;
+    faults : Cim_arch.Faultmap.t option;
+        (** plan around these faults (compile's legacy [?faults]) *)
+    cache : Cim_cache.Store.t option;
+        (** two-tier compilation cache; [None] compiles from scratch *)
+  }
+
+  val default : t
+  (** Matches the historical [default_options] with no faults and no
+      cache. [jobs] defaults to {!Cim_util.Pool.default_jobs}. *)
+
+  val with_partition_fraction : float -> t -> t
+  val with_max_segment_ops : int -> t -> t
+  val with_memoize : bool -> t -> t
+  val with_jobs : int -> t -> t
+  val with_milp_max_nodes : int -> t -> t
+  val with_refine : bool -> t -> t
+  val with_force_all_compute : bool -> t -> t
+  val with_lp_backend : Cim_solver.Milp.backend -> t -> t
+  val with_faults : Cim_arch.Faultmap.t option -> t -> t
+  val with_cache : Cim_cache.Store.t option -> t -> t
+  val with_cache_dir : string -> t -> t
+  (** [with_cache (Some (Cim_cache.Store.open_dir dir))]. *)
+
+  val to_options : t -> options
+  (** Bridge to the legacy nested records (the engine's internal shape).
+      [faults] does not survive the trip — pass it to [compile] or keep
+      using [t]. *)
+
+  val of_options : ?faults:Cim_arch.Faultmap.t -> options -> t
+
+  val to_segment_options : t -> Segment.options
+  val to_alloc_options : t -> Alloc.options
+
+  val canonical : t -> string
+  (** Deterministic single-line serialisation of every {e semantic} field
+      — the compilation-cache key component. Floats are rendered as exact
+      binary64 hex ([%h]), booleans and enums as fixed tokens, fields in
+      fixed order, so the string is byte-stable across runs, processes and
+      platforms. [jobs] (execution strategy under the byte-identical
+      determinism contract), [faults] (keyed separately, see
+      {!Ccache.prog_key}) and [cache] (plumbing) are excluded. *)
+
+  val of_canonical : string -> (t, string) result
+  (** Strict inverse of {!canonical} over the included fields; excluded
+      fields come back at their defaults. [canonical] ∘ [of_canonical] ∘
+      [canonical] is the identity (the round-trip fixed point the cache
+      keys rely on). *)
+end
 
 type result = {
   chip : Cim_arch.Chip.t;
@@ -29,24 +111,38 @@ type result = {
 }
 
 val compile :
-  ?options:options -> ?faults:Cim_arch.Faultmap.t -> Cim_arch.Chip.t ->
-  Cim_nnir.Graph.t -> result
-(** With [faults], the solver plans against
-    {!Cim_arch.Faultmap.effective_chip} (only freely-assignable arrays
-    count as capacity) while placement runs on the real chip with dead
-    arrays masked and stuck arrays pinned to their mode; the emitted
-    program is re-checked by the {!Cim_metaop.Check} flow validator and any
-    findings land in [degradation.diagnostics]. Raises
-    [Failure]/[Opinfo.Unsupported] on graphs the (remaining) chip cannot
-    run — use {!compile_robust} for a non-raising pipeline. *)
+  ?config:Config.t -> ?options:options -> ?faults:Cim_arch.Faultmap.t ->
+  Cim_arch.Chip.t -> Cim_nnir.Graph.t -> result
+(** [config] is the primary interface; [options]/[faults] are the legacy
+    spelling (ignored when [config] is given, except that an explicit
+    [faults] always overrides [config.faults]). With faults, the solver
+    plans against {!Cim_arch.Faultmap.effective_chip} (only
+    freely-assignable arrays count as capacity) while placement runs on
+    the real chip with dead arrays masked and stuck arrays pinned to their
+    mode; the emitted program is re-checked by the {!Cim_metaop.Check}
+    flow validator and any findings land in [degradation.diagnostics].
+
+    With [config.cache], the whole compilation is first looked up in the
+    program tier (key: canonical graph text, chip, fault map,
+    [Config.canonical]); a hit replays the cached segmentation through the
+    live placement/codegen passes and re-validates the program with
+    {!Cim_metaop.Check}, so a stale or corrupted entry degrades to a miss
+    — never a wrong program. On a miss the per-segment tier still
+    memoises window MIP solutions across runs, and a clean result is
+    stored back. Cache hits preserve the byte-identical determinism
+    contract at any job count.
+
+    Raises [Failure]/[Opinfo.Unsupported] on graphs the (remaining) chip
+    cannot run — use {!compile_robust} for a non-raising pipeline. *)
 
 val compile_robust :
-  ?options:options -> ?faults:Cim_arch.Faultmap.t -> Cim_arch.Chip.t ->
-  Cim_nnir.Graph.t -> (result, Degrade.report) Stdlib.result
+  ?config:Config.t -> ?options:options -> ?faults:Cim_arch.Faultmap.t ->
+  Cim_arch.Chip.t -> Cim_nnir.Graph.t -> (result, Degrade.report) Stdlib.result
 (** Never raises: on pipeline failure it retries with serial single-operator
     segments under greedy allocation (every segment recorded as a
     [Serial_fallback] event); when even that cannot fit an operator, returns
-    [Error report] whose diagnostics say what failed at each stage. *)
+    [Error report] whose diagnostics say what failed at each stage. The
+    serial fallback is never cached. *)
 
 val memory_mode_ratio : result -> float
 (** Average over segments of (memory-mode arrays / chip arrays) — the
@@ -67,8 +163,8 @@ type model_cost = {
 }
 
 val compile_model :
-  ?options:options -> ?faults:Cim_arch.Faultmap.t -> Cim_arch.Chip.t ->
-  Cim_models.Zoo.entry -> Cim_models.Workload.t -> model_cost
+  ?config:Config.t -> ?options:options -> ?faults:Cim_arch.Faultmap.t ->
+  Cim_arch.Chip.t -> Cim_models.Zoo.entry -> Cim_models.Workload.t -> model_cost
 
 val head_graph :
   Cim_models.Zoo.entry -> Cim_models.Workload.t -> Cim_nnir.Graph.t option

@@ -1,3 +1,6 @@
+[@@@alert "-deprecated"]
+(* this module's defaults seed the deprecated legacy records *)
+
 module Chip = Cim_arch.Chip
 module Pool = Cim_util.Pool
 module Trace = Cim_obs.Trace
@@ -7,11 +10,12 @@ type options = {
   max_segment_ops : int;
   memoize : bool;
   jobs : int;
+  cache : Cim_cache.Store.t option;
 }
 
 let default_options =
   { alloc = Alloc.default_options; max_segment_ops = 10; memoize = true;
-    jobs = Pool.default_jobs () }
+    jobs = Pool.default_jobs (); cache = None }
 
 type stats = {
   mip_solves : int;
@@ -88,6 +92,43 @@ let run ?(options = default_options) ?on_stage chip (ops : Opinfo.t array) =
     Mutex.lock cache_mutex;
     Hashtbl.replace cache key v;
     Mutex.unlock cache_mutex
+  in
+  (* the persistent tier rides behind the in-memory memo table: signatures
+     only (positional "lo:hi" keys are meaningless across runs), consulted
+     by the coordinator during the dedupe scan so hits replay in the same
+     deterministic order as memo hits, filled by the solving task. Entries
+     are revalidated against the live window before being trusted — a
+     stale or corrupted entry is a miss, never a wrong plan. *)
+  let persist = if options.memoize then options.cache else None in
+  (* when the persistent tier is active [memoize] is on, so the memo key IS
+     the window signature — the store key derives from it directly *)
+  let store_key signature_key =
+    Ccache.seg_key ~chip ~alloc:options.alloc ~signature:signature_key
+  in
+  let persist_find ~lo ~hi key =
+    match persist with
+    | None -> None
+    | Some store -> (
+      match
+        Cim_cache.Store.find store ~tier:Ccache.seg_tier ~key:(store_key key)
+      with
+      | None -> None
+      | Some payload -> (
+        match Ccache.seg_payload_of_string ~chip ~ops ~lo ~hi payload with
+        | Ok plan ->
+          cache_store key plan;
+          Some plan
+        | Error _ ->
+          Cim_cache.Store.note_invalid store ~tier:Ccache.seg_tier;
+          None))
+  in
+  let persist_put key plan =
+    match persist with
+    | None -> ()
+    | Some store ->
+      Cim_cache.Store.put store ~tier:Ccache.seg_tier ~key:(store_key key)
+        ~payload:
+          (Ccache.seg_payload_to_string (Option.map Ccache.normalize_plan plan))
   in
   let solves = Atomic.make 0 and hits = Atomic.make 0 in
   let cands = Atomic.make 0 and pruned = Atomic.make 0 in
@@ -171,8 +212,11 @@ let run ?(options = default_options) ?on_stage chip (ops : Opinfo.t array) =
       let to_solve = ref [] and seen = Hashtbl.create 8 in
       List.iter
         (fun (lo, key) ->
-          if Hashtbl.mem seen key || cache_find key <> None then
-            Atomic.incr hits
+          if
+            Hashtbl.mem seen key
+            || cache_find key <> None
+            || persist_find ~lo ~hi:j key <> None
+          then Atomic.incr hits
           else begin
             Hashtbl.add seen key ();
             Atomic.incr solves;
@@ -184,6 +228,7 @@ let run ?(options = default_options) ?on_stage chip (ops : Opinfo.t array) =
         let task (lo, key) () =
           let s = solve_window ~lo ~hi:j () in
           cache_store key s.plan;
+          persist_put key s.plan;
           s
         in
         match pool with

@@ -20,9 +20,21 @@ type options = {
           plans, programs, stats, metrics — is identical for every job
           count; only wall-clock changes. Nested runs (from inside a pool
           worker) degrade to serial automatically. *)
+  cache : Cim_cache.Store.t option;
+      (** persistent per-segment tier (["seg"] entries, see
+          {!Ccache.seg_key}): window solutions keyed by (signature,
+          effective chip, alloc options), shared across models and process
+          restarts. Consulted only when [memoize] is on (positional keys
+          are meaningless across runs); looked up by the coordinating
+          domain during the frontier scan, so hits replay in deterministic
+          submission order exactly like memo hits. Entries failing
+          revalidation against the live window degrade to a miss. Like
+          memo hits, persistent hits do not re-fire the original solve's
+          [on_stage] events. [None] (the default) disables the tier. *)
 }
 
 val default_options : options
+[@@deprecated "construct via Cmswitch.Config (Config.to_segment_options)"]
 
 type stats = {
   mip_solves : int;        (** MIP invocations actually performed *)

@@ -176,4 +176,101 @@ let pp ppf p =
     (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_instr)
     p.instrs
 
-let to_string p = Format.asprintf "%a" pp p
+(* [to_string] is on the compiler's hot path — the cache compares a
+   regenerated program against a stored one, and a whole-program payload
+   embeds the text — so it bypasses [Format] (box/break machinery is ~10x
+   slower on large programs) for a direct [Buffer] printer. The output is
+   byte-identical to [pp]: same line breaks, same two-space parallel-block
+   indentation (checked by the metaop tests). *)
+
+let buf_coords b cs =
+  Buffer.add_char b '[';
+  List.iteri
+    (fun i (c : coord) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_char b '(';
+      Buffer.add_string b (string_of_int c.Chip.x);
+      Buffer.add_char b ',';
+      Buffer.add_string b (string_of_int c.Chip.y);
+      Buffer.add_char b ')')
+    cs;
+  Buffer.add_char b ']'
+
+let buf_loc b = function
+  | Main_memory -> Buffer.add_string b "main"
+  | Buffer -> Buffer.add_string b "buffer"
+  | Mem_arrays cs ->
+    Buffer.add_string b "arrays";
+    buf_coords b cs
+
+let buf_newline b indent =
+  Buffer.add_char b '\n';
+  for _ = 1 to indent do
+    Buffer.add_char b ' '
+  done
+
+let rec buf_instr b ~indent = function
+  | Switch { target; arrays } ->
+    Buffer.add_string b "CM.switch(";
+    Buffer.add_string b (Cim_arch.Mode.transition_to_string target);
+    Buffer.add_string b ", ";
+    buf_coords b arrays;
+    Buffer.add_char b ')'
+  | Write_weights { label; node_id; arrays; slice; bytes; in_place } ->
+    Buffer.add_string b (Printf.sprintf "CIM.write(%S, node=%d, arrays=" label node_id);
+    buf_coords b arrays;
+    Buffer.add_string b
+      (Printf.sprintf ", slice=[%d,%d), bytes=%d, inplace=%d)" slice.lo slice.hi
+         bytes
+         (if in_place then 1 else 0))
+  | Load { tensor; src; dst; bytes } ->
+    Buffer.add_string b "MEM.load(";
+    Buffer.add_string b tensor;
+    Buffer.add_string b ", ";
+    buf_loc b src;
+    Buffer.add_string b " -> ";
+    buf_loc b dst;
+    Buffer.add_string b (Printf.sprintf ", %d)" bytes)
+  | Store { tensor; src; dst; bytes } ->
+    Buffer.add_string b "MEM.store(";
+    Buffer.add_string b tensor;
+    Buffer.add_string b ", ";
+    buf_loc b src;
+    Buffer.add_string b " -> ";
+    buf_loc b dst;
+    Buffer.add_string b (Printf.sprintf ", %d)" bytes)
+  | Compute { label; node_id; arrays; mem_arrays; inputs; output; slice; macs; ai } ->
+    Buffer.add_string b (Printf.sprintf "CIM.compute(%S, node=%d, arrays=" label node_id);
+    buf_coords b arrays;
+    Buffer.add_string b ", mem=";
+    buf_coords b mem_arrays;
+    Buffer.add_string b ", in=(";
+    Buffer.add_string b (String.concat ", " inputs);
+    Buffer.add_string b
+      (Printf.sprintf "), out=(%s), slice=[%d,%d), macs=%.17g, ai=%.17g)" output
+         slice.lo slice.hi macs ai)
+  | Vector_op { label; node_id; inputs; output } ->
+    Buffer.add_string b
+      (Printf.sprintf "VEC.op(%S, node=%d, in=(%s), out=(%s))" label node_id
+         (String.concat ", " inputs)
+         output)
+  | Parallel is ->
+    Buffer.add_string b "parallel {";
+    List.iter
+      (fun i ->
+        buf_newline b (indent + 2);
+        buf_instr b ~indent:(indent + 2) i)
+      is;
+    buf_newline b indent;
+    Buffer.add_char b '}'
+
+let to_string p =
+  let b = Buffer.create 65536 in
+  Buffer.add_string b (Printf.sprintf "flow %S" p.source);
+  List.iter
+    (fun i ->
+      Buffer.add_char b '\n';
+      buf_instr b ~indent:0 i)
+    p.instrs;
+  Buffer.add_char b '\n';
+  Buffer.contents b

@@ -65,7 +65,11 @@ let percentile_nearest_rank p xs =
     invalid_arg "Stats.percentile_nearest_rank: p out of [0,100]";
   let arr = sorted_finite "Stats.percentile_nearest_rank" xs in
   let n = Array.length arr in
-  let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+  (* multiply before dividing: p/100 is not exactly representable (95/100
+     rounds up), so (p /. 100.) *. n lands just above whole-number ranks
+     and ceil then overshoots by one — visible at n = 20, where p95 must be
+     the 19th order statistic, not the maximum *)
+  let rank = int_of_float (ceil (p *. float_of_int n /. 100.)) in
   arr.(max 0 (min (n - 1) (rank - 1)))
 
 let median xs = percentile 50. xs

@@ -10,6 +10,7 @@ module Opinfo = Cim_compiler.Opinfo
 module Alloc = Cim_compiler.Alloc
 module Plan = Cim_compiler.Plan
 module Segment = Cim_compiler.Segment
+module Ccfg = Cim_compiler.Cmswitch.Config
 module Placement = Cim_compiler.Placement
 module Workload = Cim_models.Workload
 module Zoo = Cim_models.Zoo
@@ -165,7 +166,7 @@ let test_alloc_constraints_hold () =
 let test_alloc_force_all_compute () =
   let g = Cim_models.Mlp.build ~batch:1 ~dims:[ 512; 512; 512 ] () in
   let ops = Opinfo.extract chip g in
-  let options = { Alloc.default_options with Alloc.force_all_compute = true } in
+  let options = Ccfg.to_alloc_options (Ccfg.with_force_all_compute true Ccfg.default) in
   match Alloc.solve ~options chip ops ~lo:0 ~hi:(Array.length ops - 1) with
   | None -> Alcotest.fail "restricted segment infeasible"
   | Some p ->
@@ -191,7 +192,9 @@ let test_alloc_dominates_all_compute () =
       let forced =
         Option.get
           (Alloc.solve
-             ~options:{ Alloc.default_options with Alloc.force_all_compute = true }
+             ~options:
+               (Ccfg.to_alloc_options
+                  (Ccfg.with_force_all_compute true Ccfg.default))
              chip ops ~lo:0 ~hi)
       in
       Alcotest.(check bool)
@@ -278,10 +281,12 @@ let test_segment_covers_all_ops () =
 let test_segment_memoization_consistent () =
   let g = graph_of "bert-large" (Workload.prefill ~batch:1 32) in
   let ops = Opinfo.extract chip g in
-  let with_memo, s1 = Segment.run ~options:Segment.default_options chip ops in
+  let with_memo, s1 =
+    Segment.run ~options:(Ccfg.to_segment_options Ccfg.default) chip ops
+  in
   let without, s2 =
     Segment.run
-      ~options:{ Segment.default_options with Segment.memoize = false }
+      ~options:(Ccfg.to_segment_options (Ccfg.with_memoize false Ccfg.default))
       chip ops
   in
   Alcotest.(check bool) "cache used" true (s1.Segment.mip_cache_hits > 0);

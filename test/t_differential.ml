@@ -11,6 +11,7 @@ module Chip = Cim_arch.Chip
 module Config = Cim_arch.Config
 module Cost = Cim_arch.Cost
 module Alloc = Cim_compiler.Alloc
+module Ccfg = Cim_compiler.Cmswitch.Config
 module Opinfo = Cim_compiler.Opinfo
 module Plan = Cim_compiler.Plan
 module Intensity = Cim_models.Intensity
@@ -184,7 +185,8 @@ let z_cap chip (ops : Opinfo.t array) =
 
 (* ---- the property -------------------------------------------------------- *)
 
-let solver_options = { Alloc.default_options with Alloc.milp_max_nodes = 50_000 }
+let solver_options =
+  Ccfg.to_alloc_options (Ccfg.with_milp_max_nodes 50_000 Ccfg.default)
 
 let check inst =
   let chip = chip_of inst in

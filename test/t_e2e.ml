@@ -16,11 +16,7 @@ module Flow = Cim_metaop.Flow
 
 let chip = Config.dynaplasia
 
-let restricted_options =
-  { Cmswitch.default_options with
-    Cmswitch.segment =
-      { Segment.default_options with
-        Segment.alloc = { Alloc.default_options with Alloc.force_all_compute = true } } }
+let restricted_config = Cmswitch.Config.(with_force_all_compute true default)
 
 let bench_cases =
   [
@@ -78,7 +74,7 @@ let test_restricted_equals_cim_mlc () =
   let e = Option.get (Zoo.find "bert-large") in
   let w = Workload.prefill ~batch:1 32 in
   let g = (Option.get e.Zoo.layer) w in
-  let restricted = Cmswitch.compile ~options:restricted_options chip g in
+  let restricted = Cmswitch.compile ~config:restricted_config chip g in
   let mlc = Baseline.compile Baseline.Cim_mlc chip g in
   Alcotest.(check bool) "identical totals" true
     (Float.abs

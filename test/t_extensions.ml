@@ -273,6 +273,57 @@ let test_serving_idle_gap () =
   Alcotest.(check (float 1e-9)) "idle respected" 110. s.Serving.makespan;
   Alcotest.(check (float 1e-9)) "latencies unqueued" 10. s.Serving.mean_latency
 
+let test_serving_config_record () =
+  let profile =
+    { Serving.prefill_cycles = (fun _ -> 10.); decode_cycles = (fun _ -> 1.) }
+  in
+  let trace =
+    [ { Serving.arrival = 0.; prompt = 4; output = 5 };
+      { Serving.arrival = 0.; prompt = 4; output = 5 } ]
+  in
+  (* default_config = no deadline: identical to the bare run *)
+  let bare = Serving.run profile trace in
+  let dflt = Serving.run ~config:Serving.default_config profile trace in
+  Alcotest.(check bool) "default config = no config" true (bare = dflt);
+  (* config deadline drops the queued request (latency 30 > 20) *)
+  let tight = Serving.run ~config:{ Serving.deadline = Some 20. } profile trace in
+  Alcotest.(check int) "config deadline admits first" 1 tight.Serving.completed;
+  Alcotest.(check int) "config deadline drops second" 1 tight.Serving.dropped;
+  (* the legacy ?deadline argument overrides the config record *)
+  let relaxed =
+    Serving.run ~config:{ Serving.deadline = Some 20. } ~deadline:1000. profile
+      trace
+  in
+  Alcotest.(check int) "?deadline wins over config" 2 relaxed.Serving.completed
+
+(* The nearest-rank percentile must use exact rank arithmetic: with the
+   naive (p /. 100.) *. n form, 0.95 * 20 evaluates to 19.000000000000004,
+   ceil inflates the rank, and p95 on a 20-request trace silently returns
+   the maximum instead of the 19th order statistic. Pin the 19/20/21
+   boundary, where ceil(0.95 n) crosses a whole number. *)
+let test_p95_nearest_rank_boundary () =
+  let latencies n = List.init n (fun i -> float_of_int (i + 1)) in
+  let p95 n = Cim_util.Stats.percentile_nearest_rank 95. (latencies n) in
+  (* n = 19: ceil(18.05) = 19 -> the maximum *)
+  Alcotest.(check (float 0.)) "n=19 -> rank 19 (max)" 19. (p95 19);
+  (* n = 20: 0.95 * 20 = 19 exactly -> rank 19, NOT the maximum *)
+  Alcotest.(check (float 0.)) "n=20 -> rank 19" 19. (p95 20);
+  (* n = 21: ceil(19.95) = 20 *)
+  Alcotest.(check (float 0.)) "n=21 -> rank 20" 20. (p95 21)
+
+let prop_p95_nearest_rank =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"p95 nearest-rank = ceil(0.95 n)-th order stat"
+       ~count:200
+       QCheck.(int_range 1 200)
+       (fun n ->
+         (* sorted 1..n makes the expected order statistic explicit; the
+            exact rank is ceil(95 n / 100) computed in integers *)
+         let rank = ((95 * n) + 99) / 100 in
+         Cim_util.Stats.percentile_nearest_rank 95.
+           (List.init n (fun i -> float_of_int (i + 1)))
+         = float_of_int rank))
+
 let test_poisson_trace () =
   let rng = Cim_util.Rng.create 5 in
   let trace = Serving.poisson_trace rng ~n:50 ~mean_gap:100. ~prompt:8 ~output:4 in
@@ -290,6 +341,10 @@ let suite =
       Alcotest.test_case "serving FCFS accounting" `Quick test_serving_fcfs;
       Alcotest.test_case "serving idle gaps" `Quick test_serving_idle_gap;
       Alcotest.test_case "poisson trace" `Quick test_poisson_trace;
+      Alcotest.test_case "serving config record" `Quick test_serving_config_record;
+      Alcotest.test_case "p95 nearest-rank boundary" `Quick
+        test_p95_nearest_rank_boundary;
+      prop_p95_nearest_rank;
       Alcotest.test_case "energy profiles" `Quick test_energy_profiles;
       Alcotest.test_case "energy accounting" `Quick test_energy_sim_accounting;
       Alcotest.test_case "energy empty program" `Quick test_energy_empty_program;

@@ -13,11 +13,7 @@ module Alloc = Cim_compiler.Alloc
 module Plan = Cim_compiler.Plan
 module Timing = Cim_sim.Timing
 
-let restricted =
-  { Cmswitch.default_options with
-    Cmswitch.segment =
-      { Segment.default_options with
-        Segment.alloc = { Alloc.default_options with Alloc.force_all_compute = true } } }
+let restricted = Cmswitch.Config.(with_force_all_compute true default)
 
 (* random instance: chip size, batch, MLP widths *)
 let gen_instance =
@@ -51,7 +47,7 @@ let prop_compile_everywhere =
       let eps = 1e-6 *. Float.max 1. total in
       let timing_ok = sim <= total +. eps && total <= sim +. wb +. eps in
       let dominance_ok =
-        let base = Cmswitch.compile ~options:restricted chip g in
+        let base = Cmswitch.compile ~config:restricted chip g in
         total <= base.Cmswitch.schedule.Plan.total_cycles *. (1. +. 1e-9)
       in
       flow_ok && timing_ok && dominance_ok && total > 0.)

@@ -26,10 +26,7 @@ let graph_of key =
   | Zoo.Encoder_only -> (Option.get e.Zoo.layer) (Workload.prefill ~batch:1 64)
   | Zoo.Decoder_only -> (Option.get e.Zoo.layer) (Workload.decode ~batch:1 64)
 
-let options_with_jobs jobs =
-  { Cmswitch.default_options with
-    Cmswitch.segment =
-      { Cmswitch.default_options.Cmswitch.segment with Segment.jobs } }
+let config_with_jobs jobs = Cmswitch.Config.(with_jobs jobs default)
 
 type fingerprint = {
   program : string;
@@ -59,7 +56,7 @@ let compile_fp ~jobs key =
       Metrics.set_enabled false;
       Metrics.reset ())
     (fun () ->
-      let r = Cmswitch.compile ~options:(options_with_jobs jobs) chip (graph_of key) in
+      let r = Cmswitch.compile ~config:(config_with_jobs jobs) chip (graph_of key) in
       { program = Flow.to_string r.Cmswitch.program;
         schedule = r.Cmswitch.schedule;
         stats = r.Cmswitch.dp_stats;

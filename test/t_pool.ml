@@ -5,6 +5,7 @@
 
 module Pool = Cim_util.Pool
 module Segment = Cim_compiler.Segment
+module Ccfg = Cim_compiler.Cmswitch.Config
 module Config = Cim_arch.Config
 
 let test_parse_jobs () =
@@ -29,7 +30,7 @@ let test_create_rejects_bad_jobs () =
     [ 0; -1 ];
   (* the same contract at the Segment.run level *)
   let chip = Config.dynaplasia in
-  let opts = { Segment.default_options with Segment.jobs = 0 } in
+  let opts = Ccfg.to_segment_options (Ccfg.with_jobs 0 Ccfg.default) in
   match Segment.run ~options:opts chip [||] with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "Segment.run accepted jobs = 0"
@@ -143,7 +144,9 @@ let test_nested_runs_degrade () =
   let g = Cim_models.Mlp.build ~rng ~batch:2 ~dims:[ 32; 64; 32 ] () in
   let ops = Cim_compiler.Opinfo.extract chip g in
   let direct, _ =
-    Segment.run ~options:{ Segment.default_options with Segment.jobs = 2 } chip ops
+    Segment.run
+      ~options:(Ccfg.to_segment_options (Ccfg.with_jobs 2 Ccfg.default))
+      chip ops
   in
   let nested =
     Pool.with_pool ~jobs:2 (fun p ->
@@ -151,7 +154,8 @@ let test_nested_runs_degrade () =
           (Pool.submit p (fun () ->
                fst
                  (Segment.run
-                    ~options:{ Segment.default_options with Segment.jobs = 2 }
+                    ~options:
+                      (Ccfg.to_segment_options (Ccfg.with_jobs 2 Ccfg.default))
                     chip ops))))
   in
   Alcotest.(check bool) "nested result identical" true (nested = direct)

@@ -185,16 +185,12 @@ let test_degraded_stuck_arrays () =
 let mlp_graph () = Cim_models.Mlp.build ~batch:1 ~dims:[ 512; 1024; 256 ] ()
 let small_mlp () = Cim_models.Mlp.build ~batch:1 ~dims:[ 64; 128; 32 ] ()
 
-let options_with_max_nodes n =
-  { Cmswitch.default_options with
-    Cmswitch.segment =
-      { Segment.default_options with
-        Segment.alloc = { Alloc.default_options with Alloc.milp_max_nodes = n } } }
+let config_with_max_nodes n = Cmswitch.Config.(with_milp_max_nodes n default)
 
 let test_node_limit_incumbent_plan () =
   (* max_nodes = 1: the MIP truncates at the root; the pipeline must still
      produce a plan plus a non-empty degradation report, not an exception *)
-  let r = Cmswitch.compile ~options:(options_with_max_nodes 1) chip (mlp_graph ()) in
+  let r = Cmswitch.compile ~config:(config_with_max_nodes 1) chip (mlp_graph ()) in
   Alcotest.(check bool) "schedule produced" true
     (r.Cmswitch.schedule.Plan.total_cycles > 0.);
   Alcotest.(check bool) "degradation events recorded" true
@@ -211,7 +207,7 @@ let test_node_limit_incumbent_plan () =
 let test_zero_budget_greedy_fallback () =
   (* max_nodes = 0: the search truncates before even the root solves, so
      there is never an incumbent and every window lands on greedy *)
-  let r = Cmswitch.compile ~options:(options_with_max_nodes 0) chip (mlp_graph ()) in
+  let r = Cmswitch.compile ~config:(config_with_max_nodes 0) chip (mlp_graph ()) in
   Alcotest.(check bool) "schedule produced" true
     (r.Cmswitch.schedule.Plan.total_cycles > 0.);
   Alcotest.(check bool) "events recorded" true
@@ -237,7 +233,9 @@ let test_alloc_outcome_classification () =
   | _ -> Alcotest.fail "default budget must prove optimality");
   match
     Alloc.solve_outcome
-      ~options:{ Alloc.default_options with Alloc.milp_max_nodes = 0 }
+      ~options:
+        (Cmswitch.Config.to_alloc_options
+           (Cmswitch.Config.with_milp_max_nodes 0 Cmswitch.Config.default))
       chip ops ~lo:0 ~hi
   with
   | Alloc.Truncated_no_incumbent -> ()
@@ -252,7 +250,9 @@ let test_degrade_solve_unit () =
   let stages = ref [] in
   let plan =
     Degrade.solve
-      ~options:{ Alloc.default_options with Alloc.milp_max_nodes = 0 }
+      ~options:
+        (Cmswitch.Config.to_alloc_options
+           (Cmswitch.Config.with_milp_max_nodes 0 Cmswitch.Config.default))
       ~on_stage:(fun e -> stages := e.Degrade.stage :: !stages)
       chip ops ~lo:0 ~hi
   in
