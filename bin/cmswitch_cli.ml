@@ -3,6 +3,7 @@
    cmswitch list
    cmswitch compile MODEL [--chip X] [--batch N] [--seq N | --kv N] [--emit] [--sim]
    cmswitch compare MODEL [--chip X] [--batch N] [--seq N | --kv N]
+   cmswitch serve MODEL [--chips N] [--fault-schedule FILE] [--slo CYCLES]
    cmswitch cache (stats|clear|verify) [--cache-dir DIR] *)
 
 open Cmdliner
@@ -17,6 +18,7 @@ module Plan = Cim_compiler.Plan
 module Degrade = Cim_compiler.Degrade
 module Faultmap = Cim_arch.Faultmap
 module Serving = Cim_sim.Serving
+module Fleet = Cim_sim.Fleet
 module Baseline = Cim_baselines.Baseline
 
 let chip_arg =
@@ -349,6 +351,215 @@ let do_compare chip key batch seq kv jobs cache_dir no_cache trace metrics =
   report_cache_counters store;
   finish_obs ~trace ~metrics
 
+(* ---- serve subcommand ---------------------------------------------------- *)
+
+let chips_arg =
+  Arg.(value & opt int 2
+       & info [ "chips" ] ~docv:"N" ~doc:"Fleet size (identical chips).")
+
+let requests_arg =
+  Arg.(value & opt int 32
+       & info [ "requests" ] ~docv:"N" ~doc:"Requests in the synthetic trace.")
+
+let mean_gap_arg =
+  Arg.(value & opt (some float) None
+       & info [ "mean-gap" ] ~docv:"CYCLES"
+           ~doc:"Mean inter-arrival gap. Default: twice the per-request \
+                 service cost divided by the fleet size (about half the \
+                 fleet's saturation load).")
+
+let burst_arg =
+  Arg.(value & opt int 1
+       & info [ "burst" ] ~docv:"N"
+           ~doc:"Group arrivals into bursts of N back-to-back requests \
+                 (1 = open-loop Poisson).")
+
+let slo_arg =
+  Arg.(value & opt (some float) None
+       & info [ "slo" ] ~docv:"CYCLES"
+           ~doc:"Per-request latency target: requests that cannot meet it \
+                 in full are degraded to a truncated shed tier before any \
+                 request is dropped.")
+
+let fault_schedule_arg =
+  Arg.(value & opt (some string) None
+       & info [ "fault-schedule" ] ~docv:"FILE"
+           ~doc:"Runtime fault schedule, one event per line: \
+                 $(i,at=CYCLES chip=I array=X,Y fault=KIND) with KIND one \
+                 of dead, stuck-compute, stuck-memory, transient:P, clear.")
+
+let fault_events_arg =
+  Arg.(value & opt int 0
+       & info [ "fault-events" ] ~docv:"N"
+           ~doc:"Generate N random mid-run fault events (seeded by \
+                 $(b,--fault-seed)) instead of reading a schedule file.")
+
+let seed_arg =
+  Arg.(value & opt int 42
+       & info [ "seed" ] ~docv:"SEED" ~doc:"Trace-generator seed.")
+
+let shed_output_arg =
+  Arg.(value & opt int 4
+       & info [ "shed-output" ] ~docv:"N"
+           ~doc:"Output tokens a shed request still receives.")
+
+let max_retries_arg =
+  Arg.(value & opt int 3
+       & info [ "max-retries" ] ~docv:"N"
+           ~doc:"Fault-abort retries before a request is given up (shed).")
+
+let breaker_arg =
+  Arg.(value & opt int 4
+       & info [ "breaker" ] ~docv:"N"
+           ~doc:"Circuit-breaker threshold: fault events on one chip \
+                 before it is pulled out of rotation for good.")
+
+let recompile_cycles_arg =
+  Arg.(value & opt (some float) None
+       & info [ "recompile-cycles" ] ~docv:"CYCLES"
+           ~doc:"Simulated downtime charged per online recompile. Default: \
+                 one full-service pass.")
+
+let recompile_budget_arg =
+  Arg.(value & opt (some float) None
+       & info [ "recompile-budget" ] ~docv:"SECONDS"
+           ~doc:"Wall-clock budget per recompile: once spent, the \
+                 degradation ladder jumps straight to its cheapest level. \
+                 Note: makes the chosen plan level timing-dependent.")
+
+let do_serve chip key batch seq kv chips requests mean_gap burst slo
+    fault_schedule fault_events fault_seed seed shed_output max_retries breaker
+    recompile_cycles recompile_budget jobs cache_dir no_cache verbose trace
+    metrics =
+  setup_logs verbose;
+  setup_obs ~trace ~metrics;
+  let store = store_for ~cache_dir ~no_cache in
+  let e = find_model key in
+  let w = workload_of e ~batch ~seq ~kv in
+  let base_cfg = config_for ~jobs ~store in
+  (* the representative graph: one block for transformers (a pass costs
+     n_layers block passes — the LM head is dropped from this estimate),
+     the whole network for CNNs *)
+  let graph, layers =
+    match e.Zoo.layer with
+    | Some build_layer -> (build_layer w, float_of_int e.Zoo.n_layers)
+    | None -> (e.Zoo.build w, 1.)
+  in
+  let pass_of (r : Cmswitch.result) =
+    r.Cmswitch.schedule.Plan.total_cycles *. layers
+  in
+  Printf.printf "compiling %s for %s on %d x %s ...\n%!" e.Zoo.display
+    (Workload.to_string w) chips chip.Chip.name;
+  let r0 =
+    try Cmswitch.compile ~config:base_cfg chip graph
+    with Failure msg | Invalid_argument msg ->
+      Printf.eprintf "compilation failed: %s\n" msg;
+      exit 1
+  in
+  let pass = pass_of r0 in
+  let flat_profile pass =
+    { Serving.prefill_cycles = (fun _ -> pass);
+      decode_cycles = (fun _ -> pass) }
+  in
+  let planner ~chip:_ ~faults:fm =
+    let cfg =
+      if Faultmap.fault_count fm = 0 then base_cfg
+      else Cmswitch.Config.with_faults (Some fm) base_cfg
+    in
+    match
+      Cmswitch.recompile ~config:cfg ?budget_seconds:recompile_budget chip
+        graph
+    with
+    | Ok o ->
+      Some
+        { Fleet.level = o.Cmswitch.rc_level;
+          profile = flat_profile (pass_of o.Cmswitch.rc_result) }
+    | Error _ -> None
+  in
+  let rng = Cim_util.Rng.create seed in
+  (* a request costs prefill + 4 decode steps = 5 schedule passes; the
+     default gap offers about half the fleet's service rate *)
+  let mean_gap =
+    match mean_gap with
+    | Some g -> g
+    | None -> 2. *. (5. *. pass) /. float_of_int chips
+  in
+  let reqs =
+    if burst > 1 then
+      Serving.bursty_trace rng ~n:requests ~burst ~mean_gap:(mean_gap *. float_of_int burst)
+        ~intra_gap:0. ~prompt:(max 1 seq) ~output:4
+    else
+      Serving.poisson_trace rng ~n:requests ~mean_gap ~prompt:(max 1 seq)
+        ~output:4
+  in
+  let horizon =
+    List.fold_left (fun acc (r : Serving.request) ->
+        Float.max acc r.Serving.arrival)
+      pass reqs
+  in
+  let schedule =
+    match fault_schedule with
+    | Some file ->
+      let ic = open_in file in
+      let src =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      (match Fleet.schedule_of_string src with
+      | Ok evs -> evs
+      | Error msg ->
+        Printf.eprintf "%s: %s\n" file msg;
+        exit 1)
+    | None ->
+      if fault_events <= 0 then []
+      else
+        Fleet.random_schedule
+          (Cim_util.Rng.create fault_seed)
+          ~chip ~chips ~n:fault_events ~horizon
+  in
+  if schedule <> [] then
+    Printf.printf "fault schedule: %d events over %.3e cycles\n"
+      (List.length schedule) horizon;
+  let config =
+    { Fleet.chips;
+      slo;
+      shed_output;
+      max_retries;
+      backoff_base = 0.25 *. pass;
+      backoff_cap = 4. *. pass;
+      breaker_threshold = breaker;
+      recompile_cycles = Option.value recompile_cycles ~default:pass;
+      jobs = Option.value jobs ~default:(Cim_util.Pool.default_jobs ());
+    }
+  in
+  let s =
+    try Fleet.run ~config ~chip planner schedule reqs
+    with Invalid_argument msg ->
+      Printf.eprintf "fleet run failed: %s\n" msg;
+      exit 1
+  in
+  let failed = s.Fleet.offered - s.Fleet.completed - s.Fleet.dropped - s.Fleet.shed in
+  Printf.printf
+    "fleet: offered=%d completed=%d dropped=%d shed=%d (starved %d) failed=%d\n"
+    s.Fleet.offered s.Fleet.completed s.Fleet.dropped s.Fleet.shed
+    s.Fleet.starved failed;
+  Printf.printf
+    "       retries=%d recompiles=%d breaker_opens=%d chips_out=%d%s\n"
+    s.Fleet.retries s.Fleet.recompiles s.Fleet.breaker_opens s.Fleet.chips_out
+    (match slo with
+    | None -> ""
+    | Some _ -> Printf.sprintf " slo_violations=%d" s.Fleet.slo_violations);
+  Printf.printf
+    "latency: mean=%.3e p50=%.3e p95=%.3e p99=%.3e ttft=%.3e cycles\n"
+    s.Fleet.mean_latency s.Fleet.p50_latency s.Fleet.p95_latency
+    s.Fleet.p99_latency s.Fleet.mean_ttft;
+  Printf.printf "throughput: %.2f tokens/Mcycle over %.3e cycles; per-chip [%s]\n"
+    s.Fleet.tokens_per_megacycle s.Fleet.makespan
+    (String.concat "; " (List.map string_of_int s.Fleet.per_chip_served));
+  report_cache_counters store;
+  finish_obs ~trace ~metrics
+
 (* ---- cache subcommand ---------------------------------------------------- *)
 
 let cache_dir_required cache_dir =
@@ -406,6 +617,21 @@ let compare_cmd =
           $ kv_arg $ jobs_arg $ cache_dir_arg $ no_cache_arg $ trace_arg
           $ metrics_arg)
 
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Simulate fault-tolerant fleet serving: a request trace against N \
+          chips with runtime fault events, online recompile-around-faults \
+          and SLO-aware shedding")
+    Term.(const do_serve $ chip_arg $ model_arg $ batch_arg $ seq_arg $ kv_arg
+          $ chips_arg $ requests_arg $ mean_gap_arg $ burst_arg $ slo_arg
+          $ fault_schedule_arg $ fault_events_arg $ fault_seed_arg $ seed_arg
+          $ shed_output_arg $ max_retries_arg $ breaker_arg
+          $ recompile_cycles_arg $ recompile_budget_arg $ jobs_arg
+          $ cache_dir_arg $ no_cache_arg $ verbose_arg $ trace_arg
+          $ metrics_arg)
+
 let cache_cmd =
   let stats =
     Cmd.v (Cmd.info "stats" ~doc:"Entry counts and bytes per tier")
@@ -430,4 +656,5 @@ let () =
       ~doc:"Dual-mode-aware DNN compiler for CIM accelerators"
   in
   exit
-    (Cmd.eval (Cmd.group info [ list_cmd; compile_cmd; compare_cmd; cache_cmd ]))
+    (Cmd.eval
+       (Cmd.group info [ list_cmd; compile_cmd; compare_cmd; serve_cmd; cache_cmd ]))

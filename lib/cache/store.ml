@@ -185,6 +185,12 @@ let find t ~tier ~key =
     match verdict with
     | Ok payload ->
       record_hit t tier;
+      (* touch-on-hit: bump the entry's mtime so the size-budget eviction
+         (mtime-oldest-first) behaves as LRU rather than FIFO — a hot
+         fallback plan a serving fleet keeps recompiling around stays
+         resident however long ago it was first stored. Best-effort: a
+         read-only cache still hits *)
+      (try Unix.utimes path 0. 0. with Unix.Unix_error _ -> ());
       Some payload
     | Error _ ->
       (* a bad entry is a miss, loudly accounted; [verify] can still find

@@ -30,9 +30,12 @@ val open_dir : ?max_bytes:int -> string -> t
 (** Open (creating directories as needed) a cache rooted at the given
     path. With [max_bytes], every {!put} that pushes the store's on-disk
     footprint above the budget evicts oldest-modified entries until it
-    fits again (the entry just written is never evicted). Raises
-    [Invalid_argument] on a non-positive [max_bytes] and [Sys_error] when
-    the directory cannot be created. *)
+    fits again (the entry just written is never evicted). Because {!find}
+    touches an entry's mtime on every hit, the policy is LRU, not
+    insert-order FIFO — entries a long-running process keeps re-reading
+    (e.g. the fallback plans a serving fleet recompiles around) stay
+    resident. Raises [Invalid_argument] on a non-positive [max_bytes] and
+    [Sys_error] when the directory cannot be created. *)
 
 val dir : t -> string
 
@@ -41,7 +44,8 @@ val find : t -> tier:string -> key:string -> string option
     entry — unreadable, unparseable, wrong version, recorded key differing
     from [key] (hash collision or relocated file), or payload digest
     mismatch (corruption, truncation) — is a miss that also increments the
-    invalid counters; it is left on disk for [verify] to report. *)
+    invalid counters; it is left on disk for [verify] to report. A hit
+    touches the entry's mtime (best-effort) so budget eviction is LRU. *)
 
 val put : t -> tier:string -> key:string -> payload:string -> unit
 (** Write (or overwrite) the entry for [(tier, key)]. I/O failures are

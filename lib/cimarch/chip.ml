@@ -49,6 +49,7 @@ let validate t =
   t
 
 let d_main t = t.internal_bw +. t.extern_bw
+let grid_rows t = (t.n_arrays + t.grid_cols - 1) / t.grid_cols
 let weight_cols t = t.cols * t.cell_bits / t.weight_bits
 let array_weight_capacity t = t.rows * weight_cols t
 let array_mem_bytes t = t.rows * t.cols * t.cell_bits / 8

@@ -36,6 +36,10 @@ val d_main : t -> float
 (** Bytes/cycle available from main memory plus the original on-chip buffer
     ([D_main] in Table 1: proportional to extern_bw + internal_bw). *)
 
+val grid_rows : t -> int
+(** Rows of the array grid implied by [n_arrays] and [grid_cols]
+    ([ceil (n_arrays / grid_cols)]); the last row may be partial. *)
+
 val weight_cols : t -> int
 (** Weight columns per array: [cols * cell_bits / weight_bits]. *)
 

@@ -25,7 +25,7 @@ let of_list chip assocs =
   t
 
 let inject chip ~seed ?(dead_rate = 0.) ?(stuck_rate = 0.)
-    ?(transient_rate = 0.) () =
+    ?(transient_rate = 0.) ?(transient_band = (0.05, 0.5)) () =
   let check name r =
     if r < 0. || r > 1. then
       invalid_arg (Printf.sprintf "Faultmap.inject: %s %g outside [0, 1]" name r)
@@ -35,6 +35,12 @@ let inject chip ~seed ?(dead_rate = 0.) ?(stuck_rate = 0.)
   check "transient_rate" transient_rate;
   if dead_rate +. stuck_rate +. transient_rate > 1. then
     invalid_arg "Faultmap.inject: rates sum past 1";
+  let band_lo, band_hi = transient_band in
+  if not (band_lo >= 0. && band_lo <= band_hi && band_hi < 1.) then
+    invalid_arg
+      (Printf.sprintf
+         "Faultmap.inject: transient band [%g, %g] must satisfy 0 <= lo <= hi < 1"
+         band_lo band_hi);
   let rng = Cim_util.Rng.create seed in
   let t = none chip in
   for i = 0 to chip.Chip.n_arrays - 1 do
@@ -49,9 +55,31 @@ let inject chip ~seed ?(dead_rate = 0.) ?(stuck_rate = 0.)
       t.states.(i) <-
         Some
           (Transient_switch_failure
-             (0.05 +. Cim_util.Rng.float rng 0.45))
+             (if band_hi > band_lo then
+                band_lo +. Cim_util.Rng.float rng (band_hi -. band_lo)
+              else band_lo))
   done;
   t
+
+let apply t updates =
+  let t' = { t with states = Array.copy t.states } in
+  List.iter
+    (fun (c, f) ->
+      Option.iter check_fault f;
+      t'.states.(Chip.index_of_coord t.fm_chip c) <- f)
+    updates;
+  t'
+
+let diff before after =
+  if before.fm_chip <> after.fm_chip then
+    invalid_arg "Faultmap.diff: fault maps describe different chips";
+  let out = ref [] in
+  Array.iteri
+    (fun i s ->
+      if s <> after.states.(i) then
+        out := (Chip.coord_of_index before.fm_chip i, after.states.(i)) :: !out)
+    before.states;
+  List.rev !out
 
 let fault_at t i =
   if i < 0 || i >= Array.length t.states then
@@ -107,12 +135,23 @@ let effective_chip t =
   if flex <= 0 then
     invalid_arg "Faultmap.effective_chip: no flexible array survives";
   if flex = t.fm_chip.Chip.n_arrays then t.fm_chip
-  else
-    Chip.validate
-      { t.fm_chip with
-        Chip.name = Printf.sprintf "%s[%d healthy]" t.fm_chip.Chip.name flex;
-        n_arrays = flex;
-        grid_cols = min t.fm_chip.Chip.grid_cols flex }
+  else begin
+    (* Re-derive both grid dimensions from the surviving pool: the column
+       width is kept where possible and shrunk when fewer arrays than
+       columns survive; the row count then follows as [Chip.grid_rows]
+       (ceil), so the grid tightly covers the pool — the last row may be
+       partial, but no row is entirely empty. *)
+    let grid_cols = min t.fm_chip.Chip.grid_cols flex in
+    let eff =
+      Chip.validate
+        { t.fm_chip with
+          Chip.name = Printf.sprintf "%s[%d healthy]" t.fm_chip.Chip.name flex;
+          n_arrays = flex;
+          grid_cols }
+    in
+    assert (grid_cols * (Chip.grid_rows eff - 1) < flex);
+    eff
+  end
 
 let fault_to_string = function
   | Dead -> "dead"

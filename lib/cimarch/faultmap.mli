@@ -27,13 +27,30 @@ val of_list : Chip.t -> (Chip.coord * fault) list -> t
 
 val inject :
   Chip.t -> seed:int -> ?dead_rate:float -> ?stuck_rate:float ->
-  ?transient_rate:float -> unit -> t
+  ?transient_rate:float -> ?transient_band:float * float -> unit -> t
 (** Random injection, deterministic in [seed]: each array is independently
     [Dead] with [dead_rate] (default 0), else stuck in a uniformly chosen
-    mode with [stuck_rate] (default 0), else transiently failing (with a
-    per-array failure probability drawn in [0.05, 0.5)) with
-    [transient_rate] (default 0). Rates must lie in [0, 1] and sum to at
-    most 1; raises [Invalid_argument] otherwise. *)
+    mode with [stuck_rate] (default 0), else transiently failing with
+    [transient_rate] (default 0). The per-array transient failure
+    probability is drawn uniformly from [transient_band] = [(lo, hi)]
+    (default [(0.05, 0.5)]; [lo = hi] pins it). Rates must lie in [0, 1]
+    and sum to at most 1, and the band must satisfy [0 <= lo <= hi < 1];
+    raises [Invalid_argument] otherwise. *)
+
+val apply : t -> (Chip.coord * fault option) list -> t
+(** Functional update for scheduled runtime fault events: returns a new map
+    with each listed coordinate set to the given state ([None] clears a
+    fault — e.g. a transient that recovered); later entries override
+    earlier ones, the input map is unchanged. Raises [Chip.Invalid_config]
+    on out-of-range coordinates and [Invalid_argument] on an invalid
+    transient probability. *)
+
+val diff : t -> t -> (Chip.coord * fault option) list
+(** [diff before after]: the coordinates whose state differs, with the
+    state they hold in [after], in index order — the exact update list
+    that replays the transition: [apply before (diff before after)] has
+    the same states as [after]. Raises [Invalid_argument] when the two
+    maps describe different chips. *)
 
 val fault_at : t -> int -> fault option
 (** Fault state of the array at a linear index (range-checked). *)
@@ -66,10 +83,14 @@ val faults : t -> (Chip.coord * fault) list
 (** Every faulty array with its state, in index order. *)
 
 val effective_chip : t -> Chip.t
-(** The chip the *solver* sees: [n_arrays] reduced to [flexible_count]
-    (grid clamped accordingly) so every capacity query counts only arrays
-    the compiler may place freely. Raises [Invalid_argument] when no
-    flexible array remains — there is nothing left to compile onto. *)
+(** The chip the *solver* sees: [n_arrays] reduced to [flexible_count],
+    with both grid dimensions re-derived so the grid tightly covers the
+    surviving pool ([grid_cols] shrunk only when fewer arrays than columns
+    survive; [Chip.grid_rows] follows by ceiling division, so no row is
+    entirely empty) — every capacity query counts only arrays the compiler
+    may place freely, and the result always passes [Chip.validate]. Raises
+    [Invalid_argument] when no flexible array remains — there is nothing
+    left to compile onto. *)
 
 val fault_to_string : fault -> string
 

@@ -680,6 +680,102 @@ let compile_robust ?config ?options ?faults chip graph =
             [ "pipeline: " ^ first_error; "serial fallback: " ^ second_error ] }
   end
 
+type recompile_outcome = {
+  rc_result : result;
+  rc_level : int;
+  rc_attempts : int;
+  rc_seconds : float;
+}
+
+(* The online recompile ladder: progressively cheaper configs of the same
+   compilation, ending at the serial single-operator path. Levels whose
+   config collapses to an earlier one (the caller already compiles with a
+   tiny node budget, say) are skipped so an attempt is never wasted on a
+   duplicate. *)
+let recompile_ladder cfg =
+  let levels =
+    [ (0, cfg);
+      (1, Config.with_milp_max_nodes (min cfg.Config.milp_max_nodes 32) cfg);
+      (2, cfg |> Config.with_milp_max_nodes 1 |> Config.with_refine false) ]
+  in
+  let rec dedupe seen = function
+    | [] -> []
+    | (lvl, c) :: rest ->
+      let key = Config.canonical c in
+      if List.mem key seen then dedupe seen rest
+      else (lvl, c) :: dedupe (key :: seen) rest
+  in
+  dedupe [] levels
+
+let serial_level = 3
+
+let recompile ?config ?budget_seconds ?(start_level = 0) chip graph =
+  (match budget_seconds with
+  | Some b when (not (Float.is_finite b)) || b < 0. ->
+    invalid_arg "Cmswitch.recompile: budget_seconds must be non-negative"
+  | _ -> ());
+  if start_level < 0 || start_level > serial_level then
+    invalid_arg
+      (Printf.sprintf "Cmswitch.recompile: start_level %d outside [0, %d]"
+         start_level serial_level);
+  let cfg = resolve_config ?config () in
+  let t0 = Unix.gettimeofday () in
+  let attempts = ref 0 in
+  let failures = ref [] (* newest first, like compile_serial's events *) in
+  let finish level r =
+    Degrade.count_recompile ~level;
+    Ok
+      {
+        rc_result = r;
+        rc_level = level;
+        rc_attempts = !attempts;
+        rc_seconds = Unix.gettimeofday () -. t0;
+      }
+  in
+  let serial () =
+    incr attempts;
+    let events =
+      ref
+        (List.map
+           (fun detail ->
+             { Degrade.lo = 0; hi = 0; stage = Degrade.Serial_fallback; detail })
+           !failures)
+    in
+    let options = Config.to_options cfg in
+    let faults = cfg.Config.faults in
+    match compile_serial ~options ?faults chip graph events with
+    | r -> finish serial_level r
+    | exception (Failure e | Invalid_argument e | Opinfo.Unsupported e) ->
+      let healthy =
+        match faults with
+        | None -> chip.Chip.n_arrays
+        | Some fm -> Faultmap.flexible_count fm
+      in
+      Error
+        { (Degrade.empty_report ~total:chip.Chip.n_arrays ~healthy) with
+          Degrade.events = List.rev !events;
+          diagnostics = List.rev (("serial fallback: " ^ e) :: !failures) }
+  in
+  let rec descend = function
+    | [] -> serial ()
+    | (level, c) :: rest ->
+      (* a spent budget jumps straight to the cheapest level — degrade,
+         don't give up: the fleet needs *a* plan, not the best one *)
+      if Degrade.budget_spent ~started:t0 ~budget:budget_seconds then serial ()
+      else begin
+        incr attempts;
+        match compile ~config:c chip graph with
+        | r -> finish level r
+        | exception (Failure e | Invalid_argument e | Opinfo.Unsupported e) ->
+          Log.warn (fun m ->
+              m "recompile ladder level %d failed (%s); descending" level e);
+          failures := Printf.sprintf "ladder level %d: %s" level e :: !failures;
+          descend rest
+      end
+  in
+  descend
+    (List.filter (fun (lvl, _) -> lvl >= start_level) (recompile_ladder cfg))
+
 let memory_mode_ratio r =
   match r.schedule.Plan.segments with
   | [] -> 0.

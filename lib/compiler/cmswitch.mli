@@ -144,6 +144,37 @@ val compile_robust :
     [Error report] whose diagnostics say what failed at each stage. The
     serial fallback is never cached. *)
 
+(** What an online recompile produced, and how hard it had to degrade. *)
+type recompile_outcome = {
+  rc_result : result;
+  rc_level : int;
+      (** ladder level that produced the plan: 0 = the given config,
+          1 = node budget clamped to 32, 2 = near-greedy (node budget 1,
+          no refinement), 3 = serial single-operator segments *)
+  rc_attempts : int;   (** ladder levels actually tried *)
+  rc_seconds : float;  (** total wall-clock across all attempts *)
+}
+
+val recompile :
+  ?config:Config.t -> ?budget_seconds:float -> ?start_level:int ->
+  Cim_arch.Chip.t -> Cim_nnir.Graph.t ->
+  (recompile_outcome, Degrade.report) Stdlib.result
+(** The reusable recompile-around-faults entry point for runtime serving:
+    compile under [config] (put the current fault map in [config.faults]),
+    descending a fixed degradation ladder until some level yields a plan.
+    Each level is an ordinary {!compile}, so a warm compilation cache makes
+    repeated recompiles of previously-seen fault maps near-free; duplicate
+    ladder configs are skipped. With [budget_seconds], a spent wall-clock
+    budget jumps straight to the cheapest (serial) level rather than giving
+    up — the caller needs {e a} plan now, not the best one. Note that a
+    wall-clock budget can make the {e chosen level} timing-dependent; leave
+    it [None] (the default) where the byte-identical determinism contract
+    matters, e.g. under {!Cim_sim.Fleet}'s plan prefetch. [start_level]
+    (default 0) skips the expensive levels up front. [Error report] only
+    when even serial compilation cannot fit the graph on the remaining
+    arrays. Emits [compile.recompile.total] / [compile.recompile.level<N>]
+    counters on success. *)
+
 val memory_mode_ratio : result -> float
 (** Average over segments of (memory-mode arrays / chip arrays) — the
     metric of Fig. 16's last row. *)

@@ -38,6 +38,18 @@ let count_stage = function
   | Greedy_fallback -> Cim_obs.Metrics.incr m_greedy
   | Serial_fallback -> Cim_obs.Metrics.incr m_serial
 
+let budget_spent ~started ~budget =
+  match budget with
+  | None -> false
+  | Some b -> Unix.gettimeofday () -. started >= b
+
+let m_recompile_total = Cim_obs.Metrics.counter "compile.recompile.total"
+
+let count_recompile ~level =
+  Cim_obs.Metrics.incr m_recompile_total;
+  Cim_obs.Metrics.incr
+    (Cim_obs.Metrics.counter (Printf.sprintf "compile.recompile.level%d" level))
+
 let pp ppf r =
   Format.fprintf ppf "@[<v>degradation: %s (%d/%d arrays usable)"
     (if degraded r then "DEGRADED" else "clean")

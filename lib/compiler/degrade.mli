@@ -37,6 +37,19 @@ val count_stage : stage -> unit
     path in [Cmswitch.compile_serial] builds its events by hand and calls
     this directly. *)
 
+val budget_spent : started:float -> budget:float option -> bool
+(** Wall-clock compile-budget check for online recompilation: [true] once
+    [budget] seconds have elapsed since [started] (a [Unix.gettimeofday]
+    stamp); a [None] budget is never spent. Centralised here so every
+    ladder consumer ([Cmswitch.recompile], the serving CLI) applies the
+    same semantics: spent budget means jump to the {e cheapest} level, not
+    give up. *)
+
+val count_recompile : level:int -> unit
+(** Bump the online-recompile counters ([compile.recompile.total] plus the
+    per-ladder-level [compile.recompile.level<N>]); no-op when
+    {!Cim_obs.Metrics} is disabled. *)
+
 val pp : Format.formatter -> report -> unit
 
 val solve :

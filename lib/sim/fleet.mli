@@ -1,0 +1,122 @@
+(** Event-driven multi-chip fleet serving with a runtime failure model.
+
+    {!Serving} replays a trace through one healthy chip; this module grows
+    that into a fleet: [chips] identical chips behind a shared router, a
+    seeded fault {e schedule} delivered mid-run (arrays die, get stuck in
+    one mode, or start failing switches at given cycles), and the runtime
+    policies a production deployment needs to survive it —
+
+    - {b recompile-around-faults}: when a fault lands on a chip, its
+      in-flight request is aborted and retried (bounded exponential
+      backoff) while the chip recompiles against its new fault map and is
+      back after [recompile_cycles] of simulated downtime;
+    - {b circuit breaker}: a chip that faults [breaker_threshold] times is
+      pulled out of rotation for good and its queue re-routed;
+    - {b SLO-aware shedding}: under an SLO, a request that can no longer be
+      served in full within its latency target is degraded to a cheaper
+      {e shed} tier (output truncated to [shed_output] tokens) {e before}
+      any request is dropped outright.
+
+    Every offered request reaches exactly one terminal state — completed
+    (full service), dropped (rejected at arrival), or shed (truncated
+    service, or gave up after exhausting retries: the [starved] subset) —
+    so [completed + dropped + shed = offered] always holds.
+
+    Determinism: plans for every fault map a chip can pass through are
+    prefetched in parallel and merged in schedule order; the event loop
+    itself is a serial discrete-event simulation. With a deterministic
+    planner, stats are byte-identical at any [jobs] count for the same
+    seed, schedule, and trace. Recompile downtime is charged in simulated
+    cycles ([recompile_cycles]), never wall-clock, for the same reason. *)
+
+type fault_event = {
+  at : float;           (** cycles since trace start *)
+  chip : int;           (** fleet chip id, [0 <= chip < chips] *)
+  coord : Cim_arch.Chip.coord;
+  state : Cim_arch.Faultmap.fault option;
+      (** new state for that array; [None] clears the fault (repair) *)
+}
+
+val schedule_to_string : fault_event list -> string
+(** One event per line: [at=CYCLES chip=I array=X,Y fault=KIND] with [KIND]
+    one of [dead], [stuck-compute], [stuck-memory], [transient:P], [clear]. *)
+
+val schedule_of_string : string -> (fault_event list, string) result
+(** Parse the {!schedule_to_string} format; blank lines and [#] comments
+    are skipped. Errors name the offending line. *)
+
+val random_schedule :
+  Cim_util.Rng.t -> chip:Cim_arch.Chip.t -> chips:int -> n:int ->
+  horizon:float -> fault_event list
+(** [n] events at uniform times in [0, horizon), uniform over chips and
+    arrays, biased towards [Dead] (1/2; stuck 1/4, transient 1/4), sorted
+    by time. Deterministic in the RNG state. *)
+
+type plan = {
+  level : int;
+      (** degradation-ladder level this plan was compiled at (0 = best);
+          informational — the simulator only charges [profile] *)
+  profile : Serving.cost_profile;
+}
+
+type planner = chip:int -> faults:Cim_arch.Faultmap.t -> plan option
+(** Compile (or fetch from cache) a serving plan for one chip under one
+    fault map; [None] means no plan exists (e.g. no flexible array
+    survives) and the chip is out. Called once per (chip, fault-event
+    prefix), possibly from pool workers — must be pure and deterministic
+    for the fleet determinism contract to hold. *)
+
+type config = {
+  chips : int;               (** fleet size, >= 1 *)
+  slo : float option;
+      (** per-request latency target in cycles; [None] disables both
+          admission drops and shedding-by-SLO *)
+  shed_output : int;         (** output tokens a shed request still gets *)
+  max_retries : int;         (** fault-abort retries before starving *)
+  backoff_base : float;      (** first retry delay, cycles *)
+  backoff_cap : float;       (** retry delay ceiling, cycles *)
+  breaker_threshold : int;   (** fault events before the breaker opens *)
+  recompile_cycles : float;  (** simulated downtime per online recompile *)
+  jobs : int;                (** plan-prefetch parallelism *)
+}
+
+val default_config : config
+(** 2 chips, no SLO, 4-token shed tier, 3 retries, backoff 1k..64k cycles,
+    breaker at 4 faults, 10k-cycle recompiles, [Pool.default_jobs ()]. *)
+
+type stats = {
+  offered : int;
+  completed : int;           (** served in full *)
+  dropped : int;             (** rejected at arrival (SLO admission, or no
+                                 chip left in rotation) *)
+  shed : int;                (** served truncated, or starved *)
+  starved : int;             (** subset of [shed]: gave up after retries /
+                                 eviction with no chip left; zero tokens *)
+  retries : int;
+  recompiles : int;
+  breaker_opens : int;
+  chips_out : int;           (** chips out of rotation at end of run *)
+  slo_violations : int;      (** served requests that still missed the SLO *)
+  makespan : float;
+  mean_latency : float;      (** over served (completed + shed) requests *)
+  p50_latency : float;
+  p95_latency : float;
+  p99_latency : float;       (** nearest-rank, like {!Serving.stats} *)
+  mean_ttft : float;
+  tokens : int;
+  tokens_per_megacycle : float;
+  per_chip_served : int list;  (** requests served, by chip id *)
+}
+
+val zero_stats : stats
+
+val run :
+  ?config:config -> chip:Cim_arch.Chip.t -> planner -> fault_event list ->
+  Serving.request list -> stats
+(** Simulate the fleet over the trace and fault schedule. Events sharing a
+    timestamp fire faults-before-arrivals, then in insertion order. Also
+    emits [serving.*] counters ([offered]/[completed]/[dropped]/[shed]/
+    [starved]/[retries]/[recompiles]/[breaker_opens]/[tokens]) and latency
+    histograms when metrics are enabled. Raises [Invalid_argument] on an
+    invalid config, a malformed request, or a fault event naming a chip
+    outside [0, chips). *)

@@ -31,7 +31,14 @@ let zero_stats =
   }
 
 let interpolate samples =
-  match List.sort_uniq compare samples with
+  (* dedupe by x KEY, keeping the last sample given for each x: sort_uniq
+     over pairs dedupes (x, y) pairs only, so duplicate-x samples like
+     (5, 1.0); (5, 2.0) would both survive and put a zero-width bracket
+     (x1 - x0 = 0 -> NaN cycles) into the table *)
+  let by_x = Hashtbl.create (List.length samples) in
+  List.iter (fun (x, y) -> Hashtbl.replace by_x x y) samples;
+  let samples = Hashtbl.fold (fun x y acc -> (x, y) :: acc) by_x [] in
+  match List.sort compare samples with
   | [] ->
     (* no samples: an empty profile costs nothing, matching the zeroed
        stats an empty trace produces *)
@@ -131,4 +138,25 @@ let poisson_trace rng ~n ~mean_gap ~prompt ~output =
         draw ()
       in
       t := !t +. (-.mean_gap *. log u);
+      { arrival = !t; prompt; output })
+
+let bursty_trace rng ~n ~burst ~mean_gap ~intra_gap ~prompt ~output =
+  if n <= 0 then invalid_arg "Serving.bursty_trace: n must be positive";
+  if burst <= 0 then invalid_arg "Serving.bursty_trace: burst must be positive";
+  if intra_gap < 0. then
+    invalid_arg "Serving.bursty_trace: intra_gap must be non-negative";
+  let t = ref 0. in
+  List.init n (fun i ->
+      if i mod burst = 0 then begin
+        (* a new burst front arrives after an exponential inter-burst gap *)
+        let u =
+          let rec draw () =
+            let u = Cim_util.Rng.float rng 1. in
+            if u = 0. then draw () else u
+          in
+          draw ()
+        in
+        t := !t +. (-.mean_gap *. log u)
+      end
+      else t := !t +. intra_gap;
       { arrival = !t; prompt; output })

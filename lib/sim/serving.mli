@@ -46,8 +46,10 @@ val default_config : config
 
 val interpolate : (int * float) list -> int -> float
 (** Piecewise-linear interpolation through sample points (sorted
-    internally, constant extrapolation outside). An empty sample list
-    yields the constant-zero profile. *)
+    internally, constant extrapolation outside). Duplicate-x samples are
+    deduplicated by key, keeping the {e last} one given — never a
+    zero-width bracket, never NaN. An empty sample list yields the
+    constant-zero profile. *)
 
 val run :
   ?config:config -> ?deadline:float -> cost_profile -> request list -> stats
@@ -65,4 +67,14 @@ val run :
 val poisson_trace :
   Cim_util.Rng.t -> n:int -> mean_gap:float -> prompt:int -> output:int ->
   request list
-(** Synthetic trace: exponential inter-arrival gaps, fixed shape. *)
+(** Synthetic open-loop trace: exponential inter-arrival gaps, fixed
+    shape. *)
+
+val bursty_trace :
+  Cim_util.Rng.t -> n:int -> burst:int -> mean_gap:float -> intra_gap:float ->
+  prompt:int -> output:int -> request list
+(** Synthetic open-loop bursty trace: bursts of [burst] requests spaced
+    [intra_gap] cycles apart inside the burst, with exponential
+    (mean [mean_gap]) gaps between burst fronts — the adversarial arrival
+    pattern for admission and shedding policies. Raises [Invalid_argument]
+    on non-positive [n]/[burst] or negative [intra_gap]. *)

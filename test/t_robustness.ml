@@ -492,6 +492,378 @@ let test_serving_small_trace_p95 () =
     s.Serving.p95_latency;
   Alcotest.(check int) "all completed" 3 s.Serving.completed
 
+(* --- satellite regressions: interpolate, transient band, apply/diff --- *)
+
+let test_interpolate_dup_x () =
+  (* duplicate-x samples must dedupe by key (last wins), never produce a
+     zero-width bracket *)
+  let f = Serving.interpolate [ (5, 1.); (5, 2.); (10, 4.) ] in
+  Alcotest.(check (float 1e-9)) "last sample wins at the duplicate" 2. (f 5);
+  let mid = f 7 in
+  Alcotest.(check bool) "finite between samples" true (Float.is_finite mid);
+  Alcotest.(check (float 1e-9)) "interpolates from the kept sample" 2.8 mid;
+  Alcotest.(check (float 1e-9)) "constant extrapolation below" 2. (f 0);
+  Alcotest.(check (float 1e-9)) "constant extrapolation above" 4. (f 99)
+
+let test_inject_transient_band () =
+  let fm =
+    Faultmap.inject chip ~seed:1 ~transient_rate:1.0 ~transient_band:(0.2, 0.2)
+      ()
+  in
+  for i = 0 to chip.Chip.n_arrays - 1 do
+    Alcotest.(check (float 1e-9)) "lo = hi pins the probability" 0.2
+      (Faultmap.transient_prob fm i)
+  done;
+  let default_band = Faultmap.inject chip ~seed:9 ~transient_rate:1.0 () in
+  let explicit_default =
+    Faultmap.inject chip ~seed:9 ~transient_rate:1.0
+      ~transient_band:(0.05, 0.5) ()
+  in
+  Alcotest.(check bool) "default band is (0.05, 0.5), same seed stream" true
+    (Faultmap.faults default_band = Faultmap.faults explicit_default);
+  let invalid band =
+    match
+      Faultmap.inject chip ~seed:1 ~transient_rate:0.5 ~transient_band:band ()
+    with
+    | _ -> false
+    | exception Invalid_argument msg -> contains msg "transient band"
+  in
+  Alcotest.(check bool) "hi < lo rejected" true (invalid (0.4, 0.2));
+  Alcotest.(check bool) "hi = 1 rejected" true (invalid (0.5, 1.0));
+  Alcotest.(check bool) "negative lo rejected" true (invalid (-0.1, 0.5))
+
+let test_faultmap_apply_diff () =
+  let before =
+    Faultmap.of_list chip
+      [ (c 0 0, Faultmap.Dead); (c 1 0, Faultmap.Stuck_mode Mode.Memory) ]
+  in
+  let after =
+    Faultmap.apply before
+      [ (c 0 0, None) (* repaired *);
+        (c 2 0, Some (Faultmap.Transient_switch_failure 0.3));
+        (c 1 0, Some Faultmap.Dead) ]
+  in
+  Alcotest.(check bool) "apply is functional: input unchanged" true
+    (Faultmap.fault before (c 0 0) = Some Faultmap.Dead);
+  Alcotest.(check bool) "None clears the fault" true
+    (Faultmap.fault after (c 0 0) = None);
+  Alcotest.(check bool) "update landed" true
+    (Faultmap.fault after (c 1 0) = Some Faultmap.Dead);
+  let d = Faultmap.diff before after in
+  Alcotest.(check int) "three coordinates changed" 3 (List.length d);
+  Alcotest.(check bool) "apply before (diff before after) = after" true
+    (Faultmap.diff (Faultmap.apply before d) after = []);
+  Alcotest.(check bool) "diff of equal maps is empty" true
+    (Faultmap.diff after after = [])
+
+let test_effective_chip_roundtrip () =
+  List.iter
+    (fun dead ->
+      let fm =
+        Faultmap.of_list chip
+          (List.init dead (fun i ->
+               (Chip.coord_of_index chip i, Faultmap.Dead)))
+      in
+      let eff = Faultmap.effective_chip fm in
+      let flex = chip.Chip.n_arrays - dead in
+      Alcotest.(check int) "capacity = flexible pool" flex eff.Chip.n_arrays;
+      Alcotest.(check bool) "validate round-trip" true
+        (Chip.validate eff = eff);
+      Alcotest.(check bool) "grid_cols within pool" true
+        (eff.Chip.grid_cols <= flex);
+      Alcotest.(check bool) "grid covers the pool" true
+        (eff.Chip.grid_cols * Chip.grid_rows eff >= flex);
+      Alcotest.(check bool) "no fully-empty row" true
+        (eff.Chip.grid_cols * (Chip.grid_rows eff - 1) < flex))
+    (* includes flex < grid_cols (the tail cases) *)
+    [ 1; 7; chip.Chip.n_arrays - 3; chip.Chip.n_arrays - 1 ]
+
+(* --- the online recompile ladder --- *)
+
+let test_recompile_healthy_level0 () =
+  match Cmswitch.recompile chip (small_mlp ()) with
+  | Ok o ->
+    Alcotest.(check int) "healthy compile at ladder level 0" 0
+      o.Cmswitch.rc_level;
+    Alcotest.(check int) "one attempt" 1 o.Cmswitch.rc_attempts
+  | Error _ -> Alcotest.fail "healthy recompile must succeed"
+
+let test_recompile_budget_jumps_to_serial () =
+  match Cmswitch.recompile ~budget_seconds:0. chip (small_mlp ()) with
+  | Ok o ->
+    Alcotest.(check int) "spent budget jumps to the serial level" 3
+      o.Cmswitch.rc_level;
+    Alcotest.(check bool) "serial fallback events recorded" true
+      (List.exists
+         (fun e -> e.Degrade.stage = Degrade.Serial_fallback)
+         o.Cmswitch.rc_result.Cmswitch.degradation.Degrade.events)
+  | Error _ -> Alcotest.fail "the serial level must still produce a plan"
+
+let test_recompile_start_level () =
+  (match Cmswitch.recompile ~start_level:2 chip (small_mlp ()) with
+  | Ok o ->
+    Alcotest.(check bool) "starts at the requested level" true
+      (o.Cmswitch.rc_level >= 2)
+  | Error _ -> Alcotest.fail "the near-greedy level must plan a small MLP");
+  match Cmswitch.recompile ~start_level:9 chip (small_mlp ()) with
+  | exception Invalid_argument msg ->
+    Alcotest.(check bool) "bad start_level rejected" true
+      (contains msg "start_level")
+  | _ -> Alcotest.fail "start_level 9 accepted"
+
+let test_recompile_all_dead () =
+  let all_dead =
+    Faultmap.of_list chip
+      (List.init chip.Chip.n_arrays (fun i ->
+           (Chip.coord_of_index chip i, Faultmap.Dead)))
+  in
+  let cfg = Cmswitch.Config.(default |> with_faults (Some all_dead)) in
+  match Cmswitch.recompile ~config:cfg chip (small_mlp ()) with
+  | Ok _ -> Alcotest.fail "an all-dead chip cannot recompile"
+  | Error report ->
+    Alcotest.(check bool) "diagnostics explain every level" true
+      (report.Degrade.diagnostics <> [])
+
+(* --- fleet serving --- *)
+
+module Fleet = Cim_sim.Fleet
+
+let test_fleet_schedule_codec () =
+  let evs =
+    [ { Fleet.at = 100.; chip = 1; coord = c 2 3; state = Some Faultmap.Dead };
+      { Fleet.at = 200.; chip = 0; coord = c 0 1;
+        state = Some (Faultmap.Stuck_mode Mode.Memory) };
+      { Fleet.at = 250.; chip = 0; coord = c 1 1;
+        state = Some (Faultmap.Transient_switch_failure 0.25) };
+      { Fleet.at = 300.; chip = 0; coord = c 0 1; state = None } ]
+  in
+  (match Fleet.schedule_of_string (Fleet.schedule_to_string evs) with
+  | Ok evs' -> Alcotest.(check bool) "round-trips" true (evs = evs')
+  | Error m -> Alcotest.fail m);
+  (match
+     Fleet.schedule_of_string "# comment\n\nat=1 chip=0 array=0,0 fault=dead\n"
+   with
+  | Ok [ e ] ->
+    Alcotest.(check bool) "comments and blanks skipped" true
+      (e.Fleet.state = Some Faultmap.Dead)
+  | _ -> Alcotest.fail "comment/blank skipping failed");
+  match Fleet.schedule_of_string "at=x chip=0 array=0,0 fault=dead" with
+  | Error m ->
+    Alcotest.(check bool) "errors name the line" true (contains m "line 1")
+  | Ok _ -> Alcotest.fail "bad cycle count accepted"
+
+(* a fast compiler-free planner for property tests: the pass cost scales
+   with the lost capacity, and a chip with no flexible array is out *)
+let synthetic_planner ~chip:_ ~faults:fm =
+  let flex = Faultmap.flexible_count fm in
+  if flex = 0 then None
+  else
+    let pass =
+      1e4 *. float_of_int chip.Chip.n_arrays /. float_of_int flex
+    in
+    Some
+      { Fleet.level = (if flex = chip.Chip.n_arrays then 0 else 1);
+        profile =
+          { Serving.prefill_cycles = (fun _ -> pass);
+            decode_cycles = (fun _ -> pass) } }
+
+let prop_fleet_conservation =
+  QCheck.Test.make
+    ~name:"fleet conserves requests over random traces and fault schedules"
+    ~count:30
+    (QCheck.make
+       ~print:(fun (chips, n, faults, seed) ->
+         Printf.sprintf "chips=%d n=%d faults=%d seed=%d" chips n faults seed)
+       QCheck.Gen.(
+         quad (int_range 1 3) (int_range 1 32) (int_range 0 6)
+           (int_range 0 10_000)))
+    (fun (chips, n, faults, seed) ->
+      let reqs =
+        Serving.poisson_trace (Rng.create seed) ~n ~mean_gap:2e4 ~prompt:8
+          ~output:4
+      in
+      let schedule =
+        if faults = 0 then []
+        else
+          Fleet.random_schedule
+            (Rng.create (seed + 1))
+            ~chip ~chips ~n:faults ~horizon:1e6
+      in
+      let config =
+        { Fleet.chips;
+          slo = (if seed mod 2 = 0 then Some 3e5 else None);
+          shed_output = 1;
+          max_retries = seed mod 3;
+          backoff_base = 1e3;
+          backoff_cap = 6.4e4;
+          breaker_threshold = 1 + (seed mod 4);
+          recompile_cycles = 5e3;
+          jobs = 1 }
+      in
+      let s1 = Fleet.run ~config ~chip synthetic_planner schedule reqs in
+      let s4 =
+        Fleet.run
+          ~config:{ config with Fleet.jobs = 4 }
+          ~chip synthetic_planner schedule reqs
+      in
+      (* byte-identical stats at any job count, and every request accounted
+         for exactly once *)
+      s1 = s4 && s1.Fleet.offered = n
+      && s1.Fleet.completed + s1.Fleet.dropped + s1.Fleet.shed
+         = s1.Fleet.offered
+      && s1.Fleet.starved <= s1.Fleet.shed)
+
+let test_fleet_breaker_opens () =
+  (* two dead-array events on chip 0 with threshold 2: the breaker opens,
+     chip 1 absorbs the traffic, nothing is lost *)
+  let schedule =
+    [ { Fleet.at = 1e4; chip = 0; coord = c 0 0; state = Some Faultmap.Dead };
+      { Fleet.at = 2e4; chip = 0; coord = c 1 0; state = Some Faultmap.Dead } ]
+  in
+  let reqs =
+    Serving.poisson_trace (Rng.create 5) ~n:20 ~mean_gap:1.5e4 ~prompt:8
+      ~output:4
+  in
+  let config =
+    { Fleet.default_config with
+      Fleet.chips = 2;
+      breaker_threshold = 2;
+      backoff_base = 1e3;
+      backoff_cap = 6.4e4;
+      recompile_cycles = 5e3;
+      jobs = 1 }
+  in
+  let s = Fleet.run ~config ~chip synthetic_planner schedule reqs in
+  Alcotest.(check int) "breaker opened once" 1 s.Fleet.breaker_opens;
+  Alcotest.(check int) "one chip out" 1 s.Fleet.chips_out;
+  Alcotest.(check int) "first fault recompiled before the breaker" 1
+    s.Fleet.recompiles;
+  Alcotest.(check int) "conservation" s.Fleet.offered
+    (s.Fleet.completed + s.Fleet.dropped + s.Fleet.shed)
+
+let test_fleet_all_chips_out () =
+  (* a single chip whose breaker opens at the first fault: in-flight and
+     queued requests starve (shed), later arrivals are dropped — never an
+     unaccounted request *)
+  let schedule =
+    [ { Fleet.at = 1.5e4; chip = 0; coord = c 0 0; state = Some Faultmap.Dead } ]
+  in
+  let reqs =
+    Serving.poisson_trace (Rng.create 11) ~n:12 ~mean_gap:1e4 ~prompt:8
+      ~output:2
+  in
+  let config =
+    { Fleet.default_config with
+      Fleet.chips = 1;
+      breaker_threshold = 1;
+      jobs = 1 }
+  in
+  let s = Fleet.run ~config ~chip synthetic_planner schedule reqs in
+  Alcotest.(check int) "the only chip is out" 1 s.Fleet.chips_out;
+  Alcotest.(check bool) "later arrivals dropped" true (s.Fleet.dropped > 0);
+  Alcotest.(check int) "conservation" s.Fleet.offered
+    (s.Fleet.completed + s.Fleet.dropped + s.Fleet.shed)
+
+(* --- golden fleet fixture: real planner through Cmswitch.recompile --- *)
+
+let golden_dir () =
+  List.find_opt Sys.file_exists
+    [ "../../../test/golden"; "test/golden"; "golden" ]
+
+let golden_path key =
+  Filename.concat (Option.value (golden_dir ()) ~default:"golden") (key ^ ".txt")
+
+let run_fleet_fixture ~jobs =
+  let graph = small_mlp () in
+  let base_cfg = Cmswitch.Config.(default |> with_jobs 1) in
+  let pass =
+    (Cmswitch.compile ~config:base_cfg chip graph).Cmswitch.schedule
+      .Plan.total_cycles
+  in
+  let planner ~chip:_ ~faults:fm =
+    let cfg =
+      if Faultmap.fault_count fm = 0 then base_cfg
+      else Cmswitch.Config.with_faults (Some fm) base_cfg
+    in
+    match Cmswitch.recompile ~config:cfg chip graph with
+    | Ok o ->
+      let p = o.Cmswitch.rc_result.Cmswitch.schedule.Plan.total_cycles in
+      Some
+        { Fleet.level = o.Cmswitch.rc_level;
+          profile =
+            { Serving.prefill_cycles = (fun _ -> p);
+              decode_cycles = (fun _ -> p) } }
+    | Error _ -> None
+  in
+  let reqs =
+    Serving.poisson_trace (Rng.create 42) ~n:12 ~mean_gap:(2.5 *. pass)
+      ~prompt:8 ~output:2
+  in
+  let schedule =
+    [ { Fleet.at = 3. *. pass; chip = 0; coord = c 0 0;
+        state = Some Faultmap.Dead } ]
+  in
+  let config =
+    { Fleet.default_config with
+      Fleet.chips = 2;
+      slo = Some (20. *. pass);
+      backoff_base = 0.5 *. pass;
+      backoff_cap = 8. *. pass;
+      recompile_cycles = pass;
+      jobs }
+  in
+  Fleet.run ~config ~chip planner schedule reqs
+
+(* %h renders exact binary64 bits: any drift in the event loop shows *)
+let render_fleet_stats (s : Fleet.stats) =
+  Printf.sprintf
+    "offered=%d completed=%d dropped=%d shed=%d starved=%d\n\
+     retries=%d recompiles=%d breaker_opens=%d chips_out=%d slo_violations=%d\n\
+     makespan=%h mean_latency=%h p50=%h p95=%h p99=%h ttft=%h\n\
+     tokens=%d tokens_per_megacycle=%h\n\
+     per_chip=[%s]\n"
+    s.Fleet.offered s.Fleet.completed s.Fleet.dropped s.Fleet.shed
+    s.Fleet.starved s.Fleet.retries s.Fleet.recompiles s.Fleet.breaker_opens
+    s.Fleet.chips_out s.Fleet.slo_violations s.Fleet.makespan
+    s.Fleet.mean_latency s.Fleet.p50_latency s.Fleet.p95_latency
+    s.Fleet.p99_latency s.Fleet.mean_ttft s.Fleet.tokens
+    s.Fleet.tokens_per_megacycle
+    (String.concat "; " (List.map string_of_int s.Fleet.per_chip_served))
+
+let test_fleet_golden () =
+  let s = run_fleet_fixture ~jobs:1 in
+  (* the fixture must actually exercise the failure path *)
+  Alcotest.(check bool) "a mid-run fault forces a recompile" true
+    (s.Fleet.recompiles >= 1);
+  Alcotest.(check int) "no request errors out" s.Fleet.offered
+    (s.Fleet.completed + s.Fleet.dropped + s.Fleet.shed);
+  let rendered = render_fleet_stats s in
+  if Sys.getenv_opt "CMSWITCH_UPDATE_GOLDEN" = Some "1" then begin
+    let path = golden_path "fleet" in
+    let oc = open_out path in
+    output_string oc rendered;
+    close_out oc;
+    Printf.printf "golden fixture refreshed: %s\n" path
+  end
+  else begin
+    let path = golden_path "fleet" in
+    if not (Sys.file_exists path) then
+      Alcotest.failf
+        "missing fixture %s — run CMSWITCH_UPDATE_GOLDEN=1 dune runtest" path;
+    let ic = open_in path in
+    let expected =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    Alcotest.(check string) "fleet stats fingerprint" expected rendered
+  end
+
+let test_fleet_jobs_determinism () =
+  let s1 = run_fleet_fixture ~jobs:1 in
+  let s4 = run_fleet_fixture ~jobs:4 in
+  Alcotest.(check bool) "byte-identical stats at jobs 1 and 4" true (s1 = s4)
+
 let suite =
   ( "robustness",
     [
@@ -527,4 +899,29 @@ let suite =
       Alcotest.test_case "serving: deadline drops" `Quick test_serving_deadline_drops;
       Alcotest.test_case "serving: small-trace p95" `Quick
         test_serving_small_trace_p95;
+      Alcotest.test_case "interpolate: duplicate x keeps last" `Quick
+        test_interpolate_dup_x;
+      Alcotest.test_case "inject: transient band" `Quick
+        test_inject_transient_band;
+      Alcotest.test_case "faultmap apply/diff round-trip" `Quick
+        test_faultmap_apply_diff;
+      Alcotest.test_case "effective chip validates for every pool" `Quick
+        test_effective_chip_roundtrip;
+      Alcotest.test_case "recompile: healthy at level 0" `Quick
+        test_recompile_healthy_level0;
+      Alcotest.test_case "recompile: spent budget goes serial" `Quick
+        test_recompile_budget_jumps_to_serial;
+      Alcotest.test_case "recompile: start level" `Quick
+        test_recompile_start_level;
+      Alcotest.test_case "recompile: all dead errors" `Quick
+        test_recompile_all_dead;
+      Alcotest.test_case "fleet: schedule codec" `Quick
+        test_fleet_schedule_codec;
+      QCheck_alcotest.to_alcotest prop_fleet_conservation;
+      Alcotest.test_case "fleet: circuit breaker" `Quick
+        test_fleet_breaker_opens;
+      Alcotest.test_case "fleet: all chips out" `Quick test_fleet_all_chips_out;
+      Alcotest.test_case "fleet: golden fixture" `Quick test_fleet_golden;
+      Alcotest.test_case "fleet: jobs determinism" `Quick
+        test_fleet_jobs_determinism;
     ] )
