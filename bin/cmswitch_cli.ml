@@ -4,6 +4,8 @@
    cmswitch compile MODEL [--chip X] [--batch N] [--seq N | --kv N] [--emit] [--sim]
    cmswitch compare MODEL [--chip X] [--batch N] [--seq N | --kv N]
    cmswitch serve MODEL [--chips N] [--fault-schedule FILE] [--slo CYCLES]
+                        [--telemetry FILE] [--openmetrics FILE]
+   cmswitch report FILE [-o FILE]
    cmswitch cache (stats|clear|verify) [--cache-dir DIR] *)
 
 open Cmdliner
@@ -174,6 +176,9 @@ let metrics_arg =
 
 module Obs_trace = Cim_obs.Trace
 module Obs_metrics = Cim_obs.Metrics
+module Telemetry = Cim_obs.Telemetry
+module Timeline = Cim_obs.Timeline
+module Json = Cim_obs.Json
 
 let setup_obs ~trace ~metrics =
   if trace <> None then begin
@@ -427,12 +432,51 @@ let recompile_budget_arg =
                  degradation ladder jumps straight to its cheapest level. \
                  Note: makes the chosen plan level timing-dependent.")
 
+let telemetry_arg =
+  Arg.(value & opt (some string) None
+       & info [ "telemetry" ] ~docv:"FILE"
+           ~doc:"Record run telemetry — per-request phase spans, periodic \
+                 fleet snapshots, cost-model drift, metrics, OpenMetrics \
+                 text — into one JSON file; render it offline with \
+                 $(b,cmswitch report).")
+
+let timeline_csv_arg =
+  Arg.(value & opt (some string) None
+       & info [ "timeline-csv" ] ~docv:"FILE"
+           ~doc:"Also write the snapshot timeline as CSV (implies the \
+                 telemetry collector).")
+
+let openmetrics_arg =
+  Arg.(value & opt (some string) None
+       & info [ "openmetrics" ] ~docv:"FILE"
+           ~doc:"Also write the metrics registry in OpenMetrics/Prometheus \
+                 text exposition format (implies the telemetry collector).")
+
+let snapshot_interval_arg =
+  Arg.(value & opt (some float) None
+       & info [ "snapshot-interval" ] ~docv:"CYCLES"
+           ~doc:"Fleet-snapshot sampling interval in simulated cycles. \
+                 Default: 1/12 of the trace horizon.")
+
+let slo_budget_arg =
+  Arg.(value & opt float 0.05
+       & info [ "slo-budget" ] ~docv:"FRACTION"
+           ~doc:"SLO error budget: the tolerated fraction of served \
+                 requests that may violate the SLO; telemetry reports the \
+                 burn rate against it. Only meaningful with $(b,--slo).")
+
 let do_serve chip key batch seq kv chips requests mean_gap burst slo
     fault_schedule fault_events fault_seed seed shed_output max_retries breaker
-    recompile_cycles recompile_budget jobs cache_dir no_cache verbose trace
+    recompile_cycles recompile_budget telemetry_file timeline_csv openmetrics
+    snapshot_interval slo_budget jobs cache_dir no_cache verbose trace
     metrics =
   setup_logs verbose;
-  setup_obs ~trace ~metrics;
+  let tele_on =
+    telemetry_file <> None || timeline_csv <> None || openmetrics <> None
+  in
+  (* the telemetry document embeds the metrics dump and the OpenMetrics
+     text, so a collector implies metric recording (not printing) *)
+  setup_obs ~trace ~metrics:(metrics || tele_on);
   let store = store_for ~cache_dir ~no_cache in
   let e = find_model key in
   let w = workload_of e ~batch ~seq ~kv in
@@ -521,6 +565,70 @@ let do_serve chip key batch seq kv chips requests mean_gap burst slo
   if schedule <> [] then
     Printf.printf "fault schedule: %d events over %.3e cycles\n"
       (List.length schedule) horizon;
+  (* Eq. 10 drift attribution: the compiled schedule's predicted cycles
+     against one timing-simulator pass of the same flow, per component /
+     mode / segment — published as costmodel.drift.* and embedded in the
+     telemetry document *)
+  let drift =
+    if not (tele_on || metrics) then None
+    else begin
+      let measured = Cim_sim.Timing.run chip r0.Cmswitch.program in
+      let sched = r0.Cmswitch.schedule in
+      let prediction =
+        { Cim_sim.Drift.source = sched.Plan.compiler;
+          seg_intra =
+            List.map (fun s -> s.Plan.intra_cycles) sched.Plan.segments;
+          intra = sched.Plan.intra;
+          switch = sched.Plan.switch;
+          rewrite = sched.Plan.rewrite;
+          writeback = sched.Plan.writeback;
+          total = sched.Plan.total_cycles;
+        }
+      in
+      let d = Cim_sim.Drift.attribute prediction measured in
+      Cim_sim.Drift.record_metrics d;
+      Some d
+    end
+  in
+  let tele =
+    if not tele_on then None
+    else begin
+      let interval =
+        match snapshot_interval with
+        | Some i -> i
+        | None -> Float.max 1. (horizon /. 12.)
+      in
+      let t =
+        Telemetry.create ~snapshot_interval:interval
+          ?slo_budget:(if slo = None then None else Some slo_budget) ()
+      in
+      Telemetry.set_meta t "model" (Json.String e.Zoo.key);
+      Telemetry.set_meta t "chip" (Json.String chip.Chip.name);
+      Telemetry.set_meta t "workload" (Json.String (Workload.to_string w));
+      Telemetry.set_meta t "requests" (Json.Int requests);
+      Telemetry.set_meta t "seed" (Json.Int seed);
+      Telemetry.set_meta t "horizon" (Json.Float horizon);
+      Telemetry.set_meta t "fault_events" (Json.Int (List.length schedule));
+      (match drift with
+      | Some d -> Telemetry.set_extra t "drift" (Cim_sim.Drift.to_json d)
+      | None -> ());
+      Some t
+    end
+  in
+  let snapshot_extra () =
+    match store with
+    | None -> []
+    | Some s ->
+      let tally tier =
+        let c = Store.tier_counters s tier in
+        (c.Store.hits, c.Store.hits + c.Store.misses)
+      in
+      let ph, pt = tally Cim_compiler.Ccache.prog_tier in
+      let sh, st = tally Cim_compiler.Ccache.seg_tier in
+      let hits, total = (ph + sh, pt + st) in
+      [ ("cache_hit_rate",
+         if total = 0 then 0. else float_of_int hits /. float_of_int total) ]
+  in
   let config =
     { Fleet.chips;
       slo;
@@ -534,7 +642,8 @@ let do_serve chip key batch seq kv chips requests mean_gap burst slo
     }
   in
   let s =
-    try Fleet.run ~config ~chip planner schedule reqs
+    try Fleet.run ~config ?telemetry:tele ~snapshot_extra ~chip planner
+          schedule reqs
     with Invalid_argument msg ->
       Printf.eprintf "fleet run failed: %s\n" msg;
       exit 1
@@ -551,14 +660,74 @@ let do_serve chip key batch seq kv chips requests mean_gap burst slo
     | None -> ""
     | Some _ -> Printf.sprintf " slo_violations=%d" s.Fleet.slo_violations);
   Printf.printf
-    "latency: mean=%.3e p50=%.3e p95=%.3e p99=%.3e ttft=%.3e cycles\n"
+    "latency: mean=%.3e p50=%.3e p95=%.3e p99=%.3e p999=%.3e ttft=%.3e cycles\n"
     s.Fleet.mean_latency s.Fleet.p50_latency s.Fleet.p95_latency
-    s.Fleet.p99_latency s.Fleet.mean_ttft;
+    s.Fleet.p99_latency s.Fleet.p999_latency s.Fleet.mean_ttft;
   Printf.printf "throughput: %.2f tokens/Mcycle over %.3e cycles; per-chip [%s]\n"
     s.Fleet.tokens_per_megacycle s.Fleet.makespan
     (String.concat "; " (List.map string_of_int s.Fleet.per_chip_served));
+  (match drift with
+  | Some d when metrics -> Format.printf "%a@." Cim_sim.Drift.pp d
+  | _ -> ());
+  (match tele with
+  | None -> ()
+  | Some t ->
+    (match telemetry_file with
+    | Some file ->
+      Telemetry.write_file t file;
+      Printf.printf
+        "telemetry written to %s (%d spans, %d snapshots); render with \
+         `cmswitch report %s`\n"
+        file (Telemetry.span_count t)
+        (Timeline.count (Telemetry.timeline t))
+        file
+    | None -> ());
+    (match timeline_csv with
+    | Some file ->
+      let oc = open_out file in
+      output_string oc (Timeline.to_csv (Telemetry.timeline t));
+      close_out oc;
+      Printf.printf "snapshot timeline written to %s\n" file
+    | None -> ());
+    match openmetrics with
+    | Some file ->
+      Cim_obs.Openmetrics.write_file file;
+      Printf.printf "OpenMetrics exposition written to %s\n" file
+    | None -> ());
   report_cache_counters store;
   finish_obs ~trace ~metrics
+
+(* ---- report subcommand --------------------------------------------------- *)
+
+let telemetry_pos_arg =
+  Arg.(required
+       & pos 0 (some string) None
+       & info [] ~docv:"FILE"
+           ~doc:"Telemetry file from $(b,cmswitch serve --telemetry).")
+
+let report_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write the dashboard to FILE instead of stdout.")
+
+let do_report file out =
+  let doc =
+    try Telemetry.load file with
+    | Sys_error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 1
+    | Json.Parse_error msg ->
+      Printf.eprintf "%s: %s\n" file msg;
+      exit 1
+  in
+  let md = Telemetry.report doc in
+  match out with
+  | None -> print_string md
+  | Some f ->
+    let oc = open_out f in
+    output_string oc md;
+    close_out oc;
+    Printf.printf "report written to %s\n" f
 
 (* ---- cache subcommand ---------------------------------------------------- *)
 
@@ -628,9 +797,20 @@ let serve_cmd =
           $ chips_arg $ requests_arg $ mean_gap_arg $ burst_arg $ slo_arg
           $ fault_schedule_arg $ fault_events_arg $ fault_seed_arg $ seed_arg
           $ shed_output_arg $ max_retries_arg $ breaker_arg
-          $ recompile_cycles_arg $ recompile_budget_arg $ jobs_arg
-          $ cache_dir_arg $ no_cache_arg $ verbose_arg $ trace_arg
-          $ metrics_arg)
+          $ recompile_cycles_arg $ recompile_budget_arg $ telemetry_arg
+          $ timeline_csv_arg $ openmetrics_arg $ snapshot_interval_arg
+          $ slo_budget_arg $ jobs_arg $ cache_dir_arg $ no_cache_arg
+          $ verbose_arg $ trace_arg $ metrics_arg)
+
+let report_cmd =
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Render a telemetry file from $(b,cmswitch serve --telemetry) as a \
+          Markdown dashboard: serving outcome, latency percentiles, \
+          per-chip utilization, Eq. 10 cost-model drift, SLO error budget, \
+          snapshot timeline")
+    Term.(const do_report $ telemetry_pos_arg $ report_out_arg)
 
 let cache_cmd =
   let stats =
@@ -657,4 +837,6 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group info [ list_cmd; compile_cmd; compare_cmd; serve_cmd; cache_cmd ]))
+       (Cmd.group info
+          [ list_cmd; compile_cmd; compare_cmd; serve_cmd; report_cmd;
+            cache_cmd ]))

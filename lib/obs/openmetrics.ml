@@ -1,0 +1,99 @@
+(* OpenMetrics / Prometheus exposition-format renderer over Metrics.dump.
+
+   One metric family per instrument name: dotted registry names are
+   sanitised to the [a-zA-Z_:][a-zA-Z0-9_:]* grammar ('.' and every other
+   illegal character become '_'), counters gain the mandated "_total"
+   sample suffix, histograms expand to the _bucket/_sum/_count series with
+   cumulative le="..." labels, and the exposition ends with "# EOF". All
+   label sets of one family share a single # TYPE line. *)
+
+let sanitize_name name =
+  let b = Bytes.of_string name in
+  Bytes.iteri
+    (fun i c ->
+      let ok =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+        || (i > 0 && c >= '0' && c <= '9')
+      in
+      if not ok then Bytes.set b i '_')
+    b;
+  Bytes.to_string b
+
+let escape_label_value s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render_float x =
+  if Float.is_nan x then "NaN"
+  else if x = Float.infinity then "+Inf"
+  else if x = Float.neg_infinity then "-Inf"
+  else if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.17g" x
+
+let render_labels labels =
+  match labels with
+  | [] -> ""
+  | l ->
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) ->
+             Printf.sprintf "%s=\"%s\"" (sanitize_name k) (escape_label_value v))
+           l)
+    ^ "}"
+
+let to_string () =
+  let buf = Buffer.create 1024 in
+  let typed : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let type_line name kind =
+    if not (Hashtbl.mem typed name) then begin
+      Hashtbl.replace typed name ();
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+    end
+  in
+  List.iter
+    (fun (name, labels, v) ->
+      let mname = sanitize_name name in
+      match v with
+      | Metrics.Counter c ->
+        type_line mname "counter";
+        Buffer.add_string buf
+          (Printf.sprintf "%s_total%s %s\n" mname (render_labels labels)
+             (render_float c))
+      | Metrics.Gauge g ->
+        type_line mname "gauge";
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s %s\n" mname (render_labels labels)
+             (render_float g))
+      | Metrics.Histogram s ->
+        type_line mname "histogram";
+        List.iter
+          (fun (le, cum) ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s_bucket%s %d\n" mname
+                 (render_labels (labels @ [ ("le", render_float le) ]))
+                 cum))
+          s.Metrics.buckets;
+        Buffer.add_string buf
+          (Printf.sprintf "%s_sum%s %s\n" mname (render_labels labels)
+             (render_float s.Metrics.sum));
+        Buffer.add_string buf
+          (Printf.sprintf "%s_count%s %d\n" mname (render_labels labels)
+             s.Metrics.n))
+    (Metrics.dump ());
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf
+
+let write_file file =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ()))

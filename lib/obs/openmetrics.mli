@@ -1,0 +1,20 @@
+(** OpenMetrics (Prometheus text exposition) renderer for the metrics
+    registry.
+
+    Dotted registry names are sanitised to the exposition grammar
+    ([a-zA-Z_:][a-zA-Z0-9_:]*, so [serving.offered] becomes
+    [serving_offered]); counters emit a [_total]-suffixed sample,
+    histograms the cumulative [_bucket{le="..."}]/[_sum]/[_count] series
+    from their fixed buckets, labelled instruments carry their label set
+    on every sample, and the output terminates with [# EOF] as the
+    OpenMetrics specification requires. *)
+
+val sanitize_name : string -> string
+(** Map a registry name onto the exposition grammar: any character outside
+    [a-zA-Z0-9_:] (or a leading digit) becomes ['_']. *)
+
+val to_string : unit -> string
+(** Render every touched instrument ({!Metrics.dump}). *)
+
+val write_file : string -> unit
+(** {!to_string} to a file. *)

@@ -1,0 +1,337 @@
+(* Per-run telemetry collector: request-phase spans, instant marks, and
+   periodic snapshots, serialised to one self-contained JSON file that the
+   [cmswitch report] dashboard renders offline. Unlike [Trace], a
+   collector is an explicit value owned by one driver (the serial fleet
+   event loop), so it carries no lock and no global enable flag — whoever
+   holds a [t] pays for it. *)
+
+type span = {
+  name : string;
+  lane : string;
+  ts : float;
+  dur : float;
+  attrs : (string * Json.t) list;
+}
+
+type mark = {
+  mname : string;
+  mlane : string;
+  mts : float;
+  mattrs : (string * Json.t) list;
+}
+
+type t = {
+  snapshot_interval : float;
+  slo_budget : float option;
+  timeline : Timeline.t;
+  mutable meta : (string * Json.t) list; (* reversed insertion order *)
+  mutable extras : (string * Json.t) list; (* reversed insertion order *)
+  mutable spans : span list; (* reversed *)
+  mutable marks : mark list; (* reversed *)
+  mutable nspans : int;
+}
+
+let create ?(snapshot_interval = 1000.) ?slo_budget () =
+  (match slo_budget with
+  | Some b when not (b > 0. && b < 1.) ->
+    invalid_arg "Telemetry.create: slo_budget must be in (0, 1)"
+  | _ -> ());
+  {
+    snapshot_interval;
+    slo_budget;
+    timeline = Timeline.create ~interval:snapshot_interval ();
+    meta = [];
+    extras = [];
+    spans = [];
+    marks = [];
+    nspans = 0;
+  }
+
+let snapshot_interval t = t.snapshot_interval
+let slo_budget t = t.slo_budget
+let timeline t = t.timeline
+
+let set_meta t key v =
+  t.meta <- (key, v) :: List.remove_assoc key t.meta
+
+let set_extra t key v =
+  t.extras <- (key, v) :: List.remove_assoc key t.extras
+
+let span t ?(attrs = []) ~lane ~ts ~dur name =
+  t.spans <- { name; lane; ts; dur; attrs } :: t.spans;
+  t.nspans <- t.nspans + 1
+
+let mark t ?(attrs = []) ~lane ~ts name =
+  t.marks <- { mname = name; mlane = lane; mts = ts; mattrs = attrs } :: t.marks
+
+let span_count t = t.nspans
+
+let slo_summary ~budget ~violations ~completed =
+  let total = max completed 1 in
+  let error_rate = float_of_int violations /. float_of_int total in
+  let burn_rate = error_rate /. budget in
+  Json.Obj
+    [ ("budget", Json.Float budget);
+      ("completed", Json.Int completed);
+      ("violations", Json.Int violations);
+      ("error_rate", Json.Float error_rate);
+      ("burn_rate", Json.Float burn_rate);
+      ("budget_remaining", Json.Float (1. -. burn_rate)) ]
+
+let span_json s =
+  Json.Obj
+    ([ ("name", Json.String s.name);
+       ("lane", Json.String s.lane);
+       ("ts", Json.Float s.ts);
+       ("dur", Json.Float s.dur) ]
+    @ if s.attrs = [] then [] else [ ("attrs", Json.Obj s.attrs) ])
+
+let mark_json m =
+  Json.Obj
+    ([ ("name", Json.String m.mname);
+       ("lane", Json.String m.mlane);
+       ("ts", Json.Float m.mts) ]
+    @ if m.mattrs = [] then [] else [ ("attrs", Json.Obj m.mattrs) ])
+
+let to_json t =
+  Json.Obj
+    ([ ("meta", Json.Obj (List.rev t.meta));
+       ("spans", Json.List (List.rev_map span_json t.spans));
+       ("marks", Json.List (List.rev_map mark_json t.marks));
+       ("snapshots", Timeline.to_json t.timeline);
+       ("metrics", Metrics.to_json ());
+       ("openmetrics", Json.String (Openmetrics.to_string ())) ]
+    @ List.rev t.extras)
+
+let write_file t file =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Json.to_string ~pretty:true (to_json t)))
+
+let load file =
+  let ic = open_in file in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> Json.of_string (really_input_string ic (in_channel_length ic)))
+
+(* ------------------------------------------------------------------ *)
+(* Markdown dashboard over a parsed telemetry file. Every section is
+   optional: the renderer reports what the file contains and skips what it
+   does not, so it also degrades gracefully on files from older runs. *)
+
+let fnum v =
+  if Float.is_nan v then "nan"
+  else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.4g" v
+
+let jrender = function
+  | Json.String s -> s
+  | Json.Int i -> string_of_int i
+  | Json.Float f -> fnum f
+  | Json.Bool b -> string_of_bool b
+  | Json.Null -> "-"
+  | j -> Json.to_string j
+
+let jobj = function Json.Obj kvs -> kvs | _ -> []
+let jarr = function Json.List l -> l | _ -> []
+let mem k j = Json.member k j
+let memf k j = Option.bind (Json.member k j) Json.to_float
+let mems k j = match Json.member k j with Some (Json.String s) -> s | _ -> "-"
+
+let section buf title = Buffer.add_string buf ("\n## " ^ title ^ "\n\n")
+let row buf cells = Buffer.add_string buf ("| " ^ String.concat " | " cells ^ " |\n")
+
+let header buf cells =
+  row buf cells;
+  row buf (List.map (fun _ -> "---") cells)
+
+let render_meta buf doc =
+  match mem "meta" doc with
+  | Some (Json.Obj kvs) when kvs <> [] ->
+    section buf "Run";
+    header buf [ "key"; "value" ];
+    List.iter (fun (k, v) -> row buf [ k; jrender v ]) kvs
+  | _ -> ()
+
+let render_serving buf doc =
+  let metrics = Option.value (mem "metrics" doc) ~default:(Json.Obj []) in
+  let pick prefix kvs =
+    List.filter (fun (k, _) -> String.starts_with ~prefix k) kvs
+  in
+  let counters =
+    pick "serving." (jobj (Option.value (mem "counters" metrics) ~default:Json.Null))
+  in
+  let gauges =
+    pick "serving." (jobj (Option.value (mem "gauges" metrics) ~default:Json.Null))
+  in
+  if counters <> [] || gauges <> [] then begin
+    section buf "Serving";
+    header buf [ "metric"; "value" ];
+    List.iter (fun (k, v) -> row buf [ k; jrender v ]) (counters @ gauges)
+  end;
+  let hists =
+    jobj (Option.value (mem "histograms" metrics) ~default:Json.Null)
+  in
+  let latency = pick "serving." hists in
+  if latency <> [] then begin
+    section buf "Latency";
+    header buf [ "histogram"; "count"; "mean"; "p50"; "p95"; "p99"; "p999"; "max" ];
+    List.iter
+      (fun (k, h) ->
+        let f field = match memf field h with Some v -> fnum v | None -> "-" in
+        row buf
+          [ k; f "count"; f "mean"; f "p50"; f "p95"; f "p99"; f "p999"; f "max" ])
+      latency
+  end
+
+let render_phases buf doc =
+  let spans = jarr (Option.value (mem "spans" doc) ~default:Json.Null) in
+  if spans <> [] then begin
+    let tbl : (string, int ref * float ref) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun s ->
+        let name = mems "name" s in
+        let dur = Option.value (memf "dur" s) ~default:0. in
+        let n, total =
+          match Hashtbl.find_opt tbl name with
+          | Some cell -> cell
+          | None ->
+            let cell = (ref 0, ref 0.) in
+            Hashtbl.add tbl name cell;
+            cell
+        in
+        incr n;
+        total := !total +. dur)
+      spans;
+    let rows =
+      Hashtbl.fold (fun name (n, total) acc -> (name, !n, !total) :: acc) tbl []
+      |> List.sort (fun (_, _, a) (_, _, b) -> Float.compare b a)
+    in
+    section buf "Request phases";
+    header buf [ "phase"; "spans"; "total cycles"; "mean cycles" ];
+    List.iter
+      (fun (name, n, total) ->
+        row buf [ name; string_of_int n; fnum total; fnum (total /. float_of_int n) ])
+      rows
+  end
+
+let render_utilization buf doc =
+  let spans = jarr (Option.value (mem "spans" doc) ~default:Json.Null) in
+  let chip_spans =
+    List.filter
+      (fun s -> String.starts_with ~prefix:"chip" (mems "lane" s))
+      spans
+  in
+  if chip_spans <> [] then begin
+    let t_end =
+      List.fold_left
+        (fun acc s ->
+          Float.max acc
+            (Option.value (memf "ts" s) ~default:0.
+            +. Option.value (memf "dur" s) ~default:0.))
+        0. chip_spans
+    in
+    let makespan =
+      match memf "horizon" (Option.value (mem "meta" doc) ~default:Json.Null) with
+      | Some h when h > 0. -> Float.max h t_end
+      | _ -> t_end
+    in
+    let tbl : (string, float ref) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun s ->
+        let lane = mems "lane" s in
+        let dur = Option.value (memf "dur" s) ~default:0. in
+        match Hashtbl.find_opt tbl lane with
+        | Some busy -> busy := !busy +. dur
+        | None -> Hashtbl.add tbl lane (ref dur))
+      chip_spans;
+    let rows =
+      Hashtbl.fold (fun lane busy acc -> (lane, !busy) :: acc) tbl []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    in
+    section buf "Chip utilization";
+    header buf [ "chip"; "busy cycles"; "utilization" ];
+    List.iter
+      (fun (lane, busy) ->
+        let util = if makespan > 0. then 100. *. busy /. makespan else 0. in
+        row buf [ lane; fnum busy; Printf.sprintf "%.1f%%" util ])
+      rows
+  end
+
+let render_drift buf doc =
+  match mem "drift" doc with
+  | None -> ()
+  | Some drift ->
+    section buf "Cost-model drift (Eq. 10 predicted vs measured)";
+    let summary = jarr (Option.value (mem "summary" drift) ~default:Json.Null) in
+    if summary <> [] then begin
+      header buf [ "mode"; "predicted cycles"; "measured cycles"; "drift" ];
+      List.iter
+        (fun r ->
+          row buf
+            [ mems "mode" r;
+              fnum (Option.value (memf "predicted" r) ~default:0.);
+              fnum (Option.value (memf "measured" r) ~default:0.);
+              Printf.sprintf "%+.2f%%"
+                (Option.value (memf "drift_pct" r) ~default:0.) ])
+        summary
+    end;
+    let rows = jarr (Option.value (mem "rows" drift) ~default:Json.Null) in
+    if rows <> [] then begin
+      let cap = 24 in
+      let shown, hidden =
+        if List.length rows <= cap then (rows, 0)
+        else (List.filteri (fun i _ -> i < cap) rows, List.length rows - cap)
+      in
+      Buffer.add_string buf "\nPer-segment attribution:\n\n";
+      header buf [ "segment"; "mode"; "predicted"; "measured"; "drift" ];
+      List.iter
+        (fun r ->
+          row buf
+            [ jrender (Option.value (mem "segment" r) ~default:Json.Null);
+              mems "mode" r;
+              fnum (Option.value (memf "predicted" r) ~default:0.);
+              fnum (Option.value (memf "measured" r) ~default:0.);
+              Printf.sprintf "%+.2f%%"
+                (Option.value (memf "drift_pct" r) ~default:0.) ])
+        shown;
+      if hidden > 0 then
+        Buffer.add_string buf (Printf.sprintf "\n… and %d more segments.\n" hidden)
+    end
+
+let render_slo buf doc =
+  match mem "slo" doc with
+  | Some (Json.Obj kvs) when kvs <> [] ->
+    section buf "SLO error budget";
+    header buf [ "key"; "value" ];
+    List.iter (fun (k, v) -> row buf [ k; jrender v ]) kvs
+  | _ -> ()
+
+let render_snapshots buf doc =
+  let snaps = jarr (Option.value (mem "snapshots" doc) ~default:Json.Null) in
+  match (snaps, List.rev snaps) with
+  | first :: _, last :: _ ->
+    section buf "Timeline";
+    Buffer.add_string buf
+      (Printf.sprintf "%d snapshots over t = %s .. %s cycles.\n\n"
+         (List.length snaps)
+         (fnum (Option.value (memf "t" first) ~default:0.))
+         (fnum (Option.value (memf "t" last) ~default:0.)));
+    header buf [ "field"; "final value" ];
+    List.iter
+      (fun (k, v) -> if k <> "t" then row buf [ k; jrender v ])
+      (jobj last)
+  | _ -> ()
+
+let report doc =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "# cmswitch telemetry report\n";
+  render_meta buf doc;
+  render_serving buf doc;
+  render_phases buf doc;
+  render_utilization buf doc;
+  render_drift buf doc;
+  render_slo buf doc;
+  render_snapshots buf doc;
+  Buffer.contents buf

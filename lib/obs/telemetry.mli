@@ -1,0 +1,72 @@
+(** Per-run telemetry: request-phase spans, instant marks, periodic
+    snapshots, and the offline markdown dashboard.
+
+    A collector is an explicit value owned by one driver — the serial
+    fleet event loop — so unlike {!Trace} it has no global enable flag
+    and no lock: when the fleet is run without a collector the serving
+    hot path contains no telemetry code at all, and when it is run with
+    one, recording is plain list consing on a single domain.
+
+    {!to_json} freezes the collector into one self-contained document —
+    meta, spans, marks, snapshots, a {!Metrics.to_json} dump, and the
+    OpenMetrics exposition text — which [cmswitch report] re-reads and
+    renders without needing the run that produced it. *)
+
+type t
+
+val create : ?snapshot_interval:float -> ?slo_budget:float -> unit -> t
+(** [snapshot_interval] is in the driver's clock units (fleet cycles;
+    default 1000). [slo_budget] is the tolerated deadline-violation
+    fraction for error-budget tracking; raises [Invalid_argument] outside
+    (0, 1). *)
+
+val snapshot_interval : t -> float
+val slo_budget : t -> float option
+
+val timeline : t -> Timeline.t
+(** The snapshot sampler; the driver calls [Timeline.record] on it as its
+    clock advances and [Timeline.force] at end of run. *)
+
+val set_meta : t -> string -> Json.t -> unit
+(** Run-level key/value (model, chips, horizon, seed, ...). Re-setting a
+    key replaces it. *)
+
+val set_extra : t -> string -> Json.t -> unit
+(** Attach an extra top-level document member (e.g. ["drift"], ["slo"]).
+    Re-setting a key replaces it. *)
+
+val span :
+  t -> ?attrs:(string * Json.t) list -> lane:string -> ts:float ->
+  dur:float -> string -> unit
+(** A completed phase interval. [lane] groups spans for the dashboard:
+    per-chip lanes are named [chip<N>] (they feed the utilization table);
+    scheduler-side phases (queue, batch, shed) use ["fleet"]. *)
+
+val mark :
+  t -> ?attrs:(string * Json.t) list -> lane:string -> ts:float ->
+  string -> unit
+(** A zero-duration incident marker (fault injected, breaker opened, ...). *)
+
+val span_count : t -> int
+
+val slo_summary : budget:float -> violations:int -> completed:int -> Json.t
+(** Error-budget arithmetic for the ["slo"] document member: error rate,
+    burn rate (error rate / budget; > 1 means the budget is exhausted),
+    and remaining budget fraction. *)
+
+val to_json : t -> Json.t
+(** Freeze the collector (metrics registry and OpenMetrics text are
+    captured at this moment). *)
+
+val write_file : t -> string -> unit
+(** {!to_json}, pretty-printed. *)
+
+val load : string -> Json.t
+(** Read a telemetry file back. Raises [Sys_error] / [Json.Parse_error]. *)
+
+val report : Json.t -> string
+(** Render a loaded telemetry document as a markdown dashboard: run meta,
+    serving counters, latency percentiles, per-phase span totals, per-chip
+    utilization, the Eq. 10 drift table, SLO error budget, and the
+    snapshot timeline. Sections whose data is absent are omitted, so the
+    renderer accepts documents from older runs. *)

@@ -1,0 +1,104 @@
+(* Periodic time-series sampler. The driver (an event loop with its own
+   clock — the fleet simulator's discrete-event time, in cycles) calls
+   [record] whenever its clock advances; the timeline takes at most one
+   sample per interval tick and skips past ticks the driver's clock jumped
+   over, so a quiet stretch of simulated time does not fabricate samples.
+   Single-writer by design: the DES event loop is serial, so no locking. *)
+
+type sample = { t : float; values : (string * float) list }
+
+type t = {
+  interval : float;
+  mutable next : float; (* earliest time the next sample may be taken *)
+  mutable rev : sample list;
+  mutable n : int;
+}
+
+let create ?(start = 0.) ~interval () =
+  if not (Float.is_finite interval) || interval <= 0. then
+    invalid_arg "Timeline.create: interval must be positive";
+  { interval; next = start; rev = []; n = 0 }
+
+let interval t = t.interval
+
+let due t ~now = now >= t.next
+
+let record t ~now values =
+  if now >= t.next then begin
+    t.rev <- { t = now; values } :: t.rev;
+    t.n <- t.n + 1;
+    (* advance past every tick at or before [now]: one sample per call,
+       stamped with the event-loop time that triggered it *)
+    t.next <- t.next +. t.interval;
+    if t.next <= now then
+      t.next <-
+        now
+        +. t.interval
+        -. Float.rem (now -. t.next) t.interval
+  end
+
+let force t ~now values =
+  t.rev <- { t = now; values } :: t.rev;
+  t.n <- t.n + 1;
+  if t.next <= now then t.next <- now +. t.interval
+
+let count t = t.n
+let samples t = List.rev t.rev
+
+let sample_to_json s =
+  Json.Obj
+    (("t", Json.Float s.t)
+     :: List.map (fun (k, v) -> (k, Json.Float v)) s.values)
+
+let to_json t = Json.List (List.map sample_to_json (samples t))
+
+let samples_of_json j =
+  match j with
+  | Json.List l ->
+    let parse_one = function
+      | Json.Obj kvs -> (
+        match List.assoc_opt "t" kvs with
+        | Some tv -> (
+          match Json.to_float tv with
+          | Some time ->
+            let values =
+              List.filter_map
+                (fun (k, v) ->
+                  if k = "t" then None
+                  else Option.map (fun f -> (k, f)) (Json.to_float v))
+                kvs
+            in
+            Ok { t = time; values }
+          | None -> Error "snapshot: non-numeric t")
+        | None -> Error "snapshot: missing t")
+      | _ -> Error "snapshot: not an object"
+    in
+    List.fold_left
+      (fun acc s ->
+        match (acc, parse_one s) with
+        | Ok xs, Ok x -> Ok (x :: xs)
+        | (Error _ as e), _ | _, (Error _ as e) -> e)
+      (Ok []) l
+    |> Result.map List.rev
+  | _ -> Error "snapshots: not a list"
+
+let to_csv t =
+  match samples t with
+  | [] -> ""
+  | first :: _ as ss ->
+    let cols = List.map fst first.values in
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf ("t," ^ String.concat "," cols ^ "\n");
+    List.iter
+      (fun s ->
+        Buffer.add_string buf (Printf.sprintf "%.17g" s.t);
+        List.iter
+          (fun c ->
+            Buffer.add_char buf ',';
+            match List.assoc_opt c s.values with
+            | Some v -> Buffer.add_string buf (Printf.sprintf "%.17g" v)
+            | None -> ())
+          cols;
+        Buffer.add_char buf '\n')
+      ss;
+    Buffer.contents buf

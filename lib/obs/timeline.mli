@@ -1,0 +1,49 @@
+(** Periodic time-series snapshots over an external clock.
+
+    A timeline takes at most one sample per [interval] of the {e driver's}
+    clock — the fleet simulator records in simulated cycles, so snapshots
+    cost nothing in wall-clock terms and are deterministic. Quiet
+    stretches produce no samples (ticks the clock jumps over are skipped,
+    never back-filled), so sample times are strictly increasing as long as
+    the driver's clock is monotone.
+
+    Single-writer: drive a timeline from one domain (the serial DES event
+    loop); it carries no lock. *)
+
+type sample = { t : float; values : (string * float) list }
+
+type t
+
+val create : ?start:float -> interval:float -> unit -> t
+(** Sampling begins at [start] (default 0). Raises [Invalid_argument] on a
+    non-positive or non-finite interval. *)
+
+val interval : t -> float
+
+val due : t -> now:float -> bool
+(** Would [record] at [now] take a sample? Lets the driver skip building
+    the (possibly expensive) value list when no tick is due. *)
+
+val record : t -> now:float -> (string * float) list -> unit
+(** Take a sample stamped [now] if at least one interval elapsed since the
+    last one (or this is the first at-or-after [start]); otherwise do
+    nothing. *)
+
+val force : t -> now:float -> (string * float) list -> unit
+(** Take a sample unconditionally (end-of-run state, breaker trips). *)
+
+val count : t -> int
+
+val samples : t -> sample list
+(** Chronological. *)
+
+val to_json : t -> Json.t
+(** A list of flat objects [{"t": ..., field: number, ...}]. *)
+
+val samples_of_json : Json.t -> (sample list, string) result
+(** Parse {!to_json} output (any numeric-field object list with a ["t"]
+    key). *)
+
+val to_csv : t -> string
+(** Header row from the first sample's field names, one row per sample;
+    empty string when no samples were taken. *)

@@ -14,19 +14,29 @@ let on = Atomic.make false
 let set_enabled b = Atomic.set on b
 let enabled () = Atomic.get on
 
-(* recording order, reversed; main-domain state guarded by [mutex].
-   Worker domains never touch it directly — they record into a
-   domain-local buffer ({!with_buffer}) merged by the coordinator. *)
-let events : event list ref = ref []
+(* Recording order; main-domain state guarded by [mutex]. Worker domains
+   never touch it directly — they record into a domain-local buffer
+   ({!with_buffer}) merged by the coordinator.
+
+   The store is a FIFO [Queue] so a capacity cap ({!set_capacity}) can
+   evict the OLDEST event in O(1) — ring semantics: a long fleet run with
+   tracing left on keeps the most recent window instead of growing without
+   bound. Metadata events (track names) are kept separately and are never
+   evicted; there is one per named track, so they are bounded by nature. *)
+let events : event Queue.t = Queue.create ()
+let meta_events : event list ref = ref [] (* reversed *)
+let capacity : int option ref = ref None
+let dropped = ref 0
 let named : (int * int * string, unit) Hashtbl.t = Hashtbl.create 16
 let mutex = Mutex.create ()
 
 let pid_compiler = 1
 let pid_simulator = 2
 let pid_machine = 3
+let pid_fleet = 4
 
 (* Per-domain recording state. [buffer_key]: where pushes land (None = the
-   shared list); [tid_key]: the lane spans are attributed to — pool workers
+   shared queue); [tid_key]: the lane spans are attributed to — pool workers
    get their own tid so Perfetto shows the parallel solves side by side. *)
 let buffer_key : event list ref option Domain.DLS.key =
   Domain.DLS.new_key (fun () -> None)
@@ -52,16 +62,61 @@ let rec now_us () =
 
 let reset () =
   Mutex.lock mutex;
-  events := [];
+  Queue.clear events;
+  meta_events := [];
+  dropped := 0;
   Hashtbl.reset named;
   Mutex.unlock mutex
+
+let set_capacity cap =
+  (match cap with
+  | Some c when c <= 0 -> invalid_arg "Trace.set_capacity: capacity must be positive"
+  | _ -> ());
+  Mutex.lock mutex;
+  capacity := cap;
+  (* an already-overfull store shrinks immediately, oldest first *)
+  (match cap with
+  | Some c ->
+    while Queue.length events > c do
+      ignore (Queue.pop events);
+      incr dropped
+    done
+  | None -> ());
+  Mutex.unlock mutex
+
+let get_capacity () =
+  Mutex.lock mutex;
+  let c = !capacity in
+  Mutex.unlock mutex;
+  c
+
+let dropped_count () =
+  Mutex.lock mutex;
+  let d = !dropped in
+  Mutex.unlock mutex;
+  d
+
+(* trace.dropped is registered lazily so enabling metrics without tracing
+   does not create it; bumped under the trace mutex only when eviction
+   actually happens (cold path) *)
+let dropped_counter = lazy (Metrics.counter "trace.dropped")
+
+(* caller holds [mutex] *)
+let push_locked e =
+  Queue.push e events;
+  match !capacity with
+  | Some c when Queue.length events > c ->
+    ignore (Queue.pop events);
+    incr dropped;
+    Metrics.incr (Lazy.force dropped_counter)
+  | _ -> ()
 
 let push e =
   match Domain.DLS.get buffer_key with
   | Some buf -> buf := e :: !buf
   | None ->
     Mutex.lock mutex;
-    events := e :: !events;
+    push_locked e;
     Mutex.unlock mutex
 
 let with_buffer f =
@@ -81,7 +136,7 @@ let with_buffer f =
 let merge buffered =
   if buffered <> [] then begin
     Mutex.lock mutex;
-    events := List.rev_append buffered !events;
+    List.iter push_locked buffered;
     Mutex.unlock mutex
   end
 
@@ -89,11 +144,14 @@ let complete ?(cat = "span") ?(args = []) ~pid ~tid ~ts ~dur name =
   if Atomic.get on then
     push { name; cat; ph = "X"; ts; dur = Some dur; pid; tid; args }
 
-let instant ?(cat = "mark") ?(args = []) name =
+let instant ?(cat = "mark") ?(args = []) ?pid ?tid ?ts name =
   if Atomic.get on then
     push
-      { name; cat; ph = "i"; ts = now_us (); dur = None; pid = pid_compiler;
-        tid = domain_tid (); args }
+      { name; cat; ph = "i"; dur = None;
+        ts = (match ts with Some t -> t | None -> now_us ());
+        pid = Option.value pid ~default:pid_compiler;
+        tid = (match tid with Some t -> t | None -> domain_tid ());
+        args }
 
 let counter ?(cat = "counter") ~pid ~ts name samples =
   if Atomic.get on then
@@ -107,10 +165,10 @@ let metadata ~pid ~tid meta label =
     let fresh = not (Hashtbl.mem named (pid, tid, meta)) in
     if fresh then begin
       Hashtbl.replace named (pid, tid, meta) ();
-      events :=
+      meta_events :=
         { name = meta; cat = "__metadata"; ph = "M"; ts = 0.; dur = None; pid;
           tid; args = [ ("name", Json.String label) ] }
-        :: !events
+        :: !meta_events
     end;
     Mutex.unlock mutex
   end
@@ -148,8 +206,11 @@ let event_json e =
 
 let export () =
   Mutex.lock mutex;
-  let evs = List.rev !events in
+  let evs = List.rev (Queue.fold (fun acc e -> e :: acc) [] events) in
+  let meta = List.rev !meta_events in
+  let n_dropped = !dropped in
   Mutex.unlock mutex;
+  let evs = meta @ evs in
   (* stable sort on (pid, ts): within one process, parents (earlier ts)
      precede children, which Perfetto's "X"-event nesting expects. Spans
      recorded at exit can share a ts with their children when the clock
@@ -168,8 +229,9 @@ let export () =
       evs
   in
   Json.Obj
-    [ ("traceEvents", Json.List (List.map event_json evs));
-      ("displayTimeUnit", Json.String "ms") ]
+    ([ ("traceEvents", Json.List (List.map event_json evs));
+       ("displayTimeUnit", Json.String "ms") ]
+    @ if n_dropped > 0 then [ ("droppedEvents", Json.Int n_dropped) ] else [])
 
 let write_file file =
   let oc = open_out file in

@@ -10,13 +10,21 @@
     cost nothing observable in production runs (see the self-overhead guard
     in [test/t_obs.ml]).
 
-    Three processes partition the timeline, each with its own clock:
+    Four processes partition the timeline, each with its own clock:
     - pid {!pid_compiler} — wall-clock microseconds (spans of compilation
       passes);
     - pid {!pid_simulator} — simulated cycles (timing-model segments and
       per-array mode residency);
     - pid {!pid_machine} — machine steps (one per executed meta-operator
-      effect, per-array mode residency from the functional machine). *)
+      effect, per-array mode residency from the functional machine);
+    - pid {!pid_fleet} — fleet-serving cycles (per-request phase spans on
+      per-chip lanes, fault/breaker instant markers).
+
+    The event store can be bounded ({!set_capacity}): with a capacity set
+    it behaves as a ring — the oldest events are evicted first, an
+    eviction count is kept (and surfaced as the [trace.dropped] metrics
+    counter), and the export reports it as ["droppedEvents"]. Metadata
+    (track-name) events are never evicted. *)
 
 type event
 (** One recorded trace event (opaque; see {!with_buffer} / {!merge}). *)
@@ -25,11 +33,26 @@ val set_enabled : bool -> unit
 val enabled : unit -> bool
 
 val reset : unit -> unit
-(** Drop all recorded events (the enabled flag is left as-is). *)
+(** Drop all recorded events and zero the dropped-event count (the enabled
+    flag and capacity are left as-is). *)
+
+val set_capacity : int option -> unit
+(** Bound the shared event store to the given number of events ([None] =
+    unbounded, the default). When full, recording a new event evicts the
+    oldest one (ring semantics) and increments both the internal dropped
+    count and the [trace.dropped] metrics counter (when metrics are
+    enabled). Setting a capacity below the current event count evicts
+    immediately. Raises [Invalid_argument] on a non-positive capacity. *)
+
+val get_capacity : unit -> int option
+
+val dropped_count : unit -> int
+(** Events evicted by the capacity cap since the last {!reset}. *)
 
 val pid_compiler : int
 val pid_simulator : int
 val pid_machine : int
+val pid_fleet : int
 
 val now_us : unit -> float
 (** Microseconds since the trace module was initialised, clamped to be
@@ -70,8 +93,12 @@ val with_span :
     track; the event is recorded even if [f] raises. When tracing is
     disabled this is exactly [f ()]. *)
 
-val instant : ?cat:string -> ?args:(string * Json.t) list -> string -> unit
-(** A zero-duration marker on the compiler track. *)
+val instant :
+  ?cat:string -> ?args:(string * Json.t) list -> ?pid:int -> ?tid:int ->
+  ?ts:float -> string -> unit
+(** A zero-duration marker; defaults to the compiler track at the current
+    wall clock, with explicit coordinates available for synthetic clocks
+    (the fleet simulator stamps fault/breaker markers in cycles). *)
 
 val complete :
   ?cat:string -> ?args:(string * Json.t) list -> pid:int -> tid:int ->
@@ -88,9 +115,10 @@ val name_thread : pid:int -> tid:int -> string -> unit
     repeated names for the same (pid, tid) are recorded once. *)
 
 val export : unit -> Json.t
-(** The trace as [{"traceEvents": [...], "displayTimeUnit": "ms"}]. Events
-    appear in recording order; span events carry [ph = "X"] with [ts]/[dur]
-    so nesting is recovered by interval containment. *)
+(** The trace as [{"traceEvents": [...], "displayTimeUnit": "ms"}] (plus
+    ["droppedEvents"] when the capacity cap evicted any). Events appear in
+    recording order; span events carry [ph = "X"] with [ts]/[dur] so
+    nesting is recovered by interval containment. *)
 
 val write_file : string -> unit
 (** [export] pretty-printed to a file. *)

@@ -1,0 +1,127 @@
+(* Cost-model drift attribution: the compiler's Eq. 10 schedule promises a
+   cycle count per component and per pipelined segment; the timing
+   simulator measures what the flow actually costs. This module lines the
+   two up — overall, per mode (compute cycles run the arrays in CIM mode;
+   switch/rewrite/writeback are memory-system time), and per segment — so
+   a drifting cost model is caught with the segment that drifted, not as
+   one opaque total. The [prediction] record is deliberately plain data:
+   cim_sim cannot see the compiler's [Plan.schedule], so callers (CLI,
+   bench) project the schedule down before crossing the library boundary. *)
+
+module Metrics = Cim_obs.Metrics
+module Json = Cim_obs.Json
+
+type prediction = {
+  source : string;
+  seg_intra : float list;
+  intra : float;
+  switch : float;
+  rewrite : float;
+  writeback : float;
+  total : float;
+}
+
+type row = { label : string; mode : string; predicted : float; measured : float }
+
+type seg_row = { segment : int; seg_predicted : float; seg_measured : float }
+
+type t = { source : string; summary : row list; segments : seg_row list }
+
+let drift_pct ~predicted ~measured =
+  if predicted > 0. then 100. *. (measured -. predicted) /. predicted
+  else if measured = 0. then 0.
+  else Float.infinity
+
+let attribute (p : prediction) (m : Timing.result) =
+  let summary =
+    [ { label = "intra"; mode = "cim"; predicted = p.intra;
+        measured = m.Timing.cycles.Timing.compute };
+      { label = "switch"; mode = "memory"; predicted = p.switch;
+        measured = m.Timing.cycles.Timing.switch };
+      { label = "rewrite"; mode = "memory"; predicted = p.rewrite;
+        measured = m.Timing.cycles.Timing.rewrite };
+      { label = "writeback"; mode = "memory"; predicted = p.writeback;
+        measured = m.Timing.cycles.Timing.writeback };
+      { label = "memory-total"; mode = "memory";
+        predicted = p.switch +. p.rewrite +. p.writeback;
+        measured =
+          m.Timing.cycles.Timing.switch +. m.Timing.cycles.Timing.rewrite
+          +. m.Timing.cycles.Timing.writeback };
+      { label = "total"; mode = "all"; predicted = p.total;
+        measured = m.Timing.cycles.Timing.total } ]
+  in
+  (* the schedule and the flow segment the network identically (one
+     parallel{} block per seg_plan), but zip defensively: a mismatch
+     truncates to the common prefix rather than raising mid-report *)
+  let rec zip i acc pred meas =
+    match (pred, meas) with
+    | ph :: pt, mh :: mt ->
+      zip (i + 1)
+        ({ segment = i; seg_predicted = ph;
+           seg_measured = mh.Timing.compute }
+        :: acc)
+        pt mt
+    | _ -> List.rev acc
+  in
+  { source = p.source;
+    summary;
+    segments = zip 0 [] p.seg_intra m.Timing.seg_cycles }
+
+let record_metrics t =
+  if Metrics.enabled () then begin
+    List.iter
+      (fun r ->
+        let labels = [ ("component", r.label); ("mode", r.mode) ] in
+        Metrics.set_gauge
+          (Metrics.gauge ~labels "costmodel.drift.pct")
+          (drift_pct ~predicted:r.predicted ~measured:r.measured);
+        Metrics.set_gauge
+          (Metrics.gauge ~labels "costmodel.drift.predicted_cycles")
+          r.predicted;
+        Metrics.set_gauge
+          (Metrics.gauge ~labels "costmodel.drift.measured_cycles")
+          r.measured)
+      t.summary;
+    let h = Metrics.histogram "costmodel.drift.segment_pct" in
+    List.iter
+      (fun s ->
+        let d =
+          drift_pct ~predicted:s.seg_predicted ~measured:s.seg_measured
+        in
+        if Float.is_finite d then Metrics.observe h (Float.abs d))
+      t.segments
+  end
+
+let to_json t =
+  let summary_row r =
+    Json.Obj
+      [ ("mode", Json.String (r.mode ^ "/" ^ r.label));
+        ("predicted", Json.Float r.predicted);
+        ("measured", Json.Float r.measured);
+        ("drift_pct",
+         Json.Float (drift_pct ~predicted:r.predicted ~measured:r.measured)) ]
+  in
+  let seg_row s =
+    Json.Obj
+      [ ("segment", Json.Int s.segment);
+        ("mode", Json.String "cim");
+        ("predicted", Json.Float s.seg_predicted);
+        ("measured", Json.Float s.seg_measured);
+        ("drift_pct",
+         Json.Float
+           (drift_pct ~predicted:s.seg_predicted ~measured:s.seg_measured)) ]
+  in
+  Json.Obj
+    [ ("source", Json.String t.source);
+      ("summary", Json.List (List.map summary_row t.summary));
+      ("rows", Json.List (List.map seg_row t.segments)) ]
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>cost-model drift (%s):@," t.source;
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-14s %-7s predicted %12.0f measured %12.0f  %+.2f%%@,"
+        r.label r.mode r.predicted r.measured
+        (drift_pct ~predicted:r.predicted ~measured:r.measured))
+    t.summary;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,60 @@
+(** Cost-model drift attribution: Eq. 10 predictions vs timing-simulator
+    measurements.
+
+    The compiler's schedule predicts cycles per component (pipelined
+    segment execution, mode switching, weight rewriting, boundary
+    write-back) and per segment; {!Timing.run} measures them. Comparing
+    the two per component and {e per mode} — compute cycles run arrays in
+    CIM mode, the rest is memory-system time — turns "the model was off
+    by 12%" into "segment 3's intra prediction was off by 12%", which is
+    what a cost-model regression hunt needs.
+
+    This library cannot depend on the compiler, so the prediction is a
+    plain record the caller projects from [Plan.schedule]. *)
+
+type prediction = {
+  source : string;      (** compiler that produced the schedule *)
+  seg_intra : float list;  (** per-segment Eq. 9/10 intra cycles, in order *)
+  intra : float;
+  switch : float;
+  rewrite : float;
+  writeback : float;
+  total : float;
+}
+
+type row = {
+  label : string;      (** component: intra/switch/rewrite/writeback/... *)
+  mode : string;       (** [cim], [memory], or [all] *)
+  predicted : float;
+  measured : float;
+}
+
+type seg_row = { segment : int; seg_predicted : float; seg_measured : float }
+
+type t = { source : string; summary : row list; segments : seg_row list }
+
+val drift_pct : predicted:float -> measured:float -> float
+(** Signed relative error in percent; 0 when both are 0, [infinity] when
+    only the prediction is. *)
+
+val attribute : prediction -> Timing.result -> t
+(** Line the prediction up against a measured run: component rows (intra
+    vs measured compute, switch/rewrite/writeback vs their measured
+    counterparts, a memory-mode total, and the grand total) plus one row
+    per pipelined segment (predicted intra vs the segment's measured
+    compute cycles from {!Timing.result.seg_cycles}; a length mismatch
+    truncates to the common prefix). *)
+
+val record_metrics : t -> unit
+(** Publish [costmodel.drift.pct] / [.predicted_cycles] /
+    [.measured_cycles] gauges labelled by (component, mode), and the
+    [costmodel.drift.segment_pct] histogram of absolute per-segment
+    drift. No-op while metrics are disabled. *)
+
+val to_json : t -> Cim_obs.Json.t
+(** The ["drift"] telemetry-document member: [{source, summary: [{mode,
+    predicted, measured, drift_pct}], rows: [{segment, mode, predicted,
+    measured, drift_pct}]}] — the shape {!Cim_obs.Telemetry.report}
+    renders as the drift table. *)
+
+val pp : Format.formatter -> t -> unit

@@ -14,6 +14,10 @@
 module Chip = Cim_arch.Chip
 module Faultmap = Cim_arch.Faultmap
 module Metrics = Cim_obs.Metrics
+module Trace = Cim_obs.Trace
+module Telemetry = Cim_obs.Telemetry
+module Timeline = Cim_obs.Timeline
+module Json = Cim_obs.Json
 module Pool = Cim_util.Pool
 module Rng = Cim_util.Rng
 
@@ -69,6 +73,7 @@ type stats = {
   p50_latency : float;
   p95_latency : float;
   p99_latency : float;
+  p999_latency : float;
   mean_ttft : float;
   tokens : int;
   tokens_per_megacycle : float;
@@ -92,6 +97,7 @@ let zero_stats =
     p50_latency = 0.;
     p95_latency = 0.;
     p99_latency = 0.;
+    p999_latency = 0.;
     mean_ttft = 0.;
     tokens = 0;
     tokens_per_megacycle = 0.;
@@ -231,6 +237,11 @@ type rstate = {
   mutable shed_mode : bool;
   mutable prefill_done : float;
   mutable terminal : bool;
+  (* span bookkeeping (two float stores per transition — kept up to date
+     even without a telemetry collector so attaching one cannot perturb
+     the event loop's control flow) *)
+  mutable enqueued_at : float;
+  mutable started_at : float;
 }
 
 type cstate = {
@@ -326,7 +337,8 @@ let prefetch_plans ~config ~chip planner schedule =
   fill 0 0 results;
   (plans, fm_chains)
 
-let run ?(config = default_config) ~chip planner schedule requests =
+let run ?(config = default_config) ?telemetry
+    ?(snapshot_extra = fun () -> []) ~chip planner schedule requests =
   validate_config config;
   List.iter
     (fun (r : Serving.request) ->
@@ -367,8 +379,42 @@ let run ?(config = default_config) ~chip planner schedule requests =
       (List.map
          (fun req ->
            { req; attempts = 0; shed_mode = false; prefill_done = 0.;
-             terminal = false })
+             terminal = false; enqueued_at = 0.; started_at = 0. })
          requests)
+  in
+  (* ---- telemetry --------------------------------------------------------
+     Spans and marks go to the collector (when one is attached) and are
+     mirrored onto the Chrome trace's fleet process (when tracing is on);
+     per-chip lanes carry occupancy (prefill/decode/recompile), the router
+     lane carries queueing, backoff, and terminal markers. All of it is
+     recording only — the event loop's decisions never read it, so stats
+     are identical with and without a collector. *)
+  let observing () = telemetry <> None || Trace.enabled () in
+  let fleet_tid = 0 in
+  let chip_tid id = id + 1 in
+  let lane_of id = Printf.sprintf "chip%d" id in
+  if Trace.enabled () then begin
+    Trace.name_process ~pid:Trace.pid_fleet "fleet serving (cycles)";
+    Trace.name_thread ~pid:Trace.pid_fleet ~tid:fleet_tid "router";
+    for id = 0 to config.chips - 1 do
+      Trace.name_thread ~pid:Trace.pid_fleet ~tid:(chip_tid id)
+        (Printf.sprintf "chip %d" id)
+    done
+  end;
+  let tspan ?(attrs = []) ~lane ~tid ~ts ~dur name =
+    (match telemetry with
+    | Some t -> Telemetry.span t ~attrs ~lane ~ts ~dur name
+    | None -> ());
+    if Trace.enabled () then
+      Trace.complete ~cat:"fleet" ~args:attrs ~pid:Trace.pid_fleet ~tid ~ts
+        ~dur name
+  in
+  let tmark ?(attrs = []) ~lane ~tid ~ts name =
+    (match telemetry with
+    | Some t -> Telemetry.mark t ~attrs ~lane ~ts name
+    | None -> ());
+    if Trace.enabled () then
+      Trace.instant ~cat:"fleet" ~args:attrs ~pid:Trace.pid_fleet ~tid ~ts name
   in
   (* event queue *)
   let events = ref Pq.empty in
@@ -410,13 +456,17 @@ let run ?(config = default_config) ~chip planner schedule requests =
       service_cost p.profile ~prompt:r.req.Serving.prompt
         ~out_eff:(min r.req.Serving.output config.shed_output)
   in
-  let terminal_starved now (r : rstate) =
+  let terminal_starved now rid =
+    let r = rstates.(rid) in
     if not r.terminal then begin
       r.terminal <- true;
       r.shed_mode <- true;
       incr shed;
       incr starved;
-      makespan := Float.max !makespan now
+      makespan := Float.max !makespan now;
+      if observing () then
+        tmark ~lane:"fleet" ~tid:fleet_tid ~ts:now "starved"
+          ~attrs:[ ("req", Json.Int rid) ]
     end
   in
   let start_service now (c : cstate) =
@@ -431,8 +481,12 @@ let run ?(config = default_config) ~chip planner schedule requests =
          shed tier rather than failing the request *)
       (match config.slo with
       | Some s when not r.shed_mode ->
-        if now +. cost_full c r -. r.req.Serving.arrival > s then
-          r.shed_mode <- true
+        if now +. cost_full c r -. r.req.Serving.arrival > s then begin
+          r.shed_mode <- true;
+          if observing () then
+            tmark ~lane:"fleet" ~tid:fleet_tid ~ts:now "shed"
+              ~attrs:[ ("req", Json.Int rid); ("at", Json.String "start") ]
+        end
       | _ -> ());
       let cost = cost_of c r in
       let prefill =
@@ -440,6 +494,11 @@ let run ?(config = default_config) ~chip planner schedule requests =
         | None -> 0.
         | Some p -> p.profile.Serving.prefill_cycles r.req.Serving.prompt
       in
+      if observing () then
+        tspan ~lane:"fleet" ~tid:fleet_tid ~ts:r.enqueued_at
+          ~dur:(now -. r.enqueued_at) "queue"
+          ~attrs:[ ("req", Json.Int rid); ("chip", Json.Int c.id) ];
+      r.started_at <- now;
       r.prefill_done <- now +. prefill;
       c.cur <- Some rid;
       c.token <- c.token + 1;
@@ -463,6 +522,7 @@ let run ?(config = default_config) ~chip planner schedule requests =
   in
   let enqueue now (c : cstate) rid =
     let r = rstates.(rid) in
+    r.enqueued_at <- now;
     c.est_free <- Float.max c.est_free now +. cost_of c r;
     Queue.push rid c.waiting;
     start_service now c
@@ -482,16 +542,35 @@ let run ?(config = default_config) ~chip planner schedule requests =
           enqueue now c rid
         else if base +. cost_shed c r -. r.req.Serving.arrival <= s then begin
           r.shed_mode <- true;
+          if observing () then
+            tmark ~lane:"fleet" ~tid:fleet_tid ~ts:now "shed"
+              ~attrs:[ ("req", Json.Int rid); ("at", Json.String "admit") ];
           enqueue now c rid
         end
         else on_reject ())
   in
+  let push_retry now rid delay =
+    if observing () then
+      tspan ~lane:"fleet" ~tid:fleet_tid ~ts:now ~dur:delay "retry_backoff"
+        ~attrs:
+          [ ("req", Json.Int rid);
+            ("attempt", Json.Int rstates.(rid).attempts) ];
+    push (now +. delay) (Retry rid)
+  in
+  let abort_inflight now rid =
+    let r = rstates.(rid) in
+    r.attempts <- r.attempts + 1;
+    incr retries;
+    if r.attempts > config.max_retries then terminal_starved now rid
+    else
+      push_retry now rid
+        (Float.min config.backoff_cap
+           (config.backoff_base *. (2. ** float_of_int (r.attempts - 1))))
+  in
   let evict_queue now (c : cstate) =
     (* re-route every waiting request after a one-backoff delay; the
        in-flight one is handled by the fault/abort path *)
-    Queue.iter
-      (fun rid -> push (now +. config.backoff_base) (Retry rid))
-      c.waiting;
+    Queue.iter (fun rid -> push_retry now rid config.backoff_base) c.waiting;
     Queue.clear c.waiting
   in
   let take_offline now (c : cstate) =
@@ -499,19 +578,12 @@ let run ?(config = default_config) ~chip planner schedule requests =
     c.recompiling <- false;
     c.plan <- None;
     c.token <- c.token + 1;
+    if observing () then
+      tmark ~lane:(lane_of c.id) ~tid:(chip_tid c.id) ~ts:now "offline";
     (match c.cur with
     | Some rid ->
       c.cur <- None;
-      let r = rstates.(rid) in
-      r.attempts <- r.attempts + 1;
-      incr retries;
-      if r.attempts > config.max_retries then terminal_starved now r
-      else
-        push
-          (now
-          +. Float.min config.backoff_cap
-               (config.backoff_base *. (2. ** float_of_int (r.attempts - 1))))
-          (Retry rid)
+      abort_inflight now rid
     | None -> ());
     evict_queue now c
   in
@@ -521,26 +593,28 @@ let run ?(config = default_config) ~chip planner schedule requests =
       c.fault_hits <- c.fault_hits + 1;
       c.plan_idx <- c.plan_idx + 1;
       c.fm <- fm_chains.(e.chip).(c.plan_idx);
+      if observing () then
+        tmark ~lane:(lane_of c.id) ~tid:(chip_tid c.id) ~ts:now "fault"
+          ~attrs:
+            [ ("array",
+               Json.String
+                 (Printf.sprintf "%d,%d" e.coord.Chip.x e.coord.Chip.y));
+              ("state", Json.String (fault_state_to_string e.state)) ];
       (* abort the in-flight request: bounded exponential backoff retry *)
       (match c.cur with
       | Some rid ->
         c.cur <- None;
         c.token <- c.token + 1;
-        let r = rstates.(rid) in
-        r.attempts <- r.attempts + 1;
-        incr retries;
-        if r.attempts > config.max_retries then terminal_starved now r
-        else
-          push
-            (now
-            +. Float.min config.backoff_cap
-                 (config.backoff_base *. (2. ** float_of_int (r.attempts - 1))))
-            (Retry rid)
+        abort_inflight now rid
       | None -> ());
       if c.fault_hits >= config.breaker_threshold then begin
         (* circuit breaker: the chip faulted too often to trust; pull it
            out of rotation and send its queue elsewhere *)
         incr breaker_opens;
+        if observing () then
+          tmark ~lane:(lane_of c.id) ~tid:(chip_tid c.id) ~ts:now
+            "breaker_open"
+            ~attrs:[ ("fault_hits", Json.Int c.fault_hits) ];
         take_offline now c
       end
       else begin
@@ -554,6 +628,10 @@ let run ?(config = default_config) ~chip planner schedule requests =
           c.recompiling <- true;
           c.token <- c.token + 1;
           c.est_free <- Float.max c.est_free now +. config.recompile_cycles;
+          if observing () then
+            tspan ~lane:(lane_of c.id) ~tid:(chip_tid c.id) ~ts:now
+              ~dur:config.recompile_cycles "recompile"
+              ~attrs:[ ("plan_level", Json.Int p.level) ];
           push (now +. config.recompile_cycles) (Recompiled (c.id, c.token))
       end
     end
@@ -576,24 +654,94 @@ let run ?(config = default_config) ~chip planner schedule requests =
         (match config.slo with
         | Some s when latency > s -> incr slo_violations
         | _ -> ());
+        if observing () then begin
+          (* prefill + decode partition the chip's occupancy, so the
+             per-lane span sum is exactly its busy time *)
+          let attrs =
+            [ ("req", Json.Int rid);
+              ("prompt", Json.Int r.req.Serving.prompt);
+              ("shed", Json.Bool r.shed_mode) ]
+          in
+          tspan ~lane:(lane_of c.id) ~tid:(chip_tid c.id) ~ts:r.started_at
+            ~dur:(r.prefill_done -. r.started_at) "prefill" ~attrs;
+          tspan ~lane:(lane_of c.id) ~tid:(chip_tid c.id) ~ts:r.prefill_done
+            ~dur:(now -. r.prefill_done) "decode"
+            ~attrs:(("tokens", Json.Int (out_eff r)) :: attrs)
+        end;
         if r.shed_mode then incr shed else incr completed;
         start_service now c
     end
   in
+  (* periodic state-of-the-fleet sample into the collector's timeline;
+     sampled on event boundaries (the DES clock only moves between events)
+     and guarded by [Timeline.due] so off-tick events cost one compare *)
+  let snapshot ~force now =
+    match telemetry with
+    | None -> ()
+    | Some t ->
+      let tl = Telemetry.timeline t in
+      if force || Timeline.due tl ~now then begin
+        let queue_depth =
+          Array.fold_left (fun acc c -> acc + Queue.length c.waiting) 0 chips
+        in
+        let in_flight =
+          Array.fold_left
+            (fun acc c -> if c.cur = None then acc else acc + 1)
+            0 chips
+        in
+        let out_now =
+          Array.fold_left (fun acc c -> if c.out then acc + 1 else acc) 0 chips
+        in
+        let served = !completed + !shed in
+        let fields =
+          [ ("completed", float_of_int !completed);
+            ("shed", float_of_int !shed);
+            ("dropped", float_of_int !dropped);
+            ("starved", float_of_int !starved);
+            ("queue_depth", float_of_int queue_depth);
+            ("in_flight", float_of_int in_flight);
+            ("chips_out", float_of_int out_now);
+            ("retries", float_of_int !retries);
+            ("recompiles", float_of_int !recompiles);
+            ("breaker_opens", float_of_int !breaker_opens);
+            ("slo_violations", float_of_int !slo_violations);
+            ("tokens", float_of_int !tokens);
+            ("tokens_per_megacycle",
+             if now > 0. then float_of_int !tokens /. (now /. 1e6) else 0.) ]
+        in
+        let fields =
+          match Telemetry.slo_budget t with
+          | Some b ->
+            fields
+            @ [ ("slo_burn_rate",
+                 float_of_int !slo_violations
+                 /. float_of_int (max served 1) /. b) ]
+          | None -> fields
+        in
+        let fields = fields @ snapshot_extra () in
+        if force then Timeline.force tl ~now fields
+        else Timeline.record tl ~now fields
+      end
+  in
+  let last_t = ref 0. in
   let rec drain () =
     match Pq.min_binding_opt !events with
     | None -> ()
     | Some ((at, s), ev) ->
       events := Pq.remove (at, s) !events;
+      last_t := at;
       (match ev with
       | Arrive rid ->
         admit at rid ~on_reject:(fun () ->
             rstates.(rid).terminal <- true;
-            incr dropped)
+            incr dropped;
+            if observing () then
+              tmark ~lane:"fleet" ~tid:fleet_tid ~ts:at "drop"
+                ~attrs:[ ("req", Json.Int rid) ])
       | Retry rid ->
         let r = rstates.(rid) in
         if not r.terminal then
-          admit at rid ~on_reject:(fun () -> terminal_starved at r)
+          admit at rid ~on_reject:(fun () -> terminal_starved at rid)
       | Fault_hit e -> handle_fault at e
       | Finish (cid, token) -> handle_finish at cid token
       | Recompiled (cid, token) ->
@@ -602,9 +750,11 @@ let run ?(config = default_config) ~chip planner schedule requests =
           c.recompiling <- false;
           start_service at c
         end);
+      snapshot ~force:false at;
       drain ()
   in
   drain ();
+  snapshot ~force:true !last_t;
   let offered = Array.length rstates in
   assert (!completed + !dropped + !shed = offered);
   let chips_out =
@@ -623,11 +773,40 @@ let run ?(config = default_config) ~chip planner schedule requests =
     count "serving.recompiles" !recompiles;
     count "serving.breaker_opens" !breaker_opens;
     count "serving.tokens" !tokens;
+    count "serving.slo_violations" !slo_violations;
     let h_lat = Metrics.histogram "serving.latency_cycles" in
     let h_ttft = Metrics.histogram "serving.ttft_cycles" in
     List.iter (Metrics.observe h_lat) !latencies;
-    List.iter (Metrics.observe h_ttft) !ttfts
+    List.iter (Metrics.observe h_ttft) !ttfts;
+    Array.iter
+      (fun c ->
+        let labels = [ ("chip", string_of_int c.id) ] in
+        Metrics.incr
+          ~by:(float_of_int c.served)
+          (Metrics.counter ~labels "serving.chip.served");
+        Metrics.set_gauge
+          (Metrics.gauge ~labels "serving.chip.out")
+          (if c.out then 1. else 0.);
+        Metrics.set_gauge
+          (Metrics.gauge ~labels "serving.chip.fault_hits")
+          (float_of_int c.fault_hits))
+      chips
   end;
+  (match telemetry with
+  | None -> ()
+  | Some t ->
+    Telemetry.set_meta t "chips" (Json.Int config.chips);
+    Telemetry.set_meta t "offered" (Json.Int offered);
+    Telemetry.set_meta t "makespan" (Json.Float !makespan);
+    (match config.slo with
+    | Some s -> Telemetry.set_meta t "slo_cycles" (Json.Float s)
+    | None -> ());
+    (match Telemetry.slo_budget t with
+    | Some b ->
+      Telemetry.set_extra t "slo"
+        (Telemetry.slo_summary ~budget:b ~violations:!slo_violations
+           ~completed:(!completed + !shed))
+    | None -> ()));
   let pct p xs = Cim_util.Stats.percentile_nearest_rank p xs in
   let served_latencies = !latencies in
   {
@@ -647,6 +826,8 @@ let run ?(config = default_config) ~chip planner schedule requests =
     p50_latency = (if served_latencies = [] then 0. else pct 50. served_latencies);
     p95_latency = (if served_latencies = [] then 0. else pct 95. served_latencies);
     p99_latency = (if served_latencies = [] then 0. else pct 99. served_latencies);
+    p999_latency =
+      (if served_latencies = [] then 0. else pct 99.9 served_latencies);
     mean_ttft = (if !ttfts = [] then 0. else Cim_util.Stats.mean !ttfts);
     tokens = !tokens;
     tokens_per_megacycle =

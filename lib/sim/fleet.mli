@@ -102,6 +102,7 @@ type stats = {
   p50_latency : float;
   p95_latency : float;
   p99_latency : float;       (** nearest-rank, like {!Serving.stats} *)
+  p999_latency : float;
   mean_ttft : float;
   tokens : int;
   tokens_per_megacycle : float;
@@ -111,12 +112,36 @@ type stats = {
 val zero_stats : stats
 
 val run :
-  ?config:config -> chip:Cim_arch.Chip.t -> planner -> fault_event list ->
+  ?config:config -> ?telemetry:Cim_obs.Telemetry.t ->
+  ?snapshot_extra:(unit -> (string * float) list) ->
+  chip:Cim_arch.Chip.t -> planner -> fault_event list ->
   Serving.request list -> stats
 (** Simulate the fleet over the trace and fault schedule. Events sharing a
     timestamp fire faults-before-arrivals, then in insertion order. Also
     emits [serving.*] counters ([offered]/[completed]/[dropped]/[shed]/
-    [starved]/[retries]/[recompiles]/[breaker_opens]/[tokens]) and latency
-    histograms when metrics are enabled. Raises [Invalid_argument] on an
-    invalid config, a malformed request, or a fault event naming a chip
-    outside [0, chips). *)
+    [starved]/[retries]/[recompiles]/[breaker_opens]/[tokens]/
+    [slo_violations]), latency histograms, and per-chip labelled
+    instruments ([serving.chip.served{chip="i"}], [.out], [.fault_hits])
+    when metrics are enabled.
+
+    With [telemetry], the run additionally records into the collector —
+    all of it in simulated cycles, none of it read back by the event loop,
+    so stats are structurally identical with and without a collector:
+    - request-phase spans: [queue] / [retry_backoff] and terminal markers
+      ([shed], [starved], [drop]) on the router lane; [prefill] / [decode]
+      (partitioning each chip's busy time) and [recompile] on per-chip
+      [chipN] lanes; [fault] / [breaker_open] / [offline] marks where they
+      land;
+    - a fleet-state snapshot into the collector's timeline every
+      [snapshot_interval] cycles (throughput, queue depth, in-flight,
+      chips out, breaker opens, SLO burn rate, ...), plus whatever
+      [snapshot_extra] returns (e.g. the CLI adds plan-cache hit rate),
+      with a forced final sample at the last event;
+    - the ["slo"] error-budget summary when the collector has a budget.
+
+    When tracing is enabled, the same spans and marks are mirrored onto
+    the Chrome trace's {!Cim_obs.Trace.pid_fleet} process (router = tid 0,
+    chip [i] = tid [i+1]).
+
+    Raises [Invalid_argument] on an invalid config, a malformed request,
+    or a fault event naming a chip outside [0, chips). *)

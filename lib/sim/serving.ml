@@ -13,6 +13,7 @@ type stats = {
   makespan : float;
   mean_latency : float;
   p95_latency : float;
+  p99_latency : float;
   mean_ttft : float;
   tokens : int;
   tokens_per_megacycle : float;
@@ -25,6 +26,7 @@ let zero_stats =
     makespan = 0.;
     mean_latency = 0.;
     p95_latency = 0.;
+    p99_latency = 0.;
     mean_ttft = 0.;
     tokens = 0;
     tokens_per_megacycle = 0.;
@@ -120,6 +122,7 @@ let run ?(config = default_config) ?deadline profile requests =
          the 95th percentile is the worst observed latency, not a blend of
          the two slowest requests *)
       p95_latency = Cim_util.Stats.percentile_nearest_rank 95. latencies;
+      p99_latency = Cim_util.Stats.percentile_nearest_rank 99. latencies;
       mean_ttft = Cim_util.Stats.mean !ttfts;
       tokens = !tokens;
       tokens_per_megacycle =

@@ -23,6 +23,7 @@ type stats = {
   mean_latency : float;        (** request arrival -> completion, cycles *)
   p95_latency : float;         (** nearest-rank: the worst observed latency
                                    on traces under 20 completed requests *)
+  p99_latency : float;         (** nearest-rank tail latency *)
   mean_ttft : float;           (** time to first token, cycles *)
   tokens : int;
   tokens_per_megacycle : float;

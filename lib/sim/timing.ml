@@ -19,6 +19,7 @@ type result = {
   cycles : breakdown;
   microseconds : float;
   segments : int;
+  seg_cycles : breakdown list;
   switch_count : int * int;
   switch_retries : int;
   dma_bytes : int;
@@ -44,6 +45,7 @@ let run chip ?faults ?rng ?(max_switch_retries = 3) (p : Flow.program) =
   let dma = ref 0 in
   let retries = ref 0 in
   let segments = ref 0 in
+  let seg_cycles = ref [] in
   let res = { staged = [] } in
   (* each failed transient switch attempt burns one single-array switch
      latency before the retry; draws mirror Machine.switch so a timing run
@@ -166,6 +168,11 @@ let run chip ?faults ?rng ?(max_switch_retries = 3) (p : Flow.program) =
     | Flow.Vector_op _ -> ()
     | Flow.Parallel body ->
       incr segments;
+      (* component snapshots bracket the segment so its measured cycle
+         breakdown can be attributed back to the schedule's per-segment
+         Eq. 10 prediction (see Drift) *)
+      let c0 = !compute and s0 = !switch in
+      let r0 = !rewrite and w0 = !writeback in
       (* pipelined segment: per-operator chains run concurrently; the
          segment costs its slowest chain. Weight programming of distinct
          operators also proceeds in parallel, so Eq. 2's max applies. *)
@@ -210,7 +217,16 @@ let run chip ?faults ?rng ?(max_switch_retries = 3) (p : Flow.program) =
       let seg_rw = Hashtbl.fold (fun _ (r, _) acc -> Float.max acc r) chain 0. in
       let seg_cp = Hashtbl.fold (fun _ (_, c) acc -> Float.max acc c) chain 0. in
       rewrite := !rewrite +. seg_rw;
-      compute := !compute +. seg_cp
+      compute := !compute +. seg_cp;
+      let seg_total =
+        !compute -. c0 +. (!switch -. s0) +. (!rewrite -. r0)
+        +. (!writeback -. w0)
+      in
+      seg_cycles :=
+        { compute = !compute -. c0; switch = !switch -. s0;
+          rewrite = !rewrite -. r0; writeback = !writeback -. w0;
+          total = seg_total }
+        :: !seg_cycles
   in
   let exec_top (i : Flow.instr) =
     match i with
@@ -248,6 +264,7 @@ let run chip ?faults ?rng ?(max_switch_retries = 3) (p : Flow.program) =
         writeback = !writeback; total };
     microseconds = Chip.cycles_to_us chip total;
     segments = !segments;
+    seg_cycles = List.rev !seg_cycles;
     switch_count = (!m2c, !c2m);
     switch_retries = !retries;
     dma_bytes = !dma;

@@ -26,6 +26,11 @@ type result = {
   cycles : breakdown;
   microseconds : float;
   segments : int;
+  seg_cycles : breakdown list;
+      (** measured breakdown of each pipelined segment, program order —
+          the per-segment counterpart of the schedule's [intra_cycles]
+          prediction (cost-model drift attribution feeds on the pair;
+          see {!Drift}) *)
   switch_count : int * int;        (** realised (m->c, c->m) *)
   switch_retries : int;            (** failed transient switch attempts;
                                        each charged one single-array switch

@@ -864,6 +864,166 @@ let test_fleet_jobs_determinism () =
   let s4 = run_fleet_fixture ~jobs:4 in
   Alcotest.(check bool) "byte-identical stats at jobs 1 and 4" true (s1 = s4)
 
+(* --- cost-model drift attribution --- *)
+
+module Drift = Cim_sim.Drift
+module Json = Cim_obs.Json
+
+let test_drift_attribution () =
+  Alcotest.(check (float 1e-9)) "signed relative drift" 10.
+    (Drift.drift_pct ~predicted:100. ~measured:110.);
+  Alcotest.(check (float 1e-9)) "both zero" 0.
+    (Drift.drift_pct ~predicted:0. ~measured:0.);
+  Alcotest.(check bool) "only the prediction zero" true
+    (Drift.drift_pct ~predicted:0. ~measured:5. = Float.infinity);
+  (* a real compile against its timing-sim measurement *)
+  let r = Cmswitch.compile chip (small_mlp ()) in
+  let m = Timing.run chip r.Cmswitch.program in
+  let sched = r.Cmswitch.schedule in
+  let p =
+    { Drift.source = sched.Plan.compiler;
+      seg_intra = List.map (fun s -> s.Plan.intra_cycles) sched.Plan.segments;
+      intra = sched.Plan.intra;
+      switch = sched.Plan.switch;
+      rewrite = sched.Plan.rewrite;
+      writeback = sched.Plan.writeback;
+      total = sched.Plan.total_cycles }
+  in
+  let d = Drift.attribute p m in
+  Alcotest.(check int) "six summary rows" 6 (List.length d.Drift.summary);
+  Alcotest.(check int) "one attribution row per segment"
+    (List.length sched.Plan.segments)
+    (List.length d.Drift.segments);
+  let find label =
+    match List.find_opt (fun r -> r.Drift.label = label) d.Drift.summary with
+    | Some r -> r
+    | None -> Alcotest.failf "summary lacks %s" label
+  in
+  Alcotest.(check string) "intra is cim-mode time" "cim" (find "intra").Drift.mode;
+  Alcotest.(check string) "switch is memory-system time" "memory"
+    (find "switch").Drift.mode;
+  Alcotest.(check (float 1e-6)) "totals line up with the schedule"
+    sched.Plan.total_cycles (find "total").Drift.predicted;
+  Alcotest.(check (float 1e-6)) "totals line up with the measurement"
+    m.Timing.cycles.Timing.total (find "total").Drift.measured;
+  (* the per-segment measured compute must sum to the measured compute total *)
+  let seg_sum =
+    List.fold_left (fun a s -> a +. s.Drift.seg_measured) 0. d.Drift.segments
+  in
+  Alcotest.(check (float 1e-6)) "segments partition measured compute"
+    m.Timing.cycles.Timing.compute seg_sum;
+  (* record_metrics publishes labelled gauges the report reads back *)
+  Cim_obs.Metrics.set_enabled true;
+  Cim_obs.Metrics.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Cim_obs.Metrics.set_enabled false;
+      Cim_obs.Metrics.reset ())
+    (fun () ->
+      Drift.record_metrics d;
+      let total = find "total" in
+      let g =
+        Cim_obs.Metrics.gauge
+          ~labels:[ ("component", "total"); ("mode", "all") ]
+          "costmodel.drift.pct"
+      in
+      Alcotest.(check (float 1e-9)) "drift gauge published"
+        (Drift.drift_pct ~predicted:total.Drift.predicted
+           ~measured:total.Drift.measured)
+        (Cim_obs.Metrics.gauge_value g));
+  (* the json shape is what Telemetry.report renders *)
+  let j = Drift.to_json d in
+  Alcotest.(check int) "json summary rows" 6
+    (match Json.member "summary" j with Some (Json.List l) -> List.length l | _ -> -1);
+  match Json.member "rows" j with
+  | Some (Json.List (row :: _)) ->
+    Alcotest.(check bool) "segment rows carry drift_pct" true
+      (Json.member "drift_pct" row <> None)
+  | _ -> Alcotest.fail "json lacks per-segment rows"
+
+(* --- fleet telemetry: recording-only, deterministic, snapshot cadence --- *)
+
+module Telemetry = Cim_obs.Telemetry
+module Timeline = Cim_obs.Timeline
+
+let test_fleet_telemetry () =
+  let reqs =
+    Serving.poisson_trace (Rng.create 7) ~n:30 ~mean_gap:2e4 ~prompt:8 ~output:4
+  in
+  let schedule =
+    [ { Fleet.at = 5e4; chip = 0; coord = c 0 0; state = Some Faultmap.Dead };
+      { Fleet.at = 1.2e5; chip = 1; coord = c 1 0; state = Some Faultmap.Dead } ]
+  in
+  let config =
+    { Fleet.default_config with
+      Fleet.chips = 2;
+      slo = Some 3e5;
+      backoff_base = 1e3;
+      backoff_cap = 6.4e4;
+      recompile_cycles = 5e3;
+      jobs = 1 }
+  in
+  let plain = Fleet.run ~config ~chip synthetic_planner schedule reqs in
+  let tele = Telemetry.create ~snapshot_interval:5e4 ~slo_budget:0.05 () in
+  let observed =
+    Fleet.run ~config ~telemetry:tele ~chip synthetic_planner schedule reqs
+  in
+  (* the collector is recording-only: attaching it must not perturb the
+     event loop in any way *)
+  Alcotest.(check bool) "stats identical with and without telemetry" true
+    (plain = observed);
+  Alcotest.(check bool) "request phases recorded" true
+    (Telemetry.span_count tele > 0);
+  let doc = Telemetry.to_json tele in
+  let names key =
+    match Json.member key doc with
+    | Some (Json.List l) ->
+      List.filter_map
+        (fun s ->
+          match Json.member "name" s with
+          | Some (Json.String n) -> Some n
+          | _ -> None)
+        l
+    | _ -> []
+  in
+  let span_names = names "spans" and mark_names = names "marks" in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " spans present") true (List.mem n span_names))
+    [ "queue"; "prefill"; "decode"; "recompile" ];
+  Alcotest.(check bool) "fault marks present" true
+    (List.mem "fault" mark_names);
+  (* snapshots: at least one per interval that saw events, strictly
+     increasing timestamps, and the forced end-of-run sample *)
+  let snaps = Timeline.samples (Telemetry.timeline tele) in
+  Alcotest.(check bool) "snapshot cadence" true
+    (List.length snaps >= int_of_float (plain.Fleet.makespan /. 5e4 /. 2.));
+  ignore
+    (List.fold_left
+       (fun prev s ->
+         Alcotest.(check bool) "snapshot times increase" true
+           (s.Timeline.t > prev);
+         s.Timeline.t)
+       (-1.) snaps);
+  (match List.rev snaps with
+  | last :: _ ->
+    Alcotest.(check (float 1e-6)) "final forced sample at the last event"
+      plain.Fleet.makespan last.Timeline.t;
+    Alcotest.(check bool) "snapshots carry queue depth and burn rate" true
+      (List.mem_assoc "queue_depth" last.Timeline.values
+      && List.mem_assoc "slo_burn_rate" last.Timeline.values)
+  | [] -> Alcotest.fail "no snapshots");
+  (* run meta and the slo error budget land in the document *)
+  (match Json.member "meta" doc with
+  | Some meta ->
+    Alcotest.(check bool) "chips in meta" true
+      (Json.member "chips" meta = Some (Json.Int 2))
+  | None -> Alcotest.fail "no meta");
+  Alcotest.(check bool) "slo summary attached" true
+    (match Json.member "slo" doc with
+    | Some slo -> Json.member "burn_rate" slo <> None
+    | None -> false)
+
 let suite =
   ( "robustness",
     [
@@ -924,4 +1084,6 @@ let suite =
       Alcotest.test_case "fleet: golden fixture" `Quick test_fleet_golden;
       Alcotest.test_case "fleet: jobs determinism" `Quick
         test_fleet_jobs_determinism;
+      Alcotest.test_case "drift: attribution" `Quick test_drift_attribution;
+      Alcotest.test_case "fleet: telemetry" `Quick test_fleet_telemetry;
     ] )
