@@ -112,6 +112,36 @@ let jobs_arg =
                  Compilation output is byte-identical for every value; \
                  only wall-clock changes.")
 
+let tensor_backend_conv =
+  let parse s =
+    match Cim_tensor.Kernels.backend_of_string s with
+    | Ok b -> Ok b
+    | Error m -> Error (`Msg m)
+  in
+  Cmdliner.Arg.conv
+    ( parse,
+      fun ppf b ->
+        Format.pp_print_string ppf (Cim_tensor.Kernels.backend_to_string b) )
+
+let tensor_backend_arg =
+  Arg.(value & opt (some tensor_backend_conv) None
+       & info [ "tensor-backend" ] ~docv:"BACKEND"
+           ~doc:"Kernel engine for the simulators: $(b,bigarray) \
+                 (cache-blocked unsafe int8/float kernels) or $(b,boxed) \
+                 (the seed loops, kept as the differential oracle). Both \
+                 produce bitwise-identical tensors; only wall-clock \
+                 changes. Default: $(b,CMSWITCH_TENSOR_BACKEND), else \
+                 bigarray.")
+
+let sim_check_arg =
+  Arg.(value & flag
+       & info [ "sim-check" ]
+           ~doc:"Run the functional simulator on the compiled flow with \
+                 seeded random weights/inputs and print its byte-identity \
+                 digest ($(b,functional_md5=)...) and max abs/rel error \
+                 against the float reference. The digest is invariant \
+                 across $(b,--jobs) and $(b,--tensor-backend).")
+
 let cache_dir_arg =
   Arg.(value & opt (some string) None
        & info [ "cache-dir" ] ~docv:"DIR"
@@ -138,10 +168,19 @@ let store_for ~cache_dir ~no_cache =
     | Some d, _ | None, Some d -> Some (Store.open_dir d)
     | None, None -> None
 
-let config_for ~jobs ~store =
+let config_for ?tensor_backend ~jobs ~store () =
   let cfg = Cmswitch.Config.default in
   let cfg =
     match jobs with None -> cfg | Some j -> Cmswitch.Config.with_jobs j cfg
+  in
+  let cfg =
+    match tensor_backend with
+    | None -> cfg
+    | Some b ->
+      (* the knob steers every kernel in this process, not just calls that
+         thread the config through *)
+      Cim_tensor.Kernels.set_backend b;
+      Cmswitch.Config.with_tensor_backend b cfg
   in
   Cmswitch.Config.with_cache store cfg
 
@@ -244,8 +283,9 @@ let do_list () =
     Zoo.all;
   Printf.printf "\nchips: %s\n" (String.concat ", " (List.map fst Config.presets))
 
-let do_compile chip key batch seq kv emit sim report fault_rate fault_seed
-    deadline jobs cache_dir no_cache verbose trace metrics =
+let do_compile chip key batch seq kv emit sim sim_check tensor_backend report
+    fault_rate fault_seed deadline jobs cache_dir no_cache verbose trace
+    metrics =
   setup_logs verbose;
   setup_obs ~trace ~metrics;
   let store = store_for ~cache_dir ~no_cache in
@@ -270,7 +310,10 @@ let do_compile chip key batch seq kv emit sim report fault_rate fault_seed
     end
   in
   let mc =
-    try Cmswitch.compile_model ~config:(config_for ~jobs ~store) ?faults chip e w
+    try
+      Cmswitch.compile_model
+        ~config:(config_for ?tensor_backend ~jobs ~store ())
+        ?faults chip e w
     with Failure msg | Invalid_argument msg ->
       Printf.eprintf "compilation failed: %s\n" msg;
       exit 1
@@ -297,6 +340,29 @@ let do_compile chip key batch seq kv emit sim report fault_rate fault_seed
     if sim || trace <> None then begin
       let t = Cim_sim.Timing.run chip r.Cmswitch.program in
       if sim then Format.printf "%a@." Cim_sim.Timing.pp t
+    end;
+    if sim_check then begin
+      (* seeded weights + inputs, so the digest is comparable across runs,
+         job counts and backends (the byte-identity CI check) *)
+      let rng = Cim_util.Rng.create 42 in
+      let g = Cim_nnir.Graph.with_random_values rng r.Cmswitch.graph in
+      let inputs =
+        List.map
+          (fun (n, shape) ->
+            (n, Cim_tensor.Tensor.rand rng shape ~lo:(-1.) ~hi:1.))
+          g.Cim_nnir.Graph.graph_inputs
+      in
+      let rep =
+        try Cim_sim.Functional.run chip ?faults ?jobs g r.Cmswitch.program ~inputs
+        with Cim_sim.Functional.Error msg ->
+          Printf.eprintf "functional simulation failed: %s\n" msg;
+          exit 1
+      in
+      Printf.printf
+        "functional_md5=%s (computes=%d vectors=%d max_abs=%.3e max_rel=%.3e)\n"
+        (Cim_sim.Functional.digest rep)
+        rep.Cim_sim.Functional.compute_instrs rep.Cim_sim.Functional.vector_instrs
+        rep.Cim_sim.Functional.max_abs_err rep.Cim_sim.Functional.max_rel_err
     end;
     if Degrade.degraded r.Cmswitch.degradation then
       Format.printf "%a@." Degrade.pp r.Cmswitch.degradation;
@@ -343,7 +409,7 @@ let do_compare chip key batch seq kv jobs cache_dir no_cache trace metrics =
   let w = workload_of e ~batch ~seq ~kv in
   Printf.printf "%s on %s, %s\n" e.Zoo.display chip.Chip.name (Workload.to_string w);
   let cms =
-    (Cmswitch.compile_model ~config:(config_for ~jobs ~store) chip e w)
+    (Cmswitch.compile_model ~config:(config_for ~jobs ~store ()) chip e w)
       .Cmswitch.total_cycles
   in
   Printf.printf "  %-10s %.4e cycles\n" "CMSwitch" cms;
@@ -480,7 +546,7 @@ let do_serve chip key batch seq kv chips requests mean_gap burst slo
   let store = store_for ~cache_dir ~no_cache in
   let e = find_model key in
   let w = workload_of e ~batch ~seq ~kv in
-  let base_cfg = config_for ~jobs ~store in
+  let base_cfg = config_for ~jobs ~store () in
   (* the representative graph: one block for transformers (a pass costs
      n_layers block passes — the LM head is dropped from this estimate),
      the whole network for CNNs *)
@@ -776,9 +842,10 @@ let list_cmd =
 let compile_cmd =
   Cmd.v (Cmd.info "compile" ~doc:"Compile a model and print the schedule")
     Term.(const do_compile $ chip_arg $ model_arg $ batch_arg $ seq_arg
-          $ kv_arg $ emit_arg $ sim_arg $ report_arg $ fault_rate_arg
-          $ fault_seed_arg $ deadline_arg $ jobs_arg $ cache_dir_arg
-          $ no_cache_arg $ verbose_arg $ trace_arg $ metrics_arg)
+          $ kv_arg $ emit_arg $ sim_arg $ sim_check_arg $ tensor_backend_arg
+          $ report_arg $ fault_rate_arg $ fault_seed_arg $ deadline_arg
+          $ jobs_arg $ cache_dir_arg $ no_cache_arg $ verbose_arg $ trace_arg
+          $ metrics_arg)
 
 let compare_cmd =
   Cmd.v (Cmd.info "compare" ~doc:"Compare CMSwitch against the baselines")

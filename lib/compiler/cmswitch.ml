@@ -9,6 +9,7 @@ module Workload = Cim_models.Workload
 module Zoo = Cim_models.Zoo
 module B = Cim_nnir.Builder
 module Shape = Cim_tensor.Shape
+module Kernels = Cim_tensor.Kernels
 module Trace = Cim_obs.Trace
 module Metrics = Cim_obs.Metrics
 module J = Cim_obs.Json
@@ -36,6 +37,7 @@ module Config = struct
     refine : bool;
     force_all_compute : bool;
     lp_backend : Cim_solver.Milp.backend;
+    tensor_backend : Kernels.backend;
     faults : Faultmap.t option;
     cache : Store.t option;
   }
@@ -50,6 +52,7 @@ module Config = struct
       refine = Alloc.default_options.Alloc.refine;
       force_all_compute = Alloc.default_options.Alloc.force_all_compute;
       lp_backend = Alloc.default_options.Alloc.lp_backend;
+      tensor_backend = Kernels.default_backend ();
       faults = None;
       cache = None;
     }
@@ -62,6 +65,7 @@ module Config = struct
   let with_refine v t = { t with refine = v }
   let with_force_all_compute v t = { t with force_all_compute = v }
   let with_lp_backend v t = { t with lp_backend = v }
+  let with_tensor_backend v t = { t with tensor_backend = v }
   let with_faults v t = { t with faults = v }
   let with_cache v t = { t with cache = v }
   let with_cache_dir dir t = { t with cache = Some (Store.open_dir dir) }
@@ -96,13 +100,15 @@ module Config = struct
       refine = o.segment.Segment.alloc.Alloc.refine;
       force_all_compute = o.segment.Segment.alloc.Alloc.force_all_compute;
       lp_backend = o.segment.Segment.alloc.Alloc.lp_backend;
+      tensor_backend = Kernels.default_backend ();
       faults;
       cache = o.segment.Segment.cache;
     }
 
   (* The cache-key serialisation: every semantic field in fixed order,
-     floats as exact binary64 hex. Excluded by design: [jobs] (pure
-     execution strategy under the byte-identical determinism contract),
+     floats as exact binary64 hex. Excluded by design: [jobs] and
+     [tensor_backend] (pure execution strategy under the byte-identical
+     determinism contract — both backends produce bit-equal tensors),
      [faults] (a separate key component, see Ccache.prog_key) and [cache]
      (plumbing, not semantics). *)
   let canonical t =

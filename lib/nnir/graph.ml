@@ -145,6 +145,19 @@ let param_count g =
 
 let cim_nodes g = List.filter (fun nd -> Op.is_cim_supported nd.op) g.nodes
 
+let with_random_values rng g =
+  let initializers =
+    List.map
+      (fun i ->
+        match i.value with
+        | Some _ -> i
+        | None ->
+          { i with
+            value = Some (Tensor.rand rng i.init_shape ~lo:(-0.5) ~hi:0.5) })
+      g.initializers
+  in
+  { g with initializers }
+
 let pp ppf g =
   Format.fprintf ppf "graph %s (%d nodes, %d params)@." g.graph_name
     (node_count g) (param_count g);

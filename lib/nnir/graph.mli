@@ -61,4 +61,11 @@ val param_count : t -> int
 val cim_nodes : t -> node list
 (** Nodes whose op is CIM-supported, in topological order. *)
 
+val with_random_values : Cim_util.Rng.t -> t -> t
+(** Fill every valueless initializer with seeded uniform values in
+    [-0.5, 0.5) (the {!Builder.linear} convention), leaving concrete
+    weights untouched — initializers are visited in graph order, so the
+    same seed always yields the same weights. Makes the shape-only zoo
+    graphs runnable by the functional simulator. *)
+
 val pp : Format.formatter -> t -> unit

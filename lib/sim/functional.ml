@@ -8,6 +8,8 @@ module Tensor = Cim_tensor.Tensor
 module Shape = Cim_tensor.Shape
 module Ops = Cim_tensor.Ops
 module Quant = Cim_tensor.Quant
+module Kernels = Cim_tensor.Kernels
+module Pool = Cim_util.Pool
 
 type report = {
   outputs : (string * Tensor.t) list;
@@ -83,7 +85,7 @@ let covered cov =
   in
   match merged with [ (0, hi) ] -> hi >= cov.width | _ -> false
 
-let run chip ?faults ?rng ?max_switch_retries (g : Graph.t)
+let run_with_pool pool chip ?faults ?rng ?max_switch_retries (g : Graph.t)
     (p : Flow.program) ~inputs =
   (match Flow.validate chip p with
   | Ok () -> ()
@@ -108,9 +110,66 @@ let run chip ?faults ?rng ?max_switch_retries (g : Graph.t)
   let node_results : (int, Tensor.t) Hashtbl.t = Hashtbl.create 32 in
   let coverages : (int, coverage) Hashtbl.t = Hashtbl.create 32 in
   let computes = ref 0 and vectors = ref 0 in
+  (* Wave pre-evaluation: before executing a [Parallel] block serially,
+     evaluate its pending CIM nodes concurrently — one task per distinct
+     node whose inputs are all available in [env] and not written by any
+     instruction of this block (an op chained on a vector output inside
+     the block must wait for the serial walk). Inputs are snapshotted on
+     the submitting domain before any task runs, tasks never touch [env]
+     or the machine, and results (or exceptions) merge in submission
+     order, so outputs, stats and error points are byte-identical to the
+     serial walk at any job count. *)
+  let pre_results : (int, (Tensor.t, exn) result) Hashtbl.t = Hashtbl.create 32 in
+  let pre_eval_block is =
+    let written = Hashtbl.create 16 in
+    List.iter
+      (fun (i : Flow.instr) ->
+        match i with
+        | Flow.Vector_op { output; _ } | Flow.Compute { output; _ } ->
+          Hashtbl.replace written output ()
+        | _ -> ())
+      is;
+    let seen = Hashtbl.create 16 in
+    let pending =
+      List.filter_map
+        (fun (i : Flow.instr) ->
+          match i with
+          | Flow.Compute { node_id; _ }
+            when (not (Hashtbl.mem node_results node_id))
+                 && (not (Hashtbl.mem pre_results node_id))
+                 && not (Hashtbl.mem seen node_id) -> begin
+            Hashtbl.replace seen node_id ();
+            match Graph.find_node g node_id with
+            | exception Graph.Invalid _ -> None
+            | nd ->
+              if
+                List.for_all
+                  (fun nm -> Hashtbl.mem env nm && not (Hashtbl.mem written nm))
+                  nd.Graph.inputs
+              then Some (node_id, nd)
+              else None
+          end
+          | _ -> None)
+        is
+    in
+    let tasks =
+      List.map
+        (fun (node_id, (nd : Graph.node)) ->
+          let ins = List.map (Hashtbl.find env) nd.Graph.inputs in
+          (node_id, Pool.submit pool (fun () -> quant_eval nd ins)))
+        pending
+    in
+    List.iter
+      (fun (node_id, fut) ->
+        let r = match Pool.await fut with t -> Ok t | exception e -> Error e in
+        Hashtbl.replace pre_results node_id r)
+      tasks
+  in
   let rec exec (i : Flow.instr) =
     match i with
-    | Flow.Parallel is -> List.iter exec is
+    | Flow.Parallel is ->
+      pre_eval_block is;
+      List.iter exec is
     | Flow.Switch { target; arrays } ->
       List.iter (Machine.switch machine target) arrays
     | Flow.Write_weights { node_id; arrays; slice; _ } ->
@@ -145,8 +204,14 @@ let run chip ?faults ?rng ?max_switch_retries (g : Graph.t)
         match Hashtbl.find_opt node_results node_id with
         | Some r -> r
         | None ->
-          let ins = List.map lookup nd.Graph.inputs in
-          let r = quant_eval nd ins in
+          let r =
+            match Hashtbl.find_opt pre_results node_id with
+            | Some (Ok r) -> r
+            | Some (Error e) -> raise e
+            | None ->
+              let ins = List.map lookup nd.Graph.inputs in
+              quant_eval nd ins
+          in
           Hashtbl.replace node_results node_id r;
           r
       in
@@ -221,3 +286,35 @@ let run chip ?faults ?rng ?max_switch_retries (g : Graph.t)
     switches = Machine.switch_counts machine;
     switch_retries = Machine.switch_retries machine;
   }
+
+let run chip ?faults ?rng ?max_switch_retries ?jobs ?backend (g : Graph.t)
+    (p : Flow.program) ~inputs =
+  (* from inside a pool worker (e.g. a fleet prefetch task) degrade to
+     serial instead of multiplying domains *)
+  let jobs =
+    if Pool.current_worker () <> None then 1
+    else match jobs with Some j -> j | None -> Pool.default_jobs ()
+  in
+  let backend = match backend with Some b -> b | None -> Kernels.backend () in
+  Pool.with_pool ~name:"funcsim" ~jobs (fun pool ->
+      Kernels.with_pool (Some pool) (fun () ->
+          Kernels.with_backend backend (fun () ->
+              run_with_pool pool chip ?faults ?rng ?max_switch_retries g p
+                ~inputs)))
+
+let digest r =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (name, t) ->
+      Buffer.add_string buf name;
+      Buffer.add_char buf '\000';
+      Array.iter
+        (fun x -> Buffer.add_int64_le buf (Int64.bits_of_float x))
+        (Tensor.data t);
+      Buffer.add_char buf '\n')
+    r.outputs;
+  let mc, cm = r.switches in
+  Buffer.add_string buf
+    (Printf.sprintf "stats:%d,%d,%d,%d,%d" r.compute_instrs r.vector_instrs mc
+       cm r.switch_retries);
+  Digest.to_hex (Digest.string (Buffer.contents buf))

@@ -25,9 +25,26 @@ exception Error of string
 
 val run :
   Cim_arch.Chip.t -> ?faults:Cim_arch.Faultmap.t -> ?rng:Cim_util.Rng.t ->
-  ?max_switch_retries:int -> Cim_nnir.Graph.t -> Cim_metaop.Flow.program ->
+  ?max_switch_retries:int -> ?jobs:int -> ?backend:Cim_tensor.Kernels.backend ->
+  Cim_nnir.Graph.t -> Cim_metaop.Flow.program ->
   inputs:(string * Cim_tensor.Tensor.t) list -> report
 (** Requires every initializer of the graph to carry values. Raises [Error]
     (or {!Machine.Fault}) on illegal programs — including programs that use
     dead arrays, switch stuck arrays, or exhaust the transient-switch retry
-    budget of the fault model (see {!Machine.create}). *)
+    budget of the fault model (see {!Machine.create}).
+
+    [jobs] (default {!Cim_util.Pool.default_jobs}, forced to 1 when already
+    inside a pool worker) sizes the work pool the simulator runs on; each
+    [Parallel] block's independent CIM nodes are pre-evaluated concurrently
+    and the row-parallel {!Cim_tensor.Kernels} split large matmuls across
+    the same pool. [backend] (default {!Cim_tensor.Kernels.backend}) picks
+    the kernel engine for the run. Under the determinism contract the
+    report — outputs, errors, instruction counts, switch stats — is
+    byte-identical at any [jobs] and for either backend; {!digest} is the
+    cheap way to assert that. *)
+
+val digest : report -> string
+(** MD5 hex digest over the simulated output tensors (names + IEEE-754 bit
+    patterns, so any numeric divergence changes it) and the instruction /
+    switch counters. Golden-fixture material: equal digests mean the run
+    was byte-identical. *)

@@ -1,44 +1,41 @@
-let matmul2d a b m k n =
-  let da = Tensor.data a and db = Tensor.data b in
+(* The 2-d float kernel, oracle form: safe accesses, naive loop order. The
+   fast backend (Kernels.matmul2d) must match it bitwise — see kernels.mli
+   for why the blocked loops preserve this exact accumulation order. *)
+let matmul2d_boxed da aoff db boff ~m ~k ~n =
   let out = Array.make (m * n) 0. in
   for i = 0 to m - 1 do
     for p = 0 to k - 1 do
-      let av = da.((i * k) + p) in
+      let av = da.(aoff + (i * k) + p) in
       if av <> 0. then
         for j = 0 to n - 1 do
-          out.((i * n) + j) <- out.((i * n) + j) +. (av *. db.((p * n) + j))
+          out.((i * n) + j) <- out.((i * n) + j) +. (av *. db.(boff + (p * n) + j))
         done
     done
   done;
   out
 
+let matmul2d da aoff db boff ~m ~k ~n =
+  match Kernels.backend () with
+  | Kernels.Boxed -> matmul2d_boxed da aoff db boff ~m ~k ~n
+  | Kernels.Bigarray -> Kernels.matmul2d da aoff db boff ~m ~k ~n
+
 let matmul a b =
+  let da = Tensor.data a and db = Tensor.data b in
   match (Tensor.shape a, Tensor.shape b) with
   | [ m; k ], [ k'; n ] when k = k' ->
-    Tensor.create (Shape.of_list [ m; n ]) (matmul2d a b m k n)
+    Tensor.create (Shape.of_list [ m; n ]) (matmul2d da 0 db 0 ~m ~k ~n)
   | [ bdim; m; k ], [ k'; n ] when k = k' ->
+    (* batch slices are indexed with offsets, not copied per iteration *)
     let out = Tensor.zeros (Shape.of_list [ bdim; m; n ]) in
     for bi = 0 to bdim - 1 do
-      let sub =
-        Tensor.create (Shape.of_list [ m; k ])
-          (Array.sub (Tensor.data a) (bi * m * k) (m * k))
-      in
-      let r = matmul2d sub b m k n in
+      let r = matmul2d da (bi * m * k) db 0 ~m ~k ~n in
       Array.blit r 0 (Tensor.data out) (bi * m * n) (m * n)
     done;
     out
   | [ bdim; m; k ], [ bdim'; k'; n ] when k = k' && bdim = bdim' ->
     let out = Tensor.zeros (Shape.of_list [ bdim; m; n ]) in
     for bi = 0 to bdim - 1 do
-      let suba =
-        Tensor.create (Shape.of_list [ m; k ])
-          (Array.sub (Tensor.data a) (bi * m * k) (m * k))
-      in
-      let subb =
-        Tensor.create (Shape.of_list [ k; n ])
-          (Array.sub (Tensor.data b) (bi * k * n) (k * n))
-      in
-      let r = matmul2d suba subb m k n in
+      let r = matmul2d da (bi * m * k) db (bi * k * n) ~m ~k ~n in
       Array.blit r 0 (Tensor.data out) (bi * m * n) (m * n)
     done;
     out
@@ -141,6 +138,30 @@ let permute t perm =
 
 let out_dim h k stride pad = ((h + (2 * pad) - k) / stride) + 1
 
+let im2col_boxed src ~n ~c ~h ~w ~kh ~kw ~stride ~pad ~oh ~ow ~dst =
+  let cols = c * kh * kw in
+  let row = ref 0 in
+  for ni = 0 to n - 1 do
+    for oy = 0 to oh - 1 do
+      for ox = 0 to ow - 1 do
+        let base = !row * cols in
+        for ci = 0 to c - 1 do
+          for ky = 0 to kh - 1 do
+            for kx = 0 to kw - 1 do
+              let iy = (oy * stride) + ky - pad and ix = (ox * stride) + kx - pad in
+              let v =
+                if iy < 0 || iy >= h || ix < 0 || ix >= w then 0.
+                else src.((((ni * c) + ci) * h * w) + (iy * w) + ix)
+              in
+              dst.(base + (ci * kh * kw) + (ky * kw) + kx) <- v
+            done
+          done
+        done;
+        incr row
+      done
+    done
+  done
+
 let im2col t ~kh ~kw ~stride ~pad =
   match Tensor.shape t with
   | [ n; c; h; w ] ->
@@ -148,82 +169,76 @@ let im2col t ~kh ~kw ~stride ~pad =
     let cols = c * kh * kw in
     let out = Tensor.zeros (Shape.of_list [ n * oh * ow; cols ]) in
     let src = Tensor.data t and dst = Tensor.data out in
-    let row = ref 0 in
-    for ni = 0 to n - 1 do
-      for oy = 0 to oh - 1 do
-        for ox = 0 to ow - 1 do
-          let base = !row * cols in
-          for ci = 0 to c - 1 do
-            for ky = 0 to kh - 1 do
-              for kx = 0 to kw - 1 do
-                let iy = (oy * stride) + ky - pad and ix = (ox * stride) + kx - pad in
-                let v =
-                  if iy < 0 || iy >= h || ix < 0 || ix >= w then 0.
-                  else src.((((ni * c) + ci) * h * w) + (iy * w) + ix)
-                in
-                dst.(base + (ci * kh * kw) + (ky * kw) + kx) <- v
-              done
-            done
-          done;
-          incr row
-        done
-      done
-    done;
+    (match Kernels.backend () with
+    | Kernels.Boxed -> im2col_boxed src ~n ~c ~h ~w ~kh ~kw ~stride ~pad ~oh ~ow ~dst
+    | Kernels.Bigarray ->
+      for ni = 0 to n - 1 do
+        Kernels.im2col src (ni * c * h * w) ~c ~h ~w ~kh ~kw ~stride ~pad ~oh ~ow
+          ~dst ~dst_row0:(ni * oh * ow)
+      done);
     out
   | s -> invalid_arg ("Ops.im2col: expected NCHW, got " ^ Shape.to_string s)
 
+(* The group slicing / weight gather / scatter around the matmul is pure
+   data movement, so both backends share these blit-based loops (the old
+   Tensor.init list-index walks dominated small convolutions). *)
 let conv2d_with ~matmul:mm t ~weight ?bias ~stride ~pad ?(groups = 1) () =
   match (Tensor.shape t, Tensor.shape weight) with
   | [ n; c; h; w ], [ oc; cg; kh; kw ] when c = cg * groups && oc mod groups = 0 ->
     let oh = out_dim h kh stride pad and ow = out_dim w kw stride pad in
     let ocg = oc / groups in
+    let khw = kh * kw in
+    let chw = c * h * w
+    and ghw = cg * h * w in
     let out = Tensor.zeros (Shape.of_list [ n; oc; oh; ow ]) in
-    let dst = Tensor.data out in
+    let dst = Tensor.data out and src = Tensor.data t in
+    let wd = Tensor.data weight in
     for g = 0 to groups - 1 do
-      (* slice the input channels of this group *)
-      let sub =
-        Tensor.init (Shape.of_list [ n; cg; h; w ]) (fun idx ->
-            match idx with
-            | [ ni; ci; yi; xi ] -> Tensor.get t [ ni; (g * cg) + ci; yi; xi ]
-            | _ -> assert false)
-      in
+      (* slice the input channels of this group: one blit per image *)
+      let sub = Tensor.zeros (Shape.of_list [ n; cg; h; w ]) in
+      let sd = Tensor.data sub in
+      for ni = 0 to n - 1 do
+        Array.blit src ((ni * chw) + (g * ghw)) sd (ni * ghw) ghw
+      done;
       let patches = im2col sub ~kh ~kw ~stride ~pad in
       (* weight rows for this group: [ocg; cg*kh*kw] transposed to [cg*kh*kw; ocg] *)
-      let wmat =
-        Tensor.init (Shape.of_list [ cg * kh * kw; ocg ]) (fun idx ->
-            match idx with
-            | [ ki; oi ] ->
-              let ci = ki / (kh * kw) in
-              let rest = ki mod (kh * kw) in
-              Tensor.get weight [ (g * ocg) + oi; ci; rest / kw; rest mod kw ]
-            | _ -> assert false)
-      in
+      let wmat = Tensor.zeros (Shape.of_list [ cg * khw; ocg ]) in
+      let wm = Tensor.data wmat in
+      for oi = 0 to ocg - 1 do
+        let wbase = ((g * ocg) + oi) * cg * khw in
+        for ki = 0 to (cg * khw) - 1 do
+          wm.((ki * ocg) + oi) <- wd.(wbase + ki)
+        done
+      done;
       let res = mm patches wmat in
       (* res is [n*oh*ow; ocg]; scatter back to NCHW *)
       let rd = Tensor.data res in
       for ni = 0 to n - 1 do
         for oi = 0 to ocg - 1 do
+          let obase = ((ni * oc) + (g * ocg) + oi) * oh * ow in
           for oy = 0 to oh - 1 do
+            let rbase = (((ni * oh) + oy) * ow * ocg) + oi in
             for ox = 0 to ow - 1 do
-              let ridx = (((ni * oh) + oy) * ow) + ox in
-              dst.(((((ni * oc) + (g * ocg) + oi) * oh) + oy) * ow + ox) <-
-                rd.((ridx * ocg) + oi)
+              dst.(obase + (oy * ow) + ox) <- rd.(rbase + (ox * ocg))
             done
           done
         done
       done
     done;
-    let out =
-      match bias with
-      | None -> out
-      | Some b ->
-        if Tensor.numel b <> oc then invalid_arg "Ops.conv2d: bias length mismatch";
-        let bd = Tensor.data b in
-        Tensor.init (Shape.of_list [ n; oc; oh; ow ]) (fun idx ->
-            match idx with
-            | [ ni; ci; yi; xi ] -> Tensor.get out [ ni; ci; yi; xi ] +. bd.(ci)
-            | _ -> assert false)
-    in
+    (match bias with
+    | None -> ()
+    | Some b ->
+      if Tensor.numel b <> oc then invalid_arg "Ops.conv2d: bias length mismatch";
+      let bd = Tensor.data b in
+      for ni = 0 to n - 1 do
+        for ci = 0 to oc - 1 do
+          let base = ((ni * oc) + ci) * oh * ow in
+          let bv = bd.(ci) in
+          for i = 0 to (oh * ow) - 1 do
+            dst.(base + i) <- dst.(base + i) +. bv
+          done
+        done
+      done);
     out
   | si, sw ->
     invalid_arg

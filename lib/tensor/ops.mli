@@ -1,6 +1,13 @@
 (** Reference (float) implementations of every operator in the model zoo.
     These define functional correctness for the CIM simulator: the meta-op
-    executor must match these up to quantisation error. *)
+    executor must match these up to quantisation error.
+
+    The hot kernels (matmul, im2col and the conv2d lowering built on them)
+    dispatch on {!Kernels.backend}: the default [Bigarray] backend runs the
+    cache-blocked unsafe loops of {!Kernels}, while [Boxed] keeps the seed
+    loops in this module as the differential oracle. Both return bitwise
+    identical tensors for every input (see kernels.mli for the contract);
+    [test/t_kernels.ml] checks it exhaustively. *)
 
 val matmul : Tensor.t -> Tensor.t -> Tensor.t
 (** [m;k] x [k;n] -> [m;n]; also accepts a leading batch dim on the left

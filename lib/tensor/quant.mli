@@ -18,12 +18,17 @@ val clamp_i8 : int -> int
 (** Saturate to [-128, 127]. *)
 
 val requantize : int array -> Shape.t -> in_scale:float -> qtensor
-(** Take int32 accumulator values with an effective input scale and produce a
-    fresh int8 tensor with a new per-tensor scale. *)
+(** Take wide accumulator values with an effective input scale and produce a
+    fresh int8 tensor with a new per-tensor scale. Raises [Invalid_argument]
+    when [in_scale] is not strictly positive (a zero scale would silently
+    turn every accumulator into 0 through a NaN). *)
 
 val matmul : qtensor -> qtensor -> qtensor
-(** [matmul a b] for a:[m;k] b:[k;n] (2-d only), int32 accumulation then
-    requantisation — the arithmetic a CIM compute array performs. *)
+(** [matmul a b] for a:[m;k] b:[k;n] (2-d only), wide accumulation then
+    requantisation — the arithmetic a CIM compute array performs. Dispatches
+    on {!Kernels.backend} ([Bigarray] packs operands into int8 Bigarrays and
+    runs blocked loops); both backends produce identical values bit for bit
+    because integer accumulation is exact. *)
 
 val quant_error : Tensor.t -> float
 (** Max |x - dequant(quant(x))| — used by property tests to bound the
