@@ -15,6 +15,7 @@ module Store = Cim_cache.Store
 module Workload = Cim_models.Workload
 module Zoo = Cim_models.Zoo
 module Cmswitch = Cim_compiler.Cmswitch
+module Bucket = Cim_compiler.Bucket
 module Segment = Cim_compiler.Segment
 module Plan = Cim_compiler.Plan
 module Degrade = Cim_compiler.Degrade
@@ -142,6 +143,24 @@ let sim_check_arg =
                  against the float reference. The digest is invariant \
                  across $(b,--jobs) and $(b,--tensor-backend).")
 
+let buckets_conv =
+  let parse s =
+    match Bucket.of_string s with Ok b -> Ok b | Error m -> Error (`Msg m)
+  in
+  Cmdliner.Arg.conv
+    (parse, fun ppf b -> Format.pp_print_string ppf (Bucket.to_string b))
+
+let buckets_arg =
+  Arg.(value & opt (some buckets_conv) None
+       & info [ "buckets" ] ~docv:"POLICY"
+           ~doc:"Length-bucketed compilation: transformer workloads compile \
+                 at the bucket ceiling of their sequence/context length, so \
+                 every length inside a bucket shares one cached program and \
+                 warm decode steps re-solve zero MILPs. POLICY is \
+                 $(b,pow2) (powers of two, ceilings 32..2048), \
+                 $(b,pow2:MIN:MAX), or an explicit comma-separated boundary \
+                 list like $(b,32,64,128,512).")
+
 let cache_dir_arg =
   Arg.(value & opt (some string) None
        & info [ "cache-dir" ] ~docv:"DIR"
@@ -168,10 +187,15 @@ let store_for ~cache_dir ~no_cache =
     | Some d, _ | None, Some d -> Some (Store.open_dir d)
     | None, None -> None
 
-let config_for ?tensor_backend ~jobs ~store () =
+let config_for ?tensor_backend ?buckets ~jobs ~store () =
   let cfg = Cmswitch.Config.default in
   let cfg =
     match jobs with None -> cfg | Some j -> Cmswitch.Config.with_jobs j cfg
+  in
+  let cfg =
+    match buckets with
+    | None -> cfg
+    | Some b -> Cmswitch.Config.with_buckets (Some b) cfg
   in
   let cfg =
     match tensor_backend with
@@ -184,17 +208,27 @@ let config_for ?tensor_backend ~jobs ~store () =
   in
   Cmswitch.Config.with_cache store cfg
 
+let hit_rate_pct (c : Store.counters) =
+  let total = c.Store.hits + c.Store.misses in
+  if total = 0 then 0. else 100. *. float_of_int c.Store.hits /. float_of_int total
+
 let report_cache_counters store =
   match store with
   | None -> ()
   | Some s ->
     let line tier (c : Store.counters) =
+      (* the "hits=... misses=... invalid=..." prefix is parsed by the CI
+         cache-smoke step; append new fields after it, never reformat it *)
       Printf.printf
-        "cache %-4s: hits=%d misses=%d invalid=%d puts=%d (dir %s)\n" tier
-        c.Store.hits c.Store.misses c.Store.invalid c.Store.puts (Store.dir s)
+        "cache %-4s: hits=%d misses=%d invalid=%d puts=%d hit-rate=%.1f%% (dir %s)\n"
+        tier c.Store.hits c.Store.misses c.Store.invalid c.Store.puts
+        (hit_rate_pct c) (Store.dir s)
     in
     line "prog" (Store.tier_counters s Cim_compiler.Ccache.prog_tier);
-    line "seg" (Store.tier_counters s Cim_compiler.Ccache.seg_tier)
+    line "seg" (Store.tier_counters s Cim_compiler.Ccache.seg_tier);
+    (* persist this process's deltas so `cmswitch cache stats` can report
+       lifetime hit rates across invocations *)
+    Store.flush_counters s
 
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Trace the compilation pipeline.")
@@ -283,8 +317,8 @@ let do_list () =
     Zoo.all;
   Printf.printf "\nchips: %s\n" (String.concat ", " (List.map fst Config.presets))
 
-let do_compile chip key batch seq kv emit sim sim_check tensor_backend report
-    fault_rate fault_seed deadline jobs cache_dir no_cache verbose trace
+let do_compile chip key batch seq kv emit sim sim_check tensor_backend buckets
+    report fault_rate fault_seed deadline jobs cache_dir no_cache verbose trace
     metrics =
   setup_logs verbose;
   setup_obs ~trace ~metrics;
@@ -312,12 +346,22 @@ let do_compile chip key batch seq kv emit sim sim_check tensor_backend report
   let mc =
     try
       Cmswitch.compile_model
-        ~config:(config_for ?tensor_backend ~jobs ~store ())
+        ~config:(config_for ?tensor_backend ?buckets ~jobs ~store ())
         ?faults chip e w
     with Failure msg | Invalid_argument msg ->
       Printf.eprintf "compilation failed: %s\n" msg;
       exit 1
   in
+  (match (buckets, mc.Cmswitch.bucket_ceiling) with
+  | Some b, Some ceil ->
+    Printf.printf
+      "bucketed: compiled at %s (ceiling %d for %s); every length in the \
+       bucket shares this cached program\n"
+      (Workload.to_string mc.Cmswitch.padded_workload)
+      ceil (Bucket.to_string b)
+  | Some _, None ->
+    Printf.printf "bucketed: policy is a no-op for this workload\n"
+  | None, _ -> ());
   let part =
     match (mc.Cmswitch.layer, mc.Cmswitch.whole) with
     | Some r, _ -> Some (r, Printf.sprintf "one of %d identical blocks" e.Zoo.n_layers)
@@ -531,7 +575,7 @@ let slo_budget_arg =
                  requests that may violate the SLO; telemetry reports the \
                  burn rate against it. Only meaningful with $(b,--slo).")
 
-let do_serve chip key batch seq kv chips requests mean_gap burst slo
+let do_serve chip key batch seq kv buckets chips requests mean_gap burst slo
     fault_schedule fault_events fault_seed seed shed_output max_retries breaker
     recompile_cycles recompile_budget telemetry_file timeline_csv openmetrics
     snapshot_interval slo_budget jobs cache_dir no_cache verbose trace
@@ -570,21 +614,6 @@ let do_serve chip key batch seq kv chips requests mean_gap burst slo
   let flat_profile pass =
     { Serving.prefill_cycles = (fun _ -> pass);
       decode_cycles = (fun _ -> pass) }
-  in
-  let planner ~chip:_ ~faults:fm =
-    let cfg =
-      if Faultmap.fault_count fm = 0 then base_cfg
-      else Cmswitch.Config.with_faults (Some fm) base_cfg
-    in
-    match
-      Cmswitch.recompile ~config:cfg ?budget_seconds:recompile_budget chip
-        graph
-    with
-    | Ok o ->
-      Some
-        { Fleet.level = o.Cmswitch.rc_level;
-          profile = flat_profile (pass_of o.Cmswitch.rc_result) }
-    | Error _ -> None
   in
   let rng = Cim_util.Rng.create seed in
   (* a request costs prefill + 4 decode steps = 5 schedule passes; the
@@ -678,8 +707,73 @@ let do_serve chip key batch seq kv chips requests mean_gap burst slo
       (match drift with
       | Some d -> Telemetry.set_extra t "drift" (Cim_sim.Drift.to_json d)
       | None -> ());
+      (match buckets with
+      | Some b -> Telemetry.set_meta t "buckets" (Json.String (Bucket.to_string b))
+      | None -> ());
       Some t
     end
+  in
+  (* Bucketed healthy-path pricing: a compilation session pins (config,
+     chip, model) and prices each length at its bucket ceiling, reusing the
+     in-session memo and DP frontier across steps; the serving profile then
+     memoises one cost per distinct ceiling. Every bucket-crossing
+     recompile lands in the telemetry as a span on the "compile" lane.
+     Faulted plans keep the flat per-level recompile profiles — fault
+     recovery is about surviving, not about dynamic shapes. *)
+  let healthy_profile =
+    match buckets with
+    | Some b when e.Zoo.family <> Zoo.Cnn ->
+      Printf.printf "bucketed serving: policy %s\n" (Bucket.to_string b);
+      let sess =
+        Cmswitch.session
+          ~config:(Cmswitch.Config.with_buckets (Some b) base_cfg)
+          chip e
+      in
+      let compile_clock = ref 0. in
+      let step_cost w =
+        let st = Cmswitch.session_step sess w in
+        if st.Cmswitch.step_recompiled then begin
+          let dur = st.Cmswitch.step_seconds *. chip.Chip.freq_mhz *. 1e6 in
+          (match tele with
+          | Some t ->
+            Telemetry.span t ~lane:"compile" ~ts:!compile_clock ~dur
+              ~attrs:
+                [ ("ceiling", Json.Int st.Cmswitch.step_ceiling);
+                  ("prefix_reused", Json.Int st.Cmswitch.step_prefix_reused);
+                  ("workload", Json.String (Workload.to_string w)) ]
+              "bucket_compile"
+          | None -> ());
+          compile_clock := !compile_clock +. dur
+        end;
+        st.Cmswitch.step_cost.Cmswitch.total_cycles
+      in
+      Some
+        (Serving.bucketed_profile ~ceiling:(Bucket.ceiling b)
+           ~prefill_cycles:(fun s -> step_cost (Workload.prefill ~batch s))
+           ~decode_cycles:(fun kvl -> step_cost (Workload.decode ~batch kvl)))
+    | Some _ ->
+      Printf.printf "bucketed serving: policy is a no-op for CNN models\n";
+      None
+    | None -> None
+  in
+  let planner ~chip:_ ~faults:fm =
+    let healthy = Faultmap.fault_count fm = 0 in
+    let cfg =
+      if healthy then base_cfg
+      else Cmswitch.Config.with_faults (Some fm) base_cfg
+    in
+    match
+      Cmswitch.recompile ~config:cfg ?budget_seconds:recompile_budget chip
+        graph
+    with
+    | Ok o ->
+      let profile =
+        match healthy_profile with
+        | Some p when healthy -> p
+        | _ -> flat_profile (pass_of o.Cmswitch.rc_result)
+      in
+      Some { Fleet.level = o.Cmswitch.rc_level; profile }
+    | Error _ -> None
   in
   let snapshot_extra () =
     match store with
@@ -729,6 +823,8 @@ let do_serve chip key batch seq kv chips requests mean_gap burst slo
     "latency: mean=%.3e p50=%.3e p95=%.3e p99=%.3e p999=%.3e ttft=%.3e cycles\n"
     s.Fleet.mean_latency s.Fleet.p50_latency s.Fleet.p95_latency
     s.Fleet.p99_latency s.Fleet.p999_latency s.Fleet.mean_ttft;
+  Printf.printf "per-token: p50=%.3e p95=%.3e p99=%.3e cycles\n" s.Fleet.p50_tpt
+    s.Fleet.p95_tpt s.Fleet.p99_tpt;
   Printf.printf "throughput: %.2f tokens/Mcycle over %.3e cycles; per-chip [%s]\n"
     s.Fleet.tokens_per_megacycle s.Fleet.makespan
     (String.concat "; " (List.map string_of_int s.Fleet.per_chip_served));
@@ -812,9 +908,46 @@ let do_cache_stats cache_dir =
     d.Store.total_entries d.Store.total_bytes;
   List.iter
     (fun (t : Store.tier_stats) ->
-      Printf.printf "  %-4s %6d entries %10d bytes\n" t.Store.tier
-        t.Store.entries t.Store.bytes)
-    d.Store.tiers
+      let c = Store.lifetime_tier_counters s t.Store.tier in
+      Printf.printf
+        "  %-4s %6d entries %10d bytes | lifetime hits=%d misses=%d \
+         invalid=%d puts=%d hit-rate=%.1f%%\n"
+        t.Store.tier t.Store.entries t.Store.bytes c.Store.hits c.Store.misses
+        c.Store.invalid c.Store.puts (hit_rate_pct c))
+    d.Store.tiers;
+  (* which bucket ceilings have compiled programs resident: prog-tier keys
+     carry a "shape.v1(<policy>:ceil=N)" fragment when the program was
+     compiled at a bucket ceiling *)
+  let ceilings =
+    Store.fold_keys s ~tier:Cim_compiler.Ccache.prog_tier ~init:[]
+      ~f:(fun acc key ->
+        match
+          List.find_opt
+            (fun line ->
+              String.length line >= 9 && String.sub line 0 9 = "shape.v1(")
+            (String.split_on_char '\n' key)
+        with
+        | None -> acc
+        | Some line -> (
+          match String.index_opt line '=' with
+          | None -> acc
+          | Some i -> (
+            let rest = String.sub line (i + 1) (String.length line - i - 1) in
+            let digits =
+              String.to_seq rest
+              |> Seq.take_while (fun c -> c >= '0' && c <= '9')
+              |> String.of_seq
+            in
+            match int_of_string_opt digits with
+            | Some c -> c :: acc
+            | None -> acc)))
+  in
+  let distinct = List.sort_uniq compare ceilings in
+  if distinct = [] then Printf.printf "  buckets: none\n"
+  else
+    Printf.printf "  buckets: %d bucketed program(s) at ceilings [%s]\n"
+      (List.length ceilings)
+      (String.concat "; " (List.map string_of_int distinct))
 
 let do_cache_clear cache_dir =
   let s = Store.open_dir (cache_dir_required cache_dir) in
@@ -843,9 +976,9 @@ let compile_cmd =
   Cmd.v (Cmd.info "compile" ~doc:"Compile a model and print the schedule")
     Term.(const do_compile $ chip_arg $ model_arg $ batch_arg $ seq_arg
           $ kv_arg $ emit_arg $ sim_arg $ sim_check_arg $ tensor_backend_arg
-          $ report_arg $ fault_rate_arg $ fault_seed_arg $ deadline_arg
-          $ jobs_arg $ cache_dir_arg $ no_cache_arg $ verbose_arg $ trace_arg
-          $ metrics_arg)
+          $ buckets_arg $ report_arg $ fault_rate_arg $ fault_seed_arg
+          $ deadline_arg $ jobs_arg $ cache_dir_arg $ no_cache_arg
+          $ verbose_arg $ trace_arg $ metrics_arg)
 
 let compare_cmd =
   Cmd.v (Cmd.info "compare" ~doc:"Compare CMSwitch against the baselines")
@@ -861,7 +994,8 @@ let serve_cmd =
           chips with runtime fault events, online recompile-around-faults \
           and SLO-aware shedding")
     Term.(const do_serve $ chip_arg $ model_arg $ batch_arg $ seq_arg $ kv_arg
-          $ chips_arg $ requests_arg $ mean_gap_arg $ burst_arg $ slo_arg
+          $ buckets_arg $ chips_arg $ requests_arg $ mean_gap_arg $ burst_arg
+          $ slo_arg
           $ fault_schedule_arg $ fault_events_arg $ fault_seed_arg $ seed_arg
           $ shed_output_arg $ max_retries_arg $ breaker_arg
           $ recompile_cycles_arg $ recompile_budget_arg $ telemetry_arg

@@ -29,12 +29,33 @@ let freeze (m : mut_counters) =
   { hits = m.c_hits; misses = m.c_misses; invalid = m.c_invalid;
     evictions = m.c_evictions; puts = m.c_puts }
 
+let set_mut (m : mut_counters) (c : counters) =
+  m.c_hits <- c.hits;
+  m.c_misses <- c.misses;
+  m.c_invalid <- c.invalid;
+  m.c_evictions <- c.evictions;
+  m.c_puts <- c.puts
+
+let add_counters a b =
+  { hits = a.hits + b.hits; misses = a.misses + b.misses;
+    invalid = a.invalid + b.invalid; evictions = a.evictions + b.evictions;
+    puts = a.puts + b.puts }
+
+let sub_counters a b =
+  { hits = a.hits - b.hits; misses = a.misses - b.misses;
+    invalid = a.invalid - b.invalid; evictions = a.evictions - b.evictions;
+    puts = a.puts - b.puts }
+
 type t = {
   root : string;
   max_bytes : int option;
   mutex : Mutex.t;
   total : mut_counters;
   by_tier : (string, mut_counters) Hashtbl.t;
+  (* the slice of [total]/[by_tier] already merged into counters.json:
+     lifetime = file + (in-process - flushed) *)
+  flushed_total : mut_counters;
+  flushed_by_tier : (string, mut_counters) Hashtbl.t;
 }
 
 let rec mkdir_p dir =
@@ -51,7 +72,8 @@ let open_dir ?max_bytes root =
   | _ -> ());
   mkdir_p root;
   { root; max_bytes; mutex = Mutex.create (); total = fresh_mut ();
-    by_tier = Hashtbl.create 4 }
+    by_tier = Hashtbl.create 4; flushed_total = fresh_mut ();
+    flushed_by_tier = Hashtbl.create 4 }
 
 let dir t = t.root
 
@@ -159,6 +181,158 @@ let parse_entry src =
         Error "payload digest mismatch (corrupted or truncated entry)"
       else Ok (tier, key, payload)
     | _ -> Error "missing or ill-typed entry field")
+
+(* --- lifetime counters --------------------------------------------------- *)
+
+let counters_path t = Filename.concat t.root "counters.json"
+
+let counters_to_json (c : counters) =
+  J.Obj
+    [ ("hits", J.Int c.hits); ("misses", J.Int c.misses);
+      ("invalid", J.Int c.invalid); ("evictions", J.Int c.evictions);
+      ("puts", J.Int c.puts) ]
+
+let counters_of_json j =
+  let i k = match J.member k j with Some (J.Int n) when n >= 0 -> n | _ -> 0 in
+  { hits = i "hits"; misses = i "misses"; invalid = i "invalid";
+    evictions = i "evictions"; puts = i "puts" }
+
+(* A missing or damaged counters file reads as all-zero: lifetime stats are
+   advisory and must never fail a cache operation. *)
+let read_lifetime_file t =
+  let path = counters_path t in
+  if not (Sys.file_exists path) then (zero_counters, [])
+  else
+    match read_file path with
+    | exception Sys_error _ -> (zero_counters, [])
+    | src -> (
+      match J.of_string src with
+      | exception J.Parse_error _ -> (zero_counters, [])
+      | j ->
+        let total =
+          match J.member "total" j with
+          | Some o -> counters_of_json o
+          | None -> zero_counters
+        in
+        let tiers =
+          match J.member "tiers" j with
+          | Some (J.Obj kvs) ->
+            List.map (fun (k, v) -> (k, counters_of_json v)) kvs
+          | _ -> []
+        in
+        (total, tiers))
+
+let flush_counters t =
+  locked t (fun () ->
+      let delta_total = sub_counters (freeze t.total) (freeze t.flushed_total) in
+      let tier_snap =
+        Hashtbl.fold
+          (fun tier m acc ->
+            let cur = freeze m in
+            let prev =
+              match Hashtbl.find_opt t.flushed_by_tier tier with
+              | Some f -> freeze f
+              | None -> zero_counters
+            in
+            (tier, cur, sub_counters cur prev) :: acc)
+          t.by_tier []
+      in
+      let file_total, file_tiers = read_lifetime_file t in
+      let tier_names =
+        List.sort_uniq compare
+          (List.map fst file_tiers @ List.map (fun (n, _, _) -> n) tier_snap)
+      in
+      let new_tiers =
+        List.map
+          (fun n ->
+            let from_file =
+              Option.value (List.assoc_opt n file_tiers) ~default:zero_counters
+            in
+            let delta =
+              match List.find_opt (fun (tn, _, _) -> tn = n) tier_snap with
+              | Some (_, _, d) -> d
+              | None -> zero_counters
+            in
+            (n, add_counters from_file delta))
+          tier_names
+      in
+      let json =
+        J.Obj
+          [ ("version", J.Int 1);
+            ("total", counters_to_json (add_counters file_total delta_total));
+            ("tiers",
+             J.Obj (List.map (fun (n, c) -> (n, counters_to_json c)) new_tiers))
+          ]
+      in
+      match
+        let tmp =
+          Printf.sprintf "%s.%d.%d.tmp" (counters_path t) (Unix.getpid ())
+            (Domain.self () :> int)
+        in
+        let oc = open_out_bin tmp in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc (J.to_string json));
+        Sys.rename tmp (counters_path t)
+      with
+      | () ->
+        (* the file now covers everything counted so far; a failed write
+           leaves [flushed_*] untouched so the delta is retried next time *)
+        set_mut t.flushed_total (freeze t.total);
+        List.iter
+          (fun (tier, cur, _) ->
+            let f =
+              match Hashtbl.find_opt t.flushed_by_tier tier with
+              | Some f -> f
+              | None ->
+                let f = fresh_mut () in
+                Hashtbl.add t.flushed_by_tier tier f;
+                f
+            in
+            set_mut f cur)
+          tier_snap
+      | exception (Sys_error _ | Unix.Unix_error _) -> ())
+
+let lifetime_counters t =
+  locked t (fun () ->
+      let file_total, _ = read_lifetime_file t in
+      add_counters file_total
+        (sub_counters (freeze t.total) (freeze t.flushed_total)))
+
+let lifetime_tier_counters t tier =
+  locked t (fun () ->
+      let _, file_tiers = read_lifetime_file t in
+      let from_file =
+        Option.value (List.assoc_opt tier file_tiers) ~default:zero_counters
+      in
+      let cur =
+        match Hashtbl.find_opt t.by_tier tier with
+        | Some m -> freeze m
+        | None -> zero_counters
+      in
+      let flushed =
+        match Hashtbl.find_opt t.flushed_by_tier tier with
+        | Some m -> freeze m
+        | None -> zero_counters
+      in
+      add_counters from_file (sub_counters cur flushed))
+
+(* --- key enumeration ----------------------------------------------------- *)
+
+let fold_keys t ~tier ~init ~f =
+  let keys =
+    List.filter_map
+      (fun path ->
+        match read_file path with
+        | exception Sys_error _ -> None
+        | src -> (
+          match parse_entry src with
+          | Ok (etier, key, _payload) when etier = tier -> Some key
+          | Ok _ | Error _ -> None))
+      (entries_of_tier t tier)
+    |> List.sort compare
+  in
+  List.fold_left f init keys
 
 (* --- find ---------------------------------------------------------------- *)
 

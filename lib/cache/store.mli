@@ -71,6 +71,29 @@ val counters : t -> counters
 
 val tier_counters : t -> string -> counters
 
+val flush_counters : t -> unit
+(** Merge this handle's not-yet-flushed counter deltas into
+    [counters.json] at the cache root (read-modify-write, atomic temp +
+    rename), so hit/miss accounting survives across processes — one CLI
+    invocation's warm hits are visible to the next [cache stats]. I/O
+    failures are swallowed and the unflushed delta is retained for the next
+    attempt. *)
+
+val lifetime_counters : t -> counters
+(** Totals accumulated across every process that has flushed into this
+    cache directory, plus this handle's not-yet-flushed delta. Reads
+    [counters.json] on each call; a missing or damaged file contributes
+    zeros. *)
+
+val lifetime_tier_counters : t -> string -> counters
+
+val fold_keys : t -> tier:string -> init:'a -> f:('a -> string -> 'a) -> 'a
+(** Fold [f] over every well-formed entry key stored under [tier], in
+    sorted key order (deterministic regardless of directory enumeration).
+    Entries that fail parsing or integrity checks are skipped silently and
+    the hit/miss counters are not touched — this is an offline scan, not a
+    lookup. *)
+
 type tier_stats = { tier : string; entries : int; bytes : int }
 
 type disk_stats = { total_entries : int; total_bytes : int; tiers : tier_stats list }

@@ -1,0 +1,55 @@
+(** Sequence-length bucketing policy for dynamic-shape compilation.
+
+    Generative decode recompiles at every KV length; a bucket policy maps
+    each context length to a {e ceiling} length, so one plan compiled at
+    the ceiling serves every length inside the bucket (the plan is padded
+    — the ceiling-shape program is what executes, and its Eq. 10 cost is
+    the honest cost of every step in the bucket). Ceilings, not raw
+    lengths, key the compilation-cache tiers (see {!Ccache.prog_key}'s
+    [shape] fragment), so warm decode steps re-solve zero MILPs.
+
+    The canonical serialisation rides inside [Cmswitch.Config.canonical]
+    (one ';'-separated field), so it must never contain [';'] / ['{'] /
+    ['}'] — parentheses delimit instead. *)
+
+type t
+
+val pow2 : ?min_ceiling:int -> ?max_ceiling:int -> unit -> t
+(** Power-of-two ceilings clamped below by [min_ceiling] (default 32) and
+    capped at [max_ceiling] (default 2048): boundaries are [min_ceiling]
+    and every power of two in ([min_ceiling], [max_ceiling]]. Lengths
+    above [max_ceiling] compile exactly (their own bucket). Raises
+    [Invalid_argument] unless [1 <= min_ceiling <= max_ceiling]. *)
+
+val explicit : int list -> t
+(** User-specified boundaries (e.g. [[32; 64; 128; 256; 512; 1024; 2048]]),
+    deduplicated and sorted. Lengths above the largest boundary compile
+    exactly. Raises [Invalid_argument] on an empty list or non-positive
+    boundary. *)
+
+val default : t
+(** [pow2 ()] — 32/64/128/.../2048. *)
+
+val ceiling : t -> int -> int
+(** [ceiling t len] is the smallest bucket boundary [>= len], or [len]
+    itself above the largest boundary. Always [>= len]. Raises
+    [Invalid_argument] when [len <= 0]. *)
+
+val boundaries : t -> int list
+(** The boundary list, ascending (materialised for the pow2 policy). *)
+
+val equal : t -> t -> bool
+
+val canonical : t -> string
+(** Deterministic cache-key form: ["buckets.v1(pow2:32:2048)"] or
+    ["buckets.v1(list:32,64,128)"]. Free of [';'], ['{'], ['}']. *)
+
+val of_canonical : string -> (t, string) result
+(** Strict inverse of {!canonical}. *)
+
+val of_string : string -> (t, string) result
+(** CLI parser: ["pow2"], ["pow2:MIN"], ["pow2:MIN:MAX"], or a comma list
+    of boundaries (["32,64,128"]). Also accepts the canonical form. *)
+
+val to_string : t -> string
+(** Short CLI form: ["pow2:32:2048"] or ["32,64,128"]. *)

@@ -213,9 +213,10 @@ let seg_payload_of_string ~chip ~ops ~lo ~hi s =
 
 let prog_tier = "prog"
 
-let prog_key ~graph_text ~chip ~faults ~config =
+let prog_key ?shape ~graph_text ~chip ~faults ~config () =
   String.concat "\n"
     [ "prog.v1"; chip_canonical chip; faults_canonical faults; config;
+      Option.value shape ~default:"shape:none";
       graph_text ]
 
 type prog_payload = {

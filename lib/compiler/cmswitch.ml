@@ -38,6 +38,7 @@ module Config = struct
     force_all_compute : bool;
     lp_backend : Cim_solver.Milp.backend;
     tensor_backend : Kernels.backend;
+    buckets : Bucket.t option;
     faults : Faultmap.t option;
     cache : Store.t option;
   }
@@ -53,6 +54,7 @@ module Config = struct
       force_all_compute = Alloc.default_options.Alloc.force_all_compute;
       lp_backend = Alloc.default_options.Alloc.lp_backend;
       tensor_backend = Kernels.default_backend ();
+      buckets = None;
       faults = None;
       cache = None;
     }
@@ -66,6 +68,7 @@ module Config = struct
   let with_force_all_compute v t = { t with force_all_compute = v }
   let with_lp_backend v t = { t with lp_backend = v }
   let with_tensor_backend v t = { t with tensor_backend = v }
+  let with_buckets v t = { t with buckets = v }
   let with_faults v t = { t with faults = v }
   let with_cache v t = { t with cache = v }
   let with_cache_dir dir t = { t with cache = Some (Store.open_dir dir) }
@@ -101,6 +104,7 @@ module Config = struct
       force_all_compute = o.segment.Segment.alloc.Alloc.force_all_compute;
       lp_backend = o.segment.Segment.alloc.Alloc.lp_backend;
       tensor_backend = Kernels.default_backend ();
+      buckets = None;
       faults;
       cache = o.segment.Segment.cache;
     }
@@ -113,21 +117,24 @@ module Config = struct
      (plumbing, not semantics). *)
   let canonical t =
     Printf.sprintf
-      "cmswitch.config.v1{partition_fraction=%h;max_segment_ops=%d;memoize=%b;milp_max_nodes=%d;refine=%b;force_all_compute=%b;lp_backend=%s}"
+      "cmswitch.config.v2{partition_fraction=%h;max_segment_ops=%d;memoize=%b;milp_max_nodes=%d;refine=%b;force_all_compute=%b;lp_backend=%s;buckets=%s}"
       t.partition_fraction t.max_segment_ops t.memoize t.milp_max_nodes
       t.refine t.force_all_compute
       (Ccache.backend_to_string t.lp_backend)
+      (match t.buckets with
+      | None -> "none"
+      | Some b -> Bucket.canonical b)
 
   let of_canonical s =
     let ( let* ) = Result.bind in
-    let prefix = "cmswitch.config.v1{" in
+    let prefix = "cmswitch.config.v2{" in
     let plen = String.length prefix in
     if
       not
         (String.length s > plen
         && String.sub s 0 plen = prefix
         && s.[String.length s - 1] = '}')
-    then Error "not a cmswitch.config.v1 string"
+    then Error "not a cmswitch.config.v2 string"
     else begin
       let body = String.sub s plen (String.length s - plen - 1) in
       let fields = String.split_on_char ';' body in
@@ -156,9 +163,9 @@ module Config = struct
         | Some b -> Ok b
         | None -> Error (Printf.sprintf "config: bad bool in %s" k)
       in
-      if List.length fields <> 7 then
+      if List.length fields <> 8 then
         Error
-          (Printf.sprintf "config: expected 7 fields, got %d"
+          (Printf.sprintf "config: expected 8 fields, got %d"
              (List.length fields))
       else
         let* partition_fraction = float_field "partition_fraction" in
@@ -173,6 +180,14 @@ module Config = struct
           | Some b -> Ok b
           | None -> Error ("config: unknown lp_backend " ^ backend_s)
         in
+        let* buckets_s = field "buckets" in
+        let* buckets =
+          if buckets_s = "none" then Ok None
+          else
+            match Bucket.of_canonical buckets_s with
+            | Ok b -> Ok (Some b)
+            | Error e -> Error ("config: " ^ e)
+        in
         Ok
           {
             default with
@@ -183,6 +198,7 @@ module Config = struct
             refine;
             force_all_compute;
             lp_backend;
+            buckets;
             faults = None;
             cache = None;
           }
@@ -277,7 +293,8 @@ let record_compile_metrics (dp : Segment.stats) places (schedule : Plan.schedule
     schedule.Plan.total_cycles;
   Cim_obs.Metrics.observe (Metrics.histogram "compile.seconds") seconds
 
-let compile_uncached ~options ?faults chip graph =
+let compile_uncached ~options ?frontiers ?(frontier_tag = "") ?faults chip
+    graph =
   let t0 = Unix.gettimeofday () in
   Log.debug (fun m ->
       m "compiling %s on %s" graph.Cim_nnir.Graph.graph_name chip.Chip.name);
@@ -319,7 +336,9 @@ let compile_uncached ~options ?faults chip graph =
       ~args:
         [ ("ops", J.Int (Array.length ops));
           ("window", J.Int options.segment.Segment.max_segment_ops) ]
-      (fun () -> Segment.run ~options:options.segment ~on_stage solve_chip ops)
+      (fun () ->
+        Segment.run ~options:options.segment ?frontiers
+          ~frontier_tag:(frontier_tag ^ ":main") ~on_stage solve_chip ops)
   in
   Log.debug (fun m ->
       m "DP: %d segments, %d MIP solves (%d cache hits), %d candidates"
@@ -352,7 +371,9 @@ let compile_uncached ~options ?faults chip graph =
       let seg_ac, stats_ac, places_ac, sched_ac =
         Trace.with_span "all_compute.probe" ~cat:"compiler" (fun () ->
             let seg_ac, stats_ac =
-              Segment.run ~options:restricted ~on_stage solve_chip ops
+              Segment.run ~options:restricted ?frontiers
+                ~frontier_tag:(frontier_tag ^ ":all_compute") ~on_stage
+                solve_chip ops
             in
             let places_ac = Placement.place chip ?faults ops seg_ac in
             (seg_ac, stats_ac, places_ac, placed_schedule chip ops places_ac))
@@ -509,18 +530,18 @@ let replay_program ~options ?faults chip graph (p : Ccache.prog_payload) =
       end
   end
 
-let prog_cache_key ~cfg chip graph =
+let prog_cache_key ?shape ~cfg chip graph =
   Trace.with_span "cache.key" ~cat:"cache" (fun () ->
-      Ccache.prog_key
+      Ccache.prog_key ?shape
         ~graph_text:(Cim_nnir.Text.to_string graph)
         ~chip ~faults:cfg.Config.faults
-        ~config:(Config.canonical cfg))
+        ~config:(Config.canonical cfg) ())
 
-let prog_cache_find ~cfg ~options ?faults chip graph =
+let prog_cache_find ?shape ~cfg ~options ?faults chip graph =
   match cfg.Config.cache with
   | None -> None
   | Some store -> (
-    let key = prog_cache_key ~cfg chip graph in
+    let key = prog_cache_key ?shape ~cfg chip graph in
     match Store.find store ~tier:Ccache.prog_tier ~key with
     | None -> None
     | Some payload -> (
@@ -545,7 +566,7 @@ let prog_cache_find ~cfg ~options ?faults chip graph =
 
 (* cache only clean results: no flow-validator findings means the program
    can be trusted wholesale after the (cheap) replay validation *)
-let prog_cache_store ~cfg chip graph (r : result) =
+let prog_cache_store ?shape ~cfg chip graph (r : result) =
   match cfg.Config.cache with
   | None -> ()
   | Some store ->
@@ -563,10 +584,11 @@ let prog_cache_store ~cfg chip graph (r : result) =
         }
       in
       Store.put store ~tier:Ccache.prog_tier
-        ~key:(prog_cache_key ~cfg chip graph)
+        ~key:(prog_cache_key ?shape ~cfg chip graph)
         ~payload:(Ccache.prog_payload_to_string payload)
 
-let compile ?config ?options ?faults chip graph =
+let compile ?config ?options ?faults ?shape ?frontiers ?frontier_tag chip
+    graph =
   let cfg = resolve_config ?config ?options ?faults () in
   let options = Config.to_options cfg in
   let faults = cfg.Config.faults in
@@ -576,15 +598,17 @@ let compile ?config ?options ?faults chip graph =
       [ ("graph", J.String graph.Cim_nnir.Graph.graph_name);
         ("chip", J.String chip.Chip.name) ]
   @@ fun () ->
-  match prog_cache_find ~cfg ~options ?faults chip graph with
+  match prog_cache_find ?shape ~cfg ~options ?faults chip graph with
   | Some r ->
     let compile_seconds = Unix.gettimeofday () -. t0 in
     record_compile_metrics r.dp_stats r.places r.schedule
       ~seconds:compile_seconds;
     { r with compile_seconds }
   | None ->
-    let r = compile_uncached ~options ?faults chip graph in
-    prog_cache_store ~cfg chip graph r;
+    let r =
+      compile_uncached ~options ?frontiers ?frontier_tag ?faults chip graph
+    in
+    prog_cache_store ?shape ~cfg chip graph r;
     r
 
 (* Last-resort serial schedule: one operator per segment, greedy
@@ -797,6 +821,8 @@ let memory_mode_ratio r =
 type model_cost = {
   model : string;
   workload : Workload.t;
+  padded_workload : Workload.t;
+  bucket_ceiling : int option;
   layer : result option;
   whole : result option;
   head : result option;
@@ -827,14 +853,64 @@ let head_graph (e : Zoo.entry) (w : Workload.t) =
     let out = B.linear ~bias:false b x ~in_dim:d ~out_dim:vocab ~prefix:"lm_head" in
     Some (B.finish b ~outputs:[ out ])
 
-let compile_model ?config ?options ?faults chip (e : Zoo.entry) w =
+(* Bucketed compilation: rebuild the workload at its bucket ceiling and
+   compile that graph. The padded (ceiling-shape) program is what executes
+   for every length inside the bucket, so its Eq. 10 cost is the honest
+   per-step cost — Timing and Drift stay truthful by construction. CNN
+   entries ignore sequence length and are never padded. *)
+let padded_workload cfg (e : Zoo.entry) (w : Workload.t) =
+  match cfg.Config.buckets with
+  | Some b when e.Zoo.family <> Zoo.Cnn ->
+    let ctx = Workload.context_len w in
+    let ceil_ctx = Bucket.ceiling b ctx in
+    let w' =
+      if ceil_ctx = ctx then w
+      else
+        match w.Workload.phase with
+        | Workload.Prefill _ -> Workload.prefill ~batch:w.Workload.batch ceil_ctx
+        | Workload.Decode _ ->
+          Workload.decode ~batch:w.Workload.batch (ceil_ctx - 1)
+    in
+    (w', Some ceil_ctx)
+  | _ -> (w, None)
+
+let shape_fragment b ~ceil =
+  Printf.sprintf "shape.v1(%s:ceil=%d)" (Bucket.canonical b) ceil
+
+(* defensive check of the padding premise: every tensor of the actual-length
+   graph must fit inside its bucket-ceiling counterpart *)
+let assert_padding_dominates ~model g_pad g_act =
+  match Cim_nnir.Shape_infer.dominates ~over:g_pad ~under:g_act with
+  | Ok () -> ()
+  | Error e ->
+    failwith
+      (Printf.sprintf
+         "bucketed compile of %s: padded graph does not dominate actual \
+          shapes: %s"
+         model e)
+
+let compile_model ?config ?options ?faults ?frontiers chip (e : Zoo.entry) w =
   let cfg = resolve_config ?config ?options ?faults () in
+  let w', bucket_ceiling = padded_workload cfg e w in
+  let padded = Workload.context_len w' <> Workload.context_len w in
+  let shape =
+    match (cfg.Config.buckets, bucket_ceiling) with
+    | Some b, Some c -> Some (shape_fragment b ~ceil:c)
+    | _ -> None
+  in
+  let compile_g ~tag g =
+    compile ~config:cfg ?shape ?frontiers ~frontier_tag:tag chip g
+  in
   match e.Zoo.layer with
   | None ->
-    let r = compile ~config:cfg chip (e.Zoo.build w) in
+    let g = e.Zoo.build w' in
+    if padded then assert_padding_dominates ~model:e.Zoo.display g (e.Zoo.build w);
+    let r = compile_g ~tag:"whole" g in
     {
       model = e.Zoo.display;
       workload = w;
+      padded_workload = w';
+      bucket_ceiling;
       layer = None;
       whole = Some r;
       head = None;
@@ -843,8 +919,11 @@ let compile_model ?config ?options ?faults chip (e : Zoo.entry) w =
       compile_seconds = r.compile_seconds;
     }
   | Some build_layer ->
-    let rl = compile ~config:cfg chip (build_layer w) in
-    let rh = Option.map (compile ~config:cfg chip) (head_graph e w) in
+    let gl = build_layer w' in
+    if padded then
+      assert_padding_dominates ~model:e.Zoo.display gl (build_layer w);
+    let rl = compile_g ~tag:"layer" gl in
+    let rh = Option.map (compile_g ~tag:"head") (head_graph e w') in
     let head_cycles =
       match rh with Some r -> r.schedule.Plan.total_cycles | None -> 0.
     in
@@ -855,10 +934,73 @@ let compile_model ?config ?options ?faults chip (e : Zoo.entry) w =
     {
       model = e.Zoo.display;
       workload = w;
+      padded_workload = w';
+      bucket_ceiling;
       layer = Some rl;
       whole = None;
       head = rh;
       total_cycles = total;
       mem_ratio = memory_mode_ratio rl;
       compile_seconds = rl.compile_seconds +. head_seconds;
+    }
+
+(* --- compilation sessions: the decode-loop fast path ---------------------- *)
+
+type session = {
+  s_config : Config.t;
+  s_chip : Chip.t;
+  s_entry : Zoo.entry;
+  s_frontiers : Segment.frontier_state;
+  s_memo : (string, model_cost) Hashtbl.t;
+}
+
+type step = {
+  step_cost : model_cost;
+  step_ceiling : int;
+  step_recompiled : bool;
+  step_prefix_reused : int;
+  step_seconds : float;
+}
+
+let session ?(config = Config.default) chip e =
+  {
+    s_config = config;
+    s_chip = chip;
+    s_entry = e;
+    s_frontiers = Segment.frontier_state ();
+    s_memo = Hashtbl.create 32;
+  }
+
+let session_step s w =
+  let w', bucket_ceiling = padded_workload s.s_config s.s_entry w in
+  let step_ceiling =
+    match bucket_ceiling with
+    | Some c -> c
+    | None -> Workload.context_len w'
+  in
+  let key = Workload.to_string w' in
+  match Hashtbl.find_opt s.s_memo key with
+  | Some mc ->
+    {
+      step_cost = { mc with workload = w };
+      step_ceiling;
+      step_recompiled = false;
+      step_prefix_reused = 0;
+      step_seconds = 0.;
+    }
+  | None ->
+    let t0 = Unix.gettimeofday () in
+    let reused_before = fst (Segment.reuse_counters s.s_frontiers) in
+    let mc =
+      compile_model ~config:s.s_config ~frontiers:s.s_frontiers s.s_chip
+        s.s_entry w
+    in
+    let reused_after = fst (Segment.reuse_counters s.s_frontiers) in
+    Hashtbl.replace s.s_memo key mc;
+    {
+      step_cost = mc;
+      step_ceiling;
+      step_recompiled = true;
+      step_prefix_reused = reused_after - reused_before;
+      step_seconds = Unix.gettimeofday () -. t0;
     }

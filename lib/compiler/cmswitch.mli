@@ -50,6 +50,11 @@ module Config : sig
         (** kernel engine for simulation/verification downstream of this
             compile; both backends are bitwise identical, so like [jobs]
             it is {e excluded} from {!canonical} *)
+    buckets : Bucket.t option;
+        (** length-bucketing policy for {!compile_model} /
+            {!session_step}: sequence workloads compile at their
+            {!Bucket.ceiling} instead of the raw length. Semantic (the
+            compiled graph changes), so it {e is} part of {!canonical}. *)
     faults : Cim_arch.Faultmap.t option;
         (** plan around these faults (compile's legacy [?faults]) *)
     cache : Cim_cache.Store.t option;
@@ -69,6 +74,7 @@ module Config : sig
   val with_force_all_compute : bool -> t -> t
   val with_lp_backend : Cim_solver.Milp.backend -> t -> t
   val with_tensor_backend : Cim_tensor.Kernels.backend -> t -> t
+  val with_buckets : Bucket.t option -> t -> t
   val with_faults : Cim_arch.Faultmap.t option -> t -> t
   val with_cache : Cim_cache.Store.t option -> t -> t
   val with_cache_dir : string -> t -> t
@@ -117,7 +123,8 @@ type result = {
 
 val compile :
   ?config:Config.t -> ?options:options -> ?faults:Cim_arch.Faultmap.t ->
-  Cim_arch.Chip.t -> Cim_nnir.Graph.t -> result
+  ?shape:string -> ?frontiers:Segment.frontier_state ->
+  ?frontier_tag:string -> Cim_arch.Chip.t -> Cim_nnir.Graph.t -> result
 (** [config] is the primary interface; [options]/[faults] are the legacy
     spelling (ignored when [config] is given, except that an explicit
     [faults] always overrides [config.faults]). With faults, the solver
@@ -138,7 +145,14 @@ val compile :
     contract at any job count.
 
     Raises [Failure]/[Opinfo.Unsupported] on graphs the (remaining) chip
-    cannot run — use {!compile_robust} for a non-raising pipeline. *)
+    cannot run — use {!compile_robust} for a non-raising pipeline.
+
+    [shape] is an opaque versioned fragment mixed into the program-tier key
+    (see {!Ccache.prog_key}); {!compile_model} derives it from the bucket
+    policy. [frontiers] enables incremental DP-prefix reuse across
+    successive compiles (see {!Segment.run}); [frontier_tag] namespaces the
+    lineages when several distinct graphs share one state. Neither affects
+    the emitted program — only compile time. *)
 
 val compile_robust :
   ?config:Config.t -> ?options:options -> ?faults:Cim_arch.Faultmap.t ->
@@ -189,7 +203,15 @@ val memory_mode_ratio : result -> float
     paper does; CNNs compile whole. *)
 type model_cost = {
   model : string;
-  workload : Cim_models.Workload.t;
+  workload : Cim_models.Workload.t;  (** the workload as requested *)
+  padded_workload : Cim_models.Workload.t;
+      (** the workload actually compiled — the bucket-ceiling rebuild when a
+          policy is active, [workload] itself otherwise. [total_cycles] and
+          every [result] price this shape: the padded program is what
+          executes, so the padding cost is in the Eq. 10 numbers, never
+          hidden *)
+  bucket_ceiling : int option;
+      (** context length compiled at, when a bucket policy applied *)
   layer : result option;        (** the reused block, when block reuse applies *)
   whole : result option;        (** whole-graph compilation (CNNs) *)
   head : result option;         (** LM head (decoder/encoder output projection) *)
@@ -200,7 +222,41 @@ type model_cost = {
 
 val compile_model :
   ?config:Config.t -> ?options:options -> ?faults:Cim_arch.Faultmap.t ->
+  ?frontiers:Segment.frontier_state ->
   Cim_arch.Chip.t -> Cim_models.Zoo.entry -> Cim_models.Workload.t -> model_cost
+(** With [config.buckets], sequence workloads (never CNNs) are rebuilt at
+    their bucket ceiling before compilation: the cache keys carry a
+    [shape.v1] fragment derived from the bucket (so every length inside a
+    bucket shares the same program- and seg-tier entries), and a
+    {!Cim_nnir.Shape_infer.dominates} check asserts the padded graph covers
+    the actual shapes whenever padding occurred. *)
+
+(** {2 Compilation sessions — the dynamic-shape decode fast path}
+
+    A [session] pins (config, chip, model) and carries the two stores that
+    make a decode sweep cheap: an in-session memo of compiled bucket
+    ceilings (same ceiling twice = free) and a {!Segment.frontier_state}
+    (crossing into a new bucket re-solves only the DP suffix whose
+    operators changed). With [config.cache] also set, warm sweeps re-solve
+    zero MILPs across process restarts. *)
+
+type session
+
+type step = {
+  step_cost : model_cost;
+  step_ceiling : int;        (** context length this step compiled at *)
+  step_recompiled : bool;    (** [false] = in-session memo hit (no work) *)
+  step_prefix_reused : int;  (** DP ops seeded from the frontier this step *)
+  step_seconds : float;      (** wall clock of this step *)
+}
+
+val session : ?config:Config.t -> Cim_arch.Chip.t -> Cim_models.Zoo.entry -> session
+
+val session_step : session -> Cim_models.Workload.t -> step
+(** Price one decode/prefill step. The program underlying [step_cost] is
+    byte-identical to what a cold {!compile_model} of the same (padded)
+    workload would emit — memo, cache and frontier reuse change wall-clock
+    only. *)
 
 val head_graph :
   Cim_models.Zoo.entry -> Cim_models.Workload.t -> Cim_nnir.Graph.t option

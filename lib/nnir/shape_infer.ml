@@ -130,3 +130,29 @@ let infer (g : Graph.t) =
       List.iter2 (fun n s -> Hashtbl.replace env n s) nd.outputs outs)
     g.nodes;
   env
+
+(* Soundness check for length-bucketed compilation: a program compiled for
+   the padded (bucket-ceiling) graph serves requests of the actual graph
+   only if every tensor of the actual graph fits inside its padded
+   counterpart. *)
+let dominates ~over ~under =
+  let eo = infer over and eu = infer under in
+  let bad = ref [] in
+  Hashtbl.iter
+    (fun name su ->
+      match Hashtbl.find_opt eo name with
+      | None ->
+        bad := Printf.sprintf "%s: absent from the padded graph" name :: !bad
+      | Some so ->
+        if
+          Shape.rank so <> Shape.rank su
+          || not (List.for_all2 (fun a b -> a >= b) so su)
+        then
+          bad :=
+            Printf.sprintf "%s: padded %s does not cover %s" name
+              (Shape.to_string so) (Shape.to_string su)
+            :: !bad)
+    eu;
+  match List.sort compare !bad with
+  | [] -> Ok ()
+  | l -> Error (String.concat "; " l)

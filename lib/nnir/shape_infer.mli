@@ -14,3 +14,11 @@ val output_shape :
   Cim_tensor.Shape.t list
 (** Shape rule for a single node: input shapes (in node-input order) to
     output shapes. Raises [Error]. *)
+
+val dominates : over:Graph.t -> under:Graph.t -> (unit, string) result
+(** [dominates ~over ~under] checks that every tensor of [under] has a
+    counterpart in [over] of equal rank whose dimensions are all [>=] —
+    i.e. a program compiled for [over] (a bucket-ceiling padded graph) can
+    serve [under] by padding. The error lists every violating tensor,
+    sorted, so the message is deterministic. Raises {!Error} when either
+    graph fails shape inference. *)

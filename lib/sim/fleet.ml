@@ -75,6 +75,9 @@ type stats = {
   p99_latency : float;
   p999_latency : float;
   mean_ttft : float;
+  p50_tpt : float;
+  p95_tpt : float;
+  p99_tpt : float;
   tokens : int;
   tokens_per_megacycle : float;
   per_chip_served : int list;
@@ -99,6 +102,9 @@ let zero_stats =
     p99_latency = 0.;
     p999_latency = 0.;
     mean_ttft = 0.;
+    p50_tpt = 0.;
+    p95_tpt = 0.;
+    p99_tpt = 0.;
     tokens = 0;
     tokens_per_megacycle = 0.;
     per_chip_served = [];
@@ -431,7 +437,7 @@ let run ?(config = default_config) ?telemetry
   let starved = ref 0 and retries = ref 0 and recompiles = ref 0 in
   let breaker_opens = ref 0 and slo_violations = ref 0 in
   let tokens = ref 0 in
-  let latencies = ref [] and ttfts = ref [] in
+  let latencies = ref [] and ttfts = ref [] and tpts = ref [] in
   let makespan = ref 0. in
   let out_eff (r : rstate) =
     if r.shed_mode then min r.req.Serving.output config.shed_output
@@ -648,6 +654,16 @@ let run ?(config = default_config) ?telemetry
         let latency = now -. r.req.Serving.arrival in
         latencies := latency :: !latencies;
         ttfts := (r.prefill_done -. r.req.Serving.arrival) :: !ttfts;
+        (* per-decode-step latency: the token match guarantees [c.plan] is
+           the plan that actually served this request *)
+        (match c.plan with
+        | Some p ->
+          for t = 0 to out_eff r - 1 do
+            tpts :=
+              p.profile.Serving.decode_cycles (r.req.Serving.prompt + t)
+              :: !tpts
+          done
+        | None -> ());
         tokens := !tokens + out_eff r + 1;
         makespan := Float.max !makespan now;
         c.served <- c.served + 1;
@@ -776,8 +792,10 @@ let run ?(config = default_config) ?telemetry
     count "serving.slo_violations" !slo_violations;
     let h_lat = Metrics.histogram "serving.latency_cycles" in
     let h_ttft = Metrics.histogram "serving.ttft_cycles" in
+    let h_tpt = Metrics.histogram "serving.tpt_cycles" in
     List.iter (Metrics.observe h_lat) !latencies;
     List.iter (Metrics.observe h_ttft) !ttfts;
+    List.iter (Metrics.observe h_tpt) !tpts;
     Array.iter
       (fun c ->
         let labels = [ ("chip", string_of_int c.id) ] in
@@ -829,6 +847,9 @@ let run ?(config = default_config) ?telemetry
     p999_latency =
       (if served_latencies = [] then 0. else pct 99.9 served_latencies);
     mean_ttft = (if !ttfts = [] then 0. else Cim_util.Stats.mean !ttfts);
+    p50_tpt = (if !tpts = [] then 0. else pct 50. !tpts);
+    p95_tpt = (if !tpts = [] then 0. else pct 95. !tpts);
+    p99_tpt = (if !tpts = [] then 0. else pct 99. !tpts);
     tokens = !tokens;
     tokens_per_megacycle =
       (if !makespan > 0. then float_of_int !tokens /. (!makespan /. 1e6) else 0.);

@@ -104,6 +104,10 @@ type stats = {
   p99_latency : float;       (** nearest-rank, like {!Serving.stats} *)
   p999_latency : float;
   mean_ttft : float;
+  p50_tpt : float;           (** median time-per-token: nearest-rank over
+                                 every decode step of every served request *)
+  p95_tpt : float;
+  p99_tpt : float;
   tokens : int;
   tokens_per_megacycle : float;
   per_chip_served : int list;  (** requests served, by chip id *)

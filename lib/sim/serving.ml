@@ -15,6 +15,9 @@ type stats = {
   p95_latency : float;
   p99_latency : float;
   mean_ttft : float;
+  p50_tpt : float;
+  p95_tpt : float;
+  p99_tpt : float;
   tokens : int;
   tokens_per_megacycle : float;
 }
@@ -28,6 +31,9 @@ let zero_stats =
     p95_latency = 0.;
     p99_latency = 0.;
     mean_ttft = 0.;
+    p50_tpt = 0.;
+    p95_tpt = 0.;
+    p99_tpt = 0.;
     tokens = 0;
     tokens_per_megacycle = 0.;
   }
@@ -63,6 +69,38 @@ let interpolate samples =
         y0 +. (t *. (y1 -. y0))
       end
 
+(* Bucket-policy view of a cost profile: every length maps to its bucket
+   ceiling before the underlying per-length costers run, and each distinct
+   ceiling is priced exactly once. The compiler side passes expensive
+   costers (a Cmswitch.session_step behind each call); the memo here is
+   what makes decode loops touch them once per bucket, not once per
+   length. Kept policy-agnostic (a plain [ceiling] function) so cim_sim
+   does not depend on the compiler. *)
+let bucketed_profile ~ceiling ~prefill_cycles ~decode_cycles =
+  let look memo f len =
+    let c = ceiling len in
+    if c < len then
+      invalid_arg
+        (Printf.sprintf
+           "Serving.bucketed_profile: ceiling %d below length %d" c len);
+    match Hashtbl.find_opt memo c with
+    | Some v -> v
+    | None ->
+      let v = f c in
+      Hashtbl.add memo c v;
+      v
+  in
+  let pmemo = Hashtbl.create 16 and dmemo = Hashtbl.create 16 in
+  {
+    (* prefill of seq tokens prices at the bucket ceiling of seq *)
+    prefill_cycles = (fun seq -> look pmemo prefill_cycles (max 1 seq));
+    (* a decode step at kv_len prices at context = kv_len + 1, bucketed;
+       the underlying coster receives the bucketed kv length (ceiling-1) *)
+    decode_cycles =
+      (fun kv_len ->
+        look dmemo (fun ctx -> decode_cycles (ctx - 1)) (max 1 (kv_len + 1)));
+  }
+
 type config = { deadline : float option }
 
 let default_config = { deadline = None }
@@ -77,7 +115,7 @@ let run ?(config = default_config) ?deadline profile requests =
   | _ -> ());
   let requests = List.sort (fun a b -> compare a.arrival b.arrival) requests in
   let now = ref 0. in
-  let latencies = ref [] and ttfts = ref [] in
+  let latencies = ref [] and ttfts = ref [] and tpts = ref [] in
   let tokens = ref 0 in
   let completed = ref 0 and dropped = ref 0 in
   List.iter
@@ -97,6 +135,10 @@ let run ?(config = default_config) ?deadline profile requests =
       | _ ->
         incr completed;
         ttfts := (after_prefill -. r.arrival) :: !ttfts;
+        (* per-decode-step latency (time per token), admitted requests only *)
+        for t = 0 to r.output - 1 do
+          tpts := profile.decode_cycles (r.prompt + t) :: !tpts
+        done;
         now := !finish;
         tokens := !tokens + r.output + 1;
         latencies := (!finish -. r.arrival) :: !latencies)
@@ -107,8 +149,10 @@ let run ?(config = default_config) ?deadline profile requests =
     Metrics.incr ~by:(float_of_int !tokens) (Metrics.counter "serving.tokens");
     let h_lat = Metrics.histogram "serving.latency_cycles" in
     let h_ttft = Metrics.histogram "serving.ttft_cycles" in
+    let h_tpt = Metrics.histogram "serving.tpt_cycles" in
     List.iter (Metrics.observe h_lat) !latencies;
-    List.iter (Metrics.observe h_ttft) !ttfts
+    List.iter (Metrics.observe h_ttft) !ttfts;
+    List.iter (Metrics.observe h_tpt) !tpts
   end;
   if !completed = 0 then { zero_stats with dropped = !dropped }
   else
@@ -124,6 +168,18 @@ let run ?(config = default_config) ?deadline profile requests =
       p95_latency = Cim_util.Stats.percentile_nearest_rank 95. latencies;
       p99_latency = Cim_util.Stats.percentile_nearest_rank 99. latencies;
       mean_ttft = Cim_util.Stats.mean !ttfts;
+      p50_tpt =
+        (match !tpts with
+        | [] -> 0.
+        | l -> Cim_util.Stats.percentile_nearest_rank 50. l);
+      p95_tpt =
+        (match !tpts with
+        | [] -> 0.
+        | l -> Cim_util.Stats.percentile_nearest_rank 95. l);
+      p99_tpt =
+        (match !tpts with
+        | [] -> 0.
+        | l -> Cim_util.Stats.percentile_nearest_rank 99. l);
       tokens = !tokens;
       tokens_per_megacycle =
         (if !now > 0. then float_of_int !tokens /. (!now /. 1e6) else 0.);

@@ -25,6 +25,11 @@ type stats = {
                                    on traces under 20 completed requests *)
   p99_latency : float;         (** nearest-rank tail latency *)
   mean_ttft : float;           (** time to first token, cycles *)
+  p50_tpt : float;             (** median time-per-token: nearest-rank over
+                                   every decode step of every admitted
+                                   request, cycles *)
+  p95_tpt : float;
+  p99_tpt : float;
   tokens : int;
   tokens_per_megacycle : float;
 }
@@ -44,6 +49,21 @@ type config = {
 
 val default_config : config
 (** No deadline. *)
+
+val bucketed_profile :
+  ceiling:(int -> int) ->
+  prefill_cycles:(int -> float) ->
+  decode_cycles:(int -> float) ->
+  cost_profile
+(** View a per-length cost model through a bucket policy: every length maps
+    to [ceiling length] (which must be [>= length] — [Invalid_argument]
+    otherwise) and each distinct ceiling is priced exactly once, memoised.
+    [prefill_cycles] receives the bucketed prompt length; [decode_cycles]
+    receives the bucketed KV length (the bucket ceiling of [kv_len + 1],
+    minus one — buckets partition {e context} lengths). Pass
+    [Cim_compiler.Bucket.ceiling] of the compile-side policy as [ceiling]
+    so simulated costs price exactly the padded programs the compiler
+    emits. *)
 
 val interpolate : (int * float) list -> int -> float
 (** Piecewise-linear interpolation through sample points (sorted

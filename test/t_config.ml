@@ -9,6 +9,7 @@ module Cmswitch = Cim_compiler.Cmswitch
 module Cfg = Cim_compiler.Cmswitch.Config
 module Segment = Cim_compiler.Segment
 module Alloc = Cim_compiler.Alloc
+module Bucket = Cim_compiler.Bucket
 module Milp = Cim_solver.Milp
 
 let sample_configs =
@@ -23,10 +24,14 @@ let sample_configs =
     Cfg.(default |> with_refine false);
     Cfg.(default |> with_force_all_compute true);
     Cfg.(default |> with_lp_backend Milp.Dense);
+    Cfg.(default |> with_buckets (Some Bucket.default));
+    Cfg.(default |> with_buckets (Some (Bucket.pow2 ~min_ceiling:16 ~max_ceiling:4096 ())));
+    Cfg.(default |> with_buckets (Some (Bucket.explicit [ 32; 64; 128; 512 ])));
     Cfg.(
       default |> with_partition_fraction 0.75 |> with_max_segment_ops 6
       |> with_memoize false |> with_milp_max_nodes 123 |> with_refine false
-      |> with_force_all_compute true |> with_lp_backend Milp.Dense);
+      |> with_force_all_compute true |> with_lp_backend Milp.Dense
+      |> with_buckets (Some (Bucket.explicit [ 1; 7; 2048 ])));
   ]
 
 let test_canonical_fixed_point () =
@@ -42,10 +47,14 @@ let test_canonical_fixed_point () =
 let test_canonical_field_order_stable () =
   (* the exact default serialization is a compatibility surface: changing
      field order, float formatting, or the version tag silently invalidates
-     every cache on disk, so any intentional change must bump v1 *)
+     every cache on disk, so any intentional change must bump the version
+     (v1 -> v2 added the buckets field) *)
   Alcotest.(check string) "default canonical"
-    "cmswitch.config.v1{partition_fraction=0x1p-1;max_segment_ops=10;memoize=true;milp_max_nodes=600;refine=true;force_all_compute=false;lp_backend=revised}"
-    (Cfg.canonical Cfg.default)
+    "cmswitch.config.v2{partition_fraction=0x1p-1;max_segment_ops=10;memoize=true;milp_max_nodes=600;refine=true;force_all_compute=false;lp_backend=revised;buckets=none}"
+    (Cfg.canonical Cfg.default);
+  Alcotest.(check string) "bucketed canonical"
+    "cmswitch.config.v2{partition_fraction=0x1p-1;max_segment_ops=10;memoize=true;milp_max_nodes=600;refine=true;force_all_compute=false;lp_backend=revised;buckets=buckets.v1(pow2:32:2048)}"
+    (Cfg.canonical Cfg.(default |> with_buckets (Some Bucket.default)))
 
 let test_canonical_excludes_execution_knobs () =
   (* jobs / faults / cache are not semantics: two configs differing only
@@ -65,26 +74,39 @@ let test_of_canonical_rejects_garbage () =
   in
   reject "";
   reject "not a config";
-  reject "cmswitch.config.v2{partition_fraction=0x1p-1}";
+  (* the retired v1 tag (and any other version) is rejected wholesale *)
+  reject
+    "cmswitch.config.v1{partition_fraction=0x1p-1;max_segment_ops=10;memoize=true;milp_max_nodes=600;refine=true;force_all_compute=false;lp_backend=revised}";
+  reject "cmswitch.config.v3{partition_fraction=0x1p-1}";
   (* missing closing brace *)
-  reject "cmswitch.config.v1{partition_fraction=0x1p-1";
+  reject "cmswitch.config.v2{partition_fraction=0x1p-1";
   (* missing fields *)
-  reject "cmswitch.config.v1{partition_fraction=0x1p-1}";
+  reject "cmswitch.config.v2{partition_fraction=0x1p-1}";
   (* bad value types *)
   reject
-    "cmswitch.config.v1{partition_fraction=abc;max_segment_ops=10;memoize=true;milp_max_nodes=600;refine=true;force_all_compute=false;lp_backend=revised}";
+    "cmswitch.config.v2{partition_fraction=abc;max_segment_ops=10;memoize=true;milp_max_nodes=600;refine=true;force_all_compute=false;lp_backend=revised;buckets=none}";
   reject
-    "cmswitch.config.v1{partition_fraction=0x1p-1;max_segment_ops=10;memoize=true;milp_max_nodes=600;refine=true;force_all_compute=false;lp_backend=cplex}"
+    "cmswitch.config.v2{partition_fraction=0x1p-1;max_segment_ops=10;memoize=true;milp_max_nodes=600;refine=true;force_all_compute=false;lp_backend=cplex;buckets=none}";
+  (* malformed bucket policies *)
+  reject
+    "cmswitch.config.v2{partition_fraction=0x1p-1;max_segment_ops=10;memoize=true;milp_max_nodes=600;refine=true;force_all_compute=false;lp_backend=revised;buckets=pow2}";
+  reject
+    "cmswitch.config.v2{partition_fraction=0x1p-1;max_segment_ops=10;memoize=true;milp_max_nodes=600;refine=true;force_all_compute=false;lp_backend=revised;buckets=buckets.v1(pow2:64:32)}";
+  reject
+    "cmswitch.config.v2{partition_fraction=0x1p-1;max_segment_ops=10;memoize=true;milp_max_nodes=600;refine=true;force_all_compute=false;lp_backend=revised;buckets=buckets.v1(list:64,32)}"
 
 let test_options_bridge () =
   List.iter
     (fun c ->
       let o = Cfg.to_options c in
       let c' = Cfg.of_options o in
-      (* everything semantic survives the legacy-record round trip *)
+      (* everything semantic survives the legacy-record round trip — except
+         the bucket policy, which postdates the deprecated nested records
+         and has no slot there (bucketed compilation is Config-only) *)
       Alcotest.(check string)
         ("options bridge preserves " ^ Cfg.canonical c)
-        (Cfg.canonical c) (Cfg.canonical c');
+        (Cfg.canonical { c with Cfg.buckets = None })
+        (Cfg.canonical c');
       Alcotest.(check int) "jobs preserved" c.Cfg.jobs c'.Cfg.jobs)
     sample_configs;
   (* the flattened fields land in the right nested slots *)
@@ -101,18 +123,32 @@ let test_options_bridge () =
   Alcotest.(check int) "alloc nodes" 55 al.Alloc.milp_max_nodes;
   Alcotest.(check bool) "alloc forced" true al.Alloc.force_all_compute
 
+(* random but valid bucket policy, derived from three small ints: none,
+   pow2 with arbitrary bounds, or an explicit boundary list *)
+let bucket_of_ints kind a b =
+  let a = 1 + (abs a mod 4096) and b = 1 + (abs b mod 4096) in
+  let lo = min a b and hi = max a b in
+  match abs kind mod 3 with
+  | 0 -> None
+  | 1 -> Some (Bucket.pow2 ~min_ceiling:lo ~max_ceiling:hi ())
+  | _ -> Some (Bucket.explicit [ lo; hi; lo + hi ])
+
 let prop_canonical_round_trip =
   QCheck_alcotest.to_alcotest
     (QCheck.Test.make ~name:"canonical round-trip is a fixed point" ~count:300
        QCheck.(
-         quad (float_bound_exclusive 1.) (int_range 1 64) bool (int_range 0 100_000))
-       (fun (frac, window, memo, nodes) ->
+         pair
+           (quad (float_bound_exclusive 1.) (int_range 1 64) bool
+              (int_range 0 100_000))
+           (triple small_int small_int small_int))
+       (fun ((frac, window, memo, nodes), (bk, ba, bb)) ->
          let c =
            Cfg.(
              default
              |> with_partition_fraction (frac +. 1e-3)
              |> with_max_segment_ops window |> with_memoize memo
-             |> with_milp_max_nodes nodes)
+             |> with_milp_max_nodes nodes
+             |> with_buckets (bucket_of_ints bk ba bb))
          in
          let s = Cfg.canonical c in
          match Cfg.of_canonical s with

@@ -377,6 +377,11 @@ let test_sim_golden () =
         ~finally:(fun () -> close_in_noerr ic)
         (fun () -> really_input_string ic (in_channel_length ic))
     in
+    if expected <> rendered then
+      Printf.printf
+        "golden mismatch for %s: if the change is intentional, refresh with \
+         CMSWITCH_UPDATE_GOLDEN=1 dune runtest\n"
+        path;
     Alcotest.(check string) "functional-sim digests match fixture" expected rendered
   end
 

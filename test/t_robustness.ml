@@ -856,6 +856,11 @@ let test_fleet_golden () =
         ~finally:(fun () -> close_in_noerr ic)
         (fun () -> really_input_string ic (in_channel_length ic))
     in
+    if expected <> rendered then
+      Printf.printf
+        "golden mismatch for %s: if the change is intentional, refresh with \
+         CMSWITCH_UPDATE_GOLDEN=1 dune runtest\n"
+        path;
     Alcotest.(check string) "fleet stats fingerprint" expected rendered
   end
 
