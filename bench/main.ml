@@ -22,13 +22,14 @@ let experiments =
     ("e15", "telemetry overhead: fleet run with observability off/on", E15_telemetry.run);
     ("e16", "kernel engine: boxed vs Bigarray + parallel functional sim", E16_kernels.run);
     ("e17", "dynamic shapes: bucketed + incremental decode-sweep compile", E17_dynshape.run);
+    ("e18", "MMIO command-stream ISA: lowering + machine-level simulator", E18_isa.run);
     ("micro", "bechamel micro-benchmarks", Micro.run);
     ("solver", "per-MILP solver cost, revised vs dense backend", Micro.run_solver);
   ]
 
 let usage () =
   print_endline
-    "usage: main.exe [e1 .. e17 | micro | solver | all] ... [--csv DIR] [--json FILE]";
+    "usage: main.exe [e1 .. e18 | micro | solver | all] ... [--csv DIR] [--json FILE]";
   List.iter (fun (id, desc, _) -> Printf.printf "  %-5s %s\n" id desc) experiments
 
 (* Sys.mkdir is not recursive; "--csv out/csv" must create "out" first. *)

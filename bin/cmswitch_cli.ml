@@ -2,11 +2,18 @@
 
    cmswitch list
    cmswitch compile MODEL [--chip X] [--batch N] [--seq N | --kv N] [--emit] [--sim]
+                          [--passes LIST] [--dump-after PASS] [--validate-each]
    cmswitch compare MODEL [--chip X] [--batch N] [--seq N | --kv N]
    cmswitch serve MODEL [--chips N] [--fault-schedule FILE] [--slo CYCLES]
                         [--telemetry FILE] [--openmetrics FILE]
+   cmswitch disasm MODEL [--chip X] [--batch N] [--seq N | --kv N]
    cmswitch report FILE [-o FILE]
-   cmswitch cache (stats|clear|verify) [--cache-dir DIR] *)
+   cmswitch cache (stats|clear|verify) [--cache-dir DIR]
+
+   The flags shared by compile / compare / serve / disasm (--jobs,
+   --tensor-backend, --buckets, --cache-dir, --no-cache, --trace,
+   --metrics, -v) are assembled from one [common_term] builder, so their
+   help text is identical on every subcommand. *)
 
 open Cmdliner
 module Chip = Cim_arch.Chip
@@ -280,7 +287,114 @@ let finish_obs ~trace ~metrics =
 let setup_logs verbose =
   Fmt_tty.setup_std_outputs ();
   Logs.set_reporter (Logs_fmt.reporter ());
-  if verbose then Logs.Src.set_level Cim_compiler.Cmswitch.log_src (Some Logs.Debug)
+  if verbose then begin
+    Logs.Src.set_level Cim_compiler.Cmswitch.log_src (Some Logs.Debug);
+    Logs.Src.set_level Cim_compiler.Passes.log_src (Some Logs.Debug)
+  end
+
+(* ---- the shared flag set -------------------------------------------------- *)
+
+(* One builder for the flags every heavyweight subcommand shares; the cache
+   subcommand needs only [cache_dir_arg], which it reuses directly. *)
+type common = {
+  jobs : int option;
+  tensor_backend : Cim_tensor.Kernels.backend option;
+  buckets : Bucket.t option;
+  cache_dir : string option;
+  no_cache : bool;
+  verbose : bool;
+  trace : string option;
+  metrics : bool;
+}
+
+let common_term =
+  let make jobs tensor_backend buckets cache_dir no_cache verbose trace
+      metrics =
+    { jobs; tensor_backend; buckets; cache_dir; no_cache; verbose; trace;
+      metrics }
+  in
+  Term.(const make $ jobs_arg $ tensor_backend_arg $ buckets_arg
+        $ cache_dir_arg $ no_cache_arg $ verbose_arg $ trace_arg
+        $ metrics_arg)
+
+(* logging + observability + cache store in one go; [?metrics_on] lets
+   serve imply metric recording while a telemetry collector is active *)
+let setup_common ?metrics_on c =
+  setup_logs c.verbose;
+  setup_obs ~trace:c.trace
+    ~metrics:(Option.value metrics_on ~default:c.metrics);
+  store_for ~cache_dir:c.cache_dir ~no_cache:c.no_cache
+
+let config_of_common c ~store =
+  config_for ?tensor_backend:c.tensor_backend ?buckets:c.buckets ~jobs:c.jobs
+    ~store ()
+
+let finish_common c ~store =
+  report_cache_counters store;
+  finish_obs ~trace:c.trace ~metrics:c.metrics
+
+(* ---- pass-pipeline flags (compile) ---------------------------------------- *)
+
+module Passes = Cim_compiler.Passes
+
+let pass_names () =
+  String.concat ", " (List.map (fun p -> p.Passes.name) Passes.registry)
+
+let passes_arg =
+  Arg.(value & opt (some string) None
+       & info [ "passes" ] ~docv:"LIST"
+           ~doc:(Printf.sprintf
+                   "Run a custom pass pipeline: comma-separated pass names \
+                    (known: %s). The token $(b,default) expands to the \
+                    standard pipeline and $(b,serial) to the no-DP \
+                    fallback, so $(b,--passes default,lower_isa) appends \
+                    the ISA lowering. The pass list is part of the \
+                    program-cache key — a custom pipeline never replays a \
+                    program cached under a different one."
+                   (pass_names ())))
+
+let dump_after_arg =
+  Arg.(value & opt_all string []
+       & info [ "dump-after" ] ~docv:"PASS"
+           ~doc:"Print the compilation state (ops, segments, schedule \
+                 totals, program size and digest, ISA command count) after \
+                 the named pass; repeatable. Dumps fire on cold compiles \
+                 only — a program-cache hit replays no passes.")
+
+let validate_each_arg =
+  Arg.(value & flag
+       & info [ "validate-each" ]
+           ~doc:"Run every pass's validator after it (the nanopass \
+                 discipline): a broken intermediate state aborts the \
+                 compile naming the offending pass.")
+
+let resolve_passes spec =
+  match spec with
+  | None -> Passes.default_pipeline
+  | Some s -> (
+    match Passes.parse_list s with
+    | Ok l -> l
+    | Error m ->
+      Printf.eprintf "--passes: %s\n" m;
+      exit 1)
+
+let on_pass_of ~passes dump_after =
+  List.iter
+    (fun nm ->
+      if not (List.exists (fun p -> p.Passes.name = nm) passes) then begin
+        Printf.eprintf
+          "--dump-after: pass %S is not in the active pipeline (%s)\n" nm
+          (String.concat ", " (List.map (fun p -> p.Passes.name) passes));
+        exit 1
+      end)
+    dump_after;
+  if dump_after = [] then None
+  else
+    Some
+      (fun (p : Passes.pass) st ->
+        if List.mem p.Passes.name dump_after then
+          Printf.printf "--- after %s ---\n%s%!" p.Passes.name
+            (Passes.describe_state st))
 
 let report_arg =
   Arg.(value & opt (some string) None
@@ -317,12 +431,9 @@ let do_list () =
     Zoo.all;
   Printf.printf "\nchips: %s\n" (String.concat ", " (List.map fst Config.presets))
 
-let do_compile chip key batch seq kv emit sim sim_check tensor_backend buckets
-    report fault_rate fault_seed deadline jobs cache_dir no_cache verbose trace
-    metrics =
-  setup_logs verbose;
-  setup_obs ~trace ~metrics;
-  let store = store_for ~cache_dir ~no_cache in
+let do_compile chip key batch seq kv emit sim sim_check report fault_rate
+    fault_seed deadline passes_spec dump_after validate_each common =
+  let store = setup_common common in
   let e = find_model key in
   let w = workload_of e ~batch ~seq ~kv in
   Printf.printf "compiling %s for %s on %s ...\n%!" e.Zoo.display
@@ -343,16 +454,22 @@ let do_compile chip key batch seq kv emit sim sim_check tensor_backend buckets
       Some fm
     end
   in
+  let passes = resolve_passes passes_spec in
+  let on_pass = on_pass_of ~passes dump_after in
   let mc =
     try
       Cmswitch.compile_model
-        ~config:(config_for ?tensor_backend ?buckets ~jobs ~store ())
-        ?faults chip e w
-    with Failure msg | Invalid_argument msg ->
+        ~config:(config_of_common common ~store)
+        ?faults ~passes ~validate_each ?on_pass chip e w
+    with
+    | Failure msg | Invalid_argument msg ->
       Printf.eprintf "compilation failed: %s\n" msg;
       exit 1
+    | Passes.Pass_error { pass; reason } ->
+      Printf.eprintf "pass %s rejected its output: %s\n" pass reason;
+      exit 1
   in
-  (match (buckets, mc.Cmswitch.bucket_ceiling) with
+  (match (common.buckets, mc.Cmswitch.bucket_ceiling) with
   | Some b, Some ceil ->
     Printf.printf
       "bucketed: compiled at %s (ceiling %d for %s); every length in the \
@@ -381,7 +498,7 @@ let do_compile chip key batch seq kv emit sim sim_check tensor_backend buckets
          (Digest.string (Cim_metaop.Flow.to_string r.Cmswitch.program)));
     (* --trace implies a timing pass: the simulator populates the per-array
        mode-residency tracks and the cycles-by-mode counters *)
-    if sim || trace <> None then begin
+    if sim || common.trace <> None then begin
       let t = Cim_sim.Timing.run chip r.Cmswitch.program in
       if sim then Format.printf "%a@." Cim_sim.Timing.pp t
     end;
@@ -397,7 +514,9 @@ let do_compile chip key batch seq kv emit sim sim_check tensor_backend buckets
           g.Cim_nnir.Graph.graph_inputs
       in
       let rep =
-        try Cim_sim.Functional.run chip ?faults ?jobs g r.Cmswitch.program ~inputs
+        try
+          Cim_sim.Functional.run chip ?faults ?jobs:common.jobs g
+            r.Cmswitch.program ~inputs
         with Cim_sim.Functional.Error msg ->
           Printf.eprintf "functional simulation failed: %s\n" msg;
           exit 1
@@ -443,17 +562,15 @@ let do_compile chip key batch seq kv emit sim sim_check tensor_backend buckets
        latency %.3e, %.2f tokens/Mcycle\n"
       d s.Serving.completed s.Serving.dropped s.Serving.p95_latency
       s.Serving.tokens_per_megacycle);
-  report_cache_counters store;
-  finish_obs ~trace ~metrics
+  finish_common common ~store
 
-let do_compare chip key batch seq kv jobs cache_dir no_cache trace metrics =
-  setup_obs ~trace ~metrics;
-  let store = store_for ~cache_dir ~no_cache in
+let do_compare chip key batch seq kv common =
+  let store = setup_common common in
   let e = find_model key in
   let w = workload_of e ~batch ~seq ~kv in
   Printf.printf "%s on %s, %s\n" e.Zoo.display chip.Chip.name (Workload.to_string w);
   let cms =
-    (Cmswitch.compile_model ~config:(config_for ~jobs ~store ()) chip e w)
+    (Cmswitch.compile_model ~config:(config_of_common common ~store) chip e w)
       .Cmswitch.total_cycles
   in
   Printf.printf "  %-10s %.4e cycles\n" "CMSwitch" cms;
@@ -463,8 +580,7 @@ let do_compare chip key batch seq kv jobs cache_dir no_cache trace metrics =
       Printf.printf "  %-10s %.4e cycles (CMSwitch %.2fx faster)\n"
         (Baseline.name which) c (c /. cms))
     [ Baseline.Cim_mlc; Baseline.Puma; Baseline.Occ ];
-  report_cache_counters store;
-  finish_obs ~trace ~metrics
+  finish_common common ~store
 
 (* ---- serve subcommand ---------------------------------------------------- *)
 
@@ -575,22 +691,24 @@ let slo_budget_arg =
                  requests that may violate the SLO; telemetry reports the \
                  burn rate against it. Only meaningful with $(b,--slo).")
 
-let do_serve chip key batch seq kv buckets chips requests mean_gap burst slo
+let do_serve chip key batch seq kv chips requests mean_gap burst slo
     fault_schedule fault_events fault_seed seed shed_output max_retries breaker
     recompile_cycles recompile_budget telemetry_file timeline_csv openmetrics
-    snapshot_interval slo_budget jobs cache_dir no_cache verbose trace
-    metrics =
-  setup_logs verbose;
+    snapshot_interval slo_budget common =
   let tele_on =
     telemetry_file <> None || timeline_csv <> None || openmetrics <> None
   in
   (* the telemetry document embeds the metrics dump and the OpenMetrics
      text, so a collector implies metric recording (not printing) *)
-  setup_obs ~trace ~metrics:(metrics || tele_on);
-  let store = store_for ~cache_dir ~no_cache in
+  let store = setup_common ~metrics_on:(common.metrics || tele_on) common in
+  let buckets = common.buckets in
   let e = find_model key in
   let w = workload_of e ~batch ~seq ~kv in
-  let base_cfg = config_for ~jobs ~store () in
+  (* buckets stay out of the base config on purpose: only the bucketed
+     healthy-path session below compiles under the policy *)
+  let base_cfg =
+    config_for ?tensor_backend:common.tensor_backend ~jobs:common.jobs ~store ()
+  in
   (* the representative graph: one block for transformers (a pass costs
      n_layers block passes — the LM head is dropped from this estimate),
      the whole network for CNNs *)
@@ -665,7 +783,7 @@ let do_serve chip key batch seq kv buckets chips requests mean_gap burst slo
      mode / segment — published as costmodel.drift.* and embedded in the
      telemetry document *)
   let drift =
-    if not (tele_on || metrics) then None
+    if not (tele_on || common.metrics) then None
     else begin
       let measured = Cim_sim.Timing.run chip r0.Cmswitch.program in
       let sched = r0.Cmswitch.schedule in
@@ -798,7 +916,7 @@ let do_serve chip key batch seq kv buckets chips requests mean_gap burst slo
       backoff_cap = 4. *. pass;
       breaker_threshold = breaker;
       recompile_cycles = Option.value recompile_cycles ~default:pass;
-      jobs = Option.value jobs ~default:(Cim_util.Pool.default_jobs ());
+      jobs = Option.value common.jobs ~default:(Cim_util.Pool.default_jobs ());
     }
   in
   let s =
@@ -829,7 +947,7 @@ let do_serve chip key batch seq kv buckets chips requests mean_gap burst slo
     s.Fleet.tokens_per_megacycle s.Fleet.makespan
     (String.concat "; " (List.map string_of_int s.Fleet.per_chip_served));
   (match drift with
-  | Some d when metrics -> Format.printf "%a@." Cim_sim.Drift.pp d
+  | Some d when common.metrics -> Format.printf "%a@." Cim_sim.Drift.pp d
   | _ -> ());
   (match tele with
   | None -> ()
@@ -856,8 +974,7 @@ let do_serve chip key batch seq kv buckets chips requests mean_gap burst slo
       Cim_obs.Openmetrics.write_file file;
       Printf.printf "OpenMetrics exposition written to %s\n" file
     | None -> ());
-  report_cache_counters store;
-  finish_obs ~trace ~metrics
+  finish_common common ~store
 
 (* ---- report subcommand --------------------------------------------------- *)
 
@@ -968,6 +1085,49 @@ let do_cache_verify cache_dir =
     Printf.eprintf "%d bad entries\n" (List.length problems);
     exit 1
 
+(* ---- disasm subcommand --------------------------------------------------- *)
+
+let do_disasm chip key batch seq kv common =
+  let store = setup_common common in
+  let e = find_model key in
+  let w = workload_of e ~batch ~seq ~kv in
+  (* stdout carries nothing but the listing, so it pipes cleanly *)
+  Printf.eprintf "compiling %s for %s on %s ...\n%!" e.Zoo.display
+    (Workload.to_string w) chip.Chip.name;
+  let mc =
+    try
+      Cmswitch.compile_model ~config:(config_of_common common ~store) chip e w
+    with Failure msg | Invalid_argument msg ->
+      Printf.eprintf "compilation failed: %s\n" msg;
+      exit 1
+  in
+  let r, scope =
+    match (mc.Cmswitch.layer, mc.Cmswitch.whole) with
+    | Some r, _ ->
+      (r, Printf.sprintf "one of %d identical blocks" e.Zoo.n_layers)
+    | None, Some r -> (r, "whole network")
+    | None, None ->
+      Printf.eprintf "nothing to disassemble for %s\n" e.Zoo.display;
+      exit 1
+  in
+  let img = Cim_metaop.Isa.of_flow r.Cmswitch.program in
+  let bytes = Cim_metaop.Isa.encode img in
+  (match Cim_metaop.Isa.decode bytes with
+  | Ok img' when img' = img -> ()
+  | Ok _ ->
+    Printf.eprintf "ISA round trip: decoded image differs from encoder input\n";
+    exit 1
+  | Error m ->
+    Printf.eprintf "ISA round trip failed: %s\n" m;
+    exit 1);
+  Printf.eprintf "%s; round trip ok: %d commands, %d words, %d bytes\n%!"
+    scope
+    (Cim_metaop.Isa.cmd_count img)
+    (Cim_metaop.Isa.word_count img)
+    (String.length bytes);
+  print_string (Cim_metaop.Isa.disassemble img);
+  finish_common common ~store
+
 let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List models and hardware presets")
     Term.(const do_list $ const ())
@@ -975,16 +1135,14 @@ let list_cmd =
 let compile_cmd =
   Cmd.v (Cmd.info "compile" ~doc:"Compile a model and print the schedule")
     Term.(const do_compile $ chip_arg $ model_arg $ batch_arg $ seq_arg
-          $ kv_arg $ emit_arg $ sim_arg $ sim_check_arg $ tensor_backend_arg
-          $ buckets_arg $ report_arg $ fault_rate_arg $ fault_seed_arg
-          $ deadline_arg $ jobs_arg $ cache_dir_arg $ no_cache_arg
-          $ verbose_arg $ trace_arg $ metrics_arg)
+          $ kv_arg $ emit_arg $ sim_arg $ sim_check_arg $ report_arg
+          $ fault_rate_arg $ fault_seed_arg $ deadline_arg $ passes_arg
+          $ dump_after_arg $ validate_each_arg $ common_term)
 
 let compare_cmd =
   Cmd.v (Cmd.info "compare" ~doc:"Compare CMSwitch against the baselines")
     Term.(const do_compare $ chip_arg $ model_arg $ batch_arg $ seq_arg
-          $ kv_arg $ jobs_arg $ cache_dir_arg $ no_cache_arg $ trace_arg
-          $ metrics_arg)
+          $ kv_arg $ common_term)
 
 let serve_cmd =
   Cmd.v
@@ -994,14 +1152,25 @@ let serve_cmd =
           chips with runtime fault events, online recompile-around-faults \
           and SLO-aware shedding")
     Term.(const do_serve $ chip_arg $ model_arg $ batch_arg $ seq_arg $ kv_arg
-          $ buckets_arg $ chips_arg $ requests_arg $ mean_gap_arg $ burst_arg
+          $ chips_arg $ requests_arg $ mean_gap_arg $ burst_arg
           $ slo_arg
           $ fault_schedule_arg $ fault_events_arg $ fault_seed_arg $ seed_arg
           $ shed_output_arg $ max_retries_arg $ breaker_arg
           $ recompile_cycles_arg $ recompile_budget_arg $ telemetry_arg
           $ timeline_csv_arg $ openmetrics_arg $ snapshot_interval_arg
-          $ slo_budget_arg $ jobs_arg $ cache_dir_arg $ no_cache_arg
-          $ verbose_arg $ trace_arg $ metrics_arg)
+          $ slo_budget_arg $ common_term)
+
+let disasm_cmd =
+  Cmd.v
+    (Cmd.info "disasm"
+       ~doc:
+         "Compile a model, lower the meta-operator flow onto the MMIO \
+          command-stream ISA ($(b,--passes default,lower_isa) territory) \
+          and print the disassembly; stdout carries only the listing. The \
+          image is round-tripped through the binary encoding first — any \
+          mismatch is a non-zero exit.")
+    Term.(const do_disasm $ chip_arg $ model_arg $ batch_arg $ seq_arg $ kv_arg
+          $ common_term)
 
 let report_cmd =
   Cmd.v
@@ -1039,5 +1208,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; compile_cmd; compare_cmd; serve_cmd; report_cmd;
-            cache_cmd ]))
+          [ list_cmd; compile_cmd; compare_cmd; serve_cmd; disasm_cmd;
+            report_cmd; cache_cmd ]))

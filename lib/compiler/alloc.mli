@@ -21,9 +21,6 @@ type options = {
           for benchmarking the speedup in the same run *)
 }
 
-val default_options : options
-[@@deprecated "construct via Cmswitch.Config (Config.to_alloc_options)"]
-
 (** Solver outcome distinguishing a genuinely infeasible segment from a
     node-limited search, so the {!Degrade} chain can fall back instead of
     silently dropping the window. *)

@@ -213,9 +213,9 @@ let seg_payload_of_string ~chip ~ops ~lo ~hi s =
 
 let prog_tier = "prog"
 
-let prog_key ?shape ~graph_text ~chip ~faults ~config () =
+let prog_key ?shape ~graph_text ~chip ~faults ~config ~passes () =
   String.concat "\n"
-    [ "prog.v1"; chip_canonical chip; faults_canonical faults; config;
+    [ "prog.v1"; chip_canonical chip; faults_canonical faults; config; passes;
       Option.value shape ~default:"shape:none";
       graph_text ]
 

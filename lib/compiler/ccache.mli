@@ -74,15 +74,18 @@ val prog_tier : string
 
 val prog_key :
   ?shape:string -> graph_text:string -> chip:Cim_arch.Chip.t ->
-  faults:Cim_arch.Faultmap.t option -> config:string -> unit -> string
+  faults:Cim_arch.Faultmap.t option -> config:string -> passes:string ->
+  unit -> string
 (** Key of one whole compilation: canonical graph text
     ({!Cim_nnir.Text.to_string}), chip, fault map, the canonical
-    unified-config serialisation ([Cmswitch.Config.canonical]), and an
-    optional versioned shape fragment. When a bucket policy is active the
-    caller passes [?shape] as a ["shape.v1(...)"] line keyed on the bucket
-    ceiling (never the raw length), so every length inside a bucket derives
-    the same key; without bucketing the fragment is the literal
-    ["shape:none"]. *)
+    unified-config serialisation ([Cmswitch.Config.canonical]), the active
+    pass-list fingerprint ([Passes.fingerprint], a ["passes.v1[...]"]
+    line — a reordered or customised pipeline can never replay a program
+    cached under a different one), and an optional versioned shape
+    fragment. When a bucket policy is active the caller passes [?shape] as
+    a ["shape.v1(...)"] line keyed on the bucket ceiling (never the raw
+    length), so every length inside a bucket derives the same key; without
+    bucketing the fragment is the literal ["shape:none"]. *)
 
 type prog_payload = {
   segments : Plan.seg_plan list;  (** the chosen segmentation, in order *)

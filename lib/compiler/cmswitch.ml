@@ -1,9 +1,4 @@
-[@@@alert "-deprecated"]
-(* the legacy nested-options records are deprecated construction surfaces
-   for callers; this file is the bridge that keeps them alive *)
-
 module Chip = Cim_arch.Chip
-module Cost = Cim_arch.Cost
 module Faultmap = Cim_arch.Faultmap
 module Workload = Cim_models.Workload
 module Zoo = Cim_models.Zoo
@@ -18,14 +13,6 @@ module Store = Cim_cache.Store
 let log_src = Logs.Src.create "cmswitch" ~doc:"CMSwitch compilation pipeline"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
-
-type options = {
-  partition_fraction : float;
-  segment : Segment.options;
-}
-
-let default_options =
-  { partition_fraction = 0.5; segment = Segment.default_options }
 
 module Config = struct
   type t = {
@@ -45,14 +32,14 @@ module Config = struct
 
   let default =
     {
-      partition_fraction = default_options.partition_fraction;
-      max_segment_ops = Segment.default_options.Segment.max_segment_ops;
-      memoize = Segment.default_options.Segment.memoize;
-      jobs = Segment.default_options.Segment.jobs;
-      milp_max_nodes = Alloc.default_options.Alloc.milp_max_nodes;
-      refine = Alloc.default_options.Alloc.refine;
-      force_all_compute = Alloc.default_options.Alloc.force_all_compute;
-      lp_backend = Alloc.default_options.Alloc.lp_backend;
+      partition_fraction = 0.5;
+      max_segment_ops = 10;
+      memoize = true;
+      jobs = Cim_util.Pool.default_jobs ();
+      milp_max_nodes = 600;
+      refine = true;
+      force_all_compute = false;
+      lp_backend = Cim_solver.Milp.Revised;
       tensor_backend = Kernels.default_backend ();
       buckets = None;
       faults = None;
@@ -88,25 +75,6 @@ module Config = struct
       memoize = t.memoize;
       jobs = t.jobs;
       cache = t.cache;
-    }
-
-  let to_options t =
-    { partition_fraction = t.partition_fraction; segment = to_segment_options t }
-
-  let of_options ?faults (o : options) =
-    {
-      partition_fraction = o.partition_fraction;
-      max_segment_ops = o.segment.Segment.max_segment_ops;
-      memoize = o.segment.Segment.memoize;
-      jobs = o.segment.Segment.jobs;
-      milp_max_nodes = o.segment.Segment.alloc.Alloc.milp_max_nodes;
-      refine = o.segment.Segment.alloc.Alloc.refine;
-      force_all_compute = o.segment.Segment.alloc.Alloc.force_all_compute;
-      lp_backend = o.segment.Segment.alloc.Alloc.lp_backend;
-      tensor_backend = Kernels.default_backend ();
-      buckets = None;
-      faults;
-      cache = o.segment.Segment.cache;
     }
 
   (* The cache-key serialisation: every semantic field in fixed order,
@@ -205,14 +173,9 @@ module Config = struct
     end
 end
 
-(* precedence: an explicit [config] wins over [options]; an explicit
-   [faults] argument always wins over [config.faults] *)
-let resolve_config ?config ?options ?faults () =
-  let cfg =
-    match config with
-    | Some c -> c
-    | None -> Config.of_options (Option.value options ~default:default_options)
-  in
+(* an explicit [faults] argument always wins over [config.faults] *)
+let resolve_config ?config ?faults () =
+  let cfg = Option.value config ~default:Config.default in
   match faults with
   | None -> cfg
   | Some fm -> { cfg with Config.faults = Some fm }
@@ -228,49 +191,6 @@ type result = {
   degradation : Degrade.report;
   compile_seconds : float;
 }
-
-(* Roll the schedule up from the *placed* segments so switch latency is
-   charged on the realised CM.switch lists rather than the DP estimate. *)
-let placed_schedule chip ops (places : Placement.seg_place list) =
-  let ctx = Plan.make_ctx ops in
-  let intra = ref 0. and wb = ref 0. and sw = ref 0. and rw = ref 0. in
-  let prev = ref None in
-  List.iter
-    (fun (sp : Placement.seg_place) ->
-      let seg = sp.Placement.plan in
-      let est = Plan.inter_segment_cost chip ctx ~prev:!prev ~cur:seg in
-      intra := !intra +. seg.Plan.intra_cycles;
-      wb := !wb +. est.Plan.writeback;
-      (* Eq. 2 on the placed arrays: in-place K-cache claims (§5.3) keep
-         their cell contents across the mode switch and are not
-         reprogrammed *)
-      let rw_placed =
-        List.fold_left
-          (fun acc (op : Placement.op_place) ->
-            Float.max acc
-              (Cost.weight_rewrite_latency chip
-                 ~max_com:
-                   (List.length op.Placement.compute
-                   - List.length op.Placement.in_place)))
-          0. sp.Placement.ops
-      in
-      rw := !rw +. rw_placed;
-      sw :=
-        !sw
-        +. Cost.switch_latency chip
-             ~m2c:(List.length sp.Placement.to_compute)
-             ~c2m:(List.length sp.Placement.to_memory);
-      prev := Some seg)
-    places;
-  {
-    Plan.compiler = "CMSwitch";
-    segments = List.map (fun sp -> sp.Placement.plan) places;
-    intra = !intra;
-    writeback = !wb;
-    switch = !sw;
-    rewrite = !rw;
-    total_cycles = !intra +. !wb +. !sw +. !rw;
-  }
 
 (* dp_stats and realised switch counts, mirrored into the metrics registry
    so one compile's telemetry lands next to the solver's own counters *)
@@ -293,26 +213,61 @@ let record_compile_metrics (dp : Segment.stats) places (schedule : Plan.schedule
     schedule.Plan.total_cycles;
   Cim_obs.Metrics.observe (Metrics.histogram "compile.seconds") seconds
 
-let compile_uncached ~options ?frontiers ?(frontier_tag = "") ?faults chip
+let env_of_cfg ?frontiers ?frontier_tag ?on_stage cfg chip =
+  Passes.make_env ?faults:cfg.Config.faults ?frontiers ?frontier_tag ?on_stage
+    ~partition_fraction:cfg.Config.partition_fraction
+    ~seg_options:(Config.to_segment_options cfg) chip
+
+let healthy_of ?faults (chip : Chip.t) =
+  match faults with
+  | None -> chip.Chip.n_arrays
+  | Some fm -> Faultmap.flexible_count fm
+
+(* Project the final pipeline state onto the historical result record; a
+   pipeline that never ran codegen fails here with the producing pass
+   named (via the _exn accessors). *)
+let result_of_state ~events ~compile_seconds (st : Passes.state) =
+  let chip = st.Passes.env.Passes.chip in
+  let faults = st.Passes.env.Passes.faults in
+  let diagnostics = Option.value st.Passes.diagnostics ~default:[] in
+  let degradation =
+    { (Degrade.empty_report ~total:chip.Chip.n_arrays
+         ~healthy:(healthy_of ?faults chip))
+      with
+      Degrade.events = List.rev events;
+      diagnostics }
+  in
+  let dp_stats = Passes.dp_stats_exn st in
+  let places = Passes.places_exn st in
+  let schedule = Passes.schedule_exn st in
+  record_compile_metrics dp_stats places schedule ~seconds:compile_seconds;
+  {
+    chip;
+    graph = st.Passes.graph;
+    ops = Passes.ops_exn st;
+    schedule;
+    places;
+    program = Passes.program_exn st;
+    dp_stats;
+    degradation;
+    compile_seconds;
+  }
+
+let compile_uncached ~cfg ?frontiers ?frontier_tag
+    ?(passes = Passes.default_pipeline) ?(validate_each = false) ?on_pass chip
     graph =
   let t0 = Unix.gettimeofday () in
   Log.debug (fun m ->
       m "compiling %s on %s" graph.Cim_nnir.Graph.graph_name chip.Chip.name);
   (* the solver plans against the flexible pool only; placement runs on the
      real chip with the fault map masking unusable coordinates *)
-  let solve_chip =
-    match faults with None -> chip | Some fm -> Faultmap.effective_chip fm
-  in
-  let healthy =
-    match faults with
-    | None -> chip.Chip.n_arrays
-    | Some fm -> Faultmap.flexible_count fm
-  in
-  (match faults with
+  (match cfg.Config.faults with
   | Some fm when Faultmap.fault_count fm > 0 ->
     Log.warn (fun m ->
         m "compiling around %d faulty arrays (%d/%d freely assignable)"
-          (Faultmap.fault_count fm) healthy chip.Chip.n_arrays)
+          (Faultmap.fault_count fm)
+          (Faultmap.flexible_count fm)
+          chip.Chip.n_arrays)
   | _ -> ());
   let events = ref [] in
   let on_stage (e : Degrade.event) =
@@ -321,193 +276,51 @@ let compile_uncached ~options ?frontiers ?(frontier_tag = "") ?faults chip
           (Degrade.stage_to_string e.Degrade.stage) e.Degrade.detail);
     events := e :: !events
   in
-  let ops =
-    Trace.with_span "partition" ~cat:"compiler"
-      ~args:[ ("fraction", J.Float options.partition_fraction) ]
-      (fun () ->
-        Opinfo.extract solve_chip
-          ~partition_fraction:options.partition_fraction graph)
+  let env = env_of_cfg ?frontiers ?frontier_tag ~on_stage cfg chip in
+  let st =
+    Passes.run_pipeline ~validate_each ?on_pass passes (Passes.init env graph)
   in
-  Log.debug (fun m ->
-      m "extracted %d CIM (sub-)operators (cap %.2f of the chip)"
-        (Array.length ops) options.partition_fraction);
-  let segments, dp_stats =
-    Trace.with_span "dp.segmentation" ~cat:"compiler"
-      ~args:
-        [ ("ops", J.Int (Array.length ops));
-          ("window", J.Int options.segment.Segment.max_segment_ops) ]
-      (fun () ->
-        Segment.run ~options:options.segment ?frontiers
-          ~frontier_tag:(frontier_tag ^ ":main") ~on_stage solve_chip ops)
-  in
-  Log.debug (fun m ->
-      m "DP: %d segments, %d MIP solves (%d cache hits), %d candidates"
-        (List.length segments) dp_stats.Segment.mip_solves
-        dp_stats.Segment.mip_cache_hits dp_stats.Segment.candidates);
-  let places =
-    Trace.with_span "placement" ~cat:"compiler" (fun () ->
-        Placement.place chip ?faults ops segments)
-  in
-  let schedule =
-    Trace.with_span "schedule" ~cat:"compiler" (fun () ->
-        placed_schedule chip ops places)
-  in
-  (* The DP's inter-segment costs are estimates, so the dual-mode plan can
-     in corner cases place worse than a pure all-compute plan would. The
-     dual-mode search space strictly contains the all-compute one, so when
-     the restricted plan turns out faster after placement, adopt it — this
-     is the CIM-MLC kernel schedule the paper says CMSwitch falls back to
-     (§5.4: "CMSwitch's performance converges with that of CIM-MLC, as we
-     adopt its kernel optimizations"). *)
-  let segments, places, schedule, dp_stats =
-    if options.segment.Segment.alloc.Alloc.force_all_compute then
-      (segments, places, schedule, dp_stats)
-    else begin
-      let restricted =
-        { options.segment with
-          Segment.alloc = { options.segment.Segment.alloc with
-                            Alloc.force_all_compute = true } }
-      in
-      let seg_ac, stats_ac, places_ac, sched_ac =
-        Trace.with_span "all_compute.probe" ~cat:"compiler" (fun () ->
-            let seg_ac, stats_ac =
-              Segment.run ~options:restricted ?frontiers
-                ~frontier_tag:(frontier_tag ^ ":all_compute") ~on_stage
-                solve_chip ops
-            in
-            let places_ac = Placement.place chip ?faults ops seg_ac in
-            (seg_ac, stats_ac, places_ac, placed_schedule chip ops places_ac))
-      in
-      if sched_ac.Plan.total_cycles < schedule.Plan.total_cycles then
-        ( seg_ac, places_ac, sched_ac,
-          { Segment.mip_solves = dp_stats.Segment.mip_solves + stats_ac.Segment.mip_solves;
-            mip_cache_hits = dp_stats.Segment.mip_cache_hits + stats_ac.Segment.mip_cache_hits;
-            candidates = dp_stats.Segment.candidates + stats_ac.Segment.candidates;
-            pruned_infeasible =
-              dp_stats.Segment.pruned_infeasible + stats_ac.Segment.pruned_infeasible } )
-      else
-        ( segments, places, schedule,
-          { Segment.mip_solves = dp_stats.Segment.mip_solves + stats_ac.Segment.mip_solves;
-            mip_cache_hits = dp_stats.Segment.mip_cache_hits + stats_ac.Segment.mip_cache_hits;
-            candidates = dp_stats.Segment.candidates + stats_ac.Segment.candidates;
-            pruned_infeasible =
-              dp_stats.Segment.pruned_infeasible + stats_ac.Segment.pruned_infeasible } )
-    end
-  in
-  ignore segments;
-  Log.debug (fun m ->
-      m "schedule: %.0f cycles (intra %.0f, wb %.0f, switch %.0f, rewrite %.0f)"
-        schedule.Plan.total_cycles schedule.Plan.intra schedule.Plan.writeback
-        schedule.Plan.switch schedule.Plan.rewrite);
-  let program =
-    Trace.with_span "codegen" ~cat:"compiler" (fun () ->
-        Codegen.generate chip graph ops places)
-  in
-  (* static flow validation feeds the degradation report: a clean compile
-     has zero diagnostics, a degraded one documents exactly what the plan
-     still guarantees *)
-  let diagnostics =
-    Trace.with_span "flow.validate" ~cat:"compiler" (fun () ->
-        List.map Cim_metaop.Check.diagnostic_to_string
-          (Cim_metaop.Check.errors (Cim_metaop.Check.run chip ?faults program)))
-  in
-  List.iter
-    (fun d -> Log.warn (fun m -> m "flow validator: %s" d))
-    diagnostics;
-  let degradation =
-    { (Degrade.empty_report ~total:chip.Chip.n_arrays ~healthy) with
-      Degrade.events = List.rev !events;
-      diagnostics }
-  in
-  let compile_seconds = Unix.gettimeofday () -. t0 in
-  record_compile_metrics dp_stats places schedule ~seconds:compile_seconds;
-  {
-    chip;
-    graph;
-    ops;
-    schedule;
-    places;
-    program;
-    dp_stats;
-    degradation;
-    compile_seconds;
-  }
+  result_of_state ~events:!events
+    ~compile_seconds:(Unix.gettimeofday () -. t0)
+    st
 
 (* Rebuild a full result from a cached segmentation by running the live
    deterministic passes (extraction, placement, schedule roll-up, codegen)
    — the cached entry only decides WHICH feasible segmentation is used, so
-   a warm compile is byte-identical to the cold one that stored it.
-   Returns [Error] (-> cache miss) whenever anything about the entry fails
-   to reproduce a clean compile. *)
-let replay_program ~options ?faults chip graph (p : Ccache.prog_payload) =
-  let solve_chip =
-    match faults with None -> chip | Some fm -> Faultmap.effective_chip fm
-  in
-  let healthy =
-    match faults with
-    | None -> chip.Chip.n_arrays
-    | Some fm -> Faultmap.flexible_count fm
-  in
-  let ops =
-    Trace.with_span "partition" ~cat:"compiler"
-      ~args:[ ("fraction", J.Float options.partition_fraction) ]
-      (fun () ->
-        Opinfo.extract solve_chip
-          ~partition_fraction:options.partition_fraction graph)
-  in
-  let m = Array.length ops in
-  let rec tile expect = function
-    | [] -> expect = m
-    | (s : Plan.seg_plan) :: rest ->
-      s.Plan.lo = expect && s.Plan.hi >= s.Plan.lo && tile (s.Plan.hi + 1) rest
-  in
-  if not (tile 0 p.Ccache.segments) then
-    Error "cached segments do not tile the operator list"
-  else begin
-    let rec validate acc = function
-      | [] -> Ok (List.rev acc)
-      | s :: rest -> (
-        match Ccache.revalidate_plan ~chip:solve_chip ~ops s with
-        | Ok s -> validate (s :: acc) rest
-        | Error e -> Error e)
-    in
-    match
-      Trace.with_span "cache.revalidate" ~cat:"cache" (fun () ->
-          validate [] p.Ccache.segments)
-    with
-    | Error e -> Error e
-    | Ok segments ->
-      let places =
-        Trace.with_span "placement" ~cat:"compiler" (fun () ->
-            Placement.place chip ?faults ops segments)
-      in
-      let schedule =
-        Trace.with_span "schedule" ~cat:"compiler" (fun () ->
-            placed_schedule chip ops places)
-      in
-      let program =
-        Trace.with_span "codegen" ~cat:"compiler" (fun () ->
-            Codegen.generate chip graph ops places)
-      in
-      if
-        Trace.with_span "cache.compare" ~cat:"cache" (fun () ->
-            Digest.to_hex (Digest.string (Cim_metaop.Flow.to_string program))
-            <> p.Ccache.program_md5)
-      then Error "regenerated program differs from cached program digest"
-      else begin
-        let diagnostics =
-          Trace.with_span "flow.validate" ~cat:"compiler" (fun () ->
-              List.map Cim_metaop.Check.diagnostic_to_string
-                (Cim_metaop.Check.errors
-                   (Cim_metaop.Check.run chip ?faults program)))
-        in
-        match diagnostics with
-        | d :: _ -> Error ("flow validator rejected cached program: " ^ d)
-        | [] ->
-          let degradation =
-            { (Degrade.empty_report ~total:chip.Chip.n_arrays ~healthy) with
-              Degrade.events = p.Ccache.events;
-              diagnostics = [] }
+   a warm compile is byte-identical to the cold one that stored it. The
+   replay is itself a pass pipeline: the cached segmentation slots into
+   the [segment] position as a revalidation pass, and a digest-compare
+   pass guards codegen's output. Raises [Failure] (-> cache miss, caught
+   by [prog_cache_find]) whenever anything about the entry fails to
+   reproduce a clean compile. *)
+let replay_pipeline (p : Ccache.prog_payload) =
+  let p_revalidate =
+    {
+      Passes.name = "cache_revalidate";
+      describe = "slot the cached segmentation in, revalidated per window";
+      run =
+        (fun st ->
+          let ops = Passes.ops_exn st in
+          let m = Array.length ops in
+          let rec tile expect = function
+            | [] -> expect = m
+            | (s : Plan.seg_plan) :: rest ->
+              s.Plan.lo = expect && s.Plan.hi >= s.Plan.lo
+              && tile (s.Plan.hi + 1) rest
+          in
+          if not (tile 0 p.Ccache.segments) then
+            failwith "cached segments do not tile the operator list";
+          let segments =
+            Trace.with_span "cache.revalidate" ~cat:"cache" (fun () ->
+                List.map
+                  (fun s ->
+                    match
+                      Ccache.revalidate_plan
+                        ~chip:st.Passes.env.Passes.solve_chip ~ops s
+                    with
+                    | Ok s -> s
+                    | Error e -> failwith e)
+                  p.Ccache.segments)
           in
           let dp_stats =
             { Segment.mip_solves = p.Ccache.mip_solves;
@@ -515,33 +328,81 @@ let replay_program ~options ?faults chip graph (p : Ccache.prog_payload) =
               candidates = p.Ccache.candidates;
               pruned_infeasible = p.Ccache.pruned_infeasible }
           in
-          Ok
-            {
-              chip;
-              graph;
-              ops;
-              schedule;
-              places;
-              program;
-              dp_stats;
-              degradation;
-              compile_seconds = 0.;
-            }
-      end
-  end
+          { st with Passes.segments = Some segments; dp_stats = Some dp_stats });
+      validate = None;
+    }
+  in
+  let p_compare =
+    {
+      Passes.name = "cache_compare";
+      describe = "regenerated program must match the cached digest";
+      run =
+        (fun st ->
+          let program = Passes.program_exn st in
+          if
+            Trace.with_span "cache.compare" ~cat:"cache" (fun () ->
+                Digest.to_hex
+                  (Digest.string (Cim_metaop.Flow.to_string program))
+                <> p.Ccache.program_md5)
+          then failwith "regenerated program differs from cached program digest";
+          st);
+      validate = None;
+    }
+  in
+  let p_check_strict =
+    {
+      Passes.p_check with
+      Passes.name = "check_strict";
+      run =
+        (fun st ->
+          let st = Passes.p_check.Passes.run st in
+          (match Passes.diagnostics_exn st with
+          | [] -> ()
+          | d :: _ -> failwith ("flow validator rejected cached program: " ^ d));
+          st);
+    }
+  in
+  [ Passes.p_extract; p_revalidate; Passes.p_place; Passes.p_schedule;
+    Passes.p_codegen; p_compare; p_check_strict ]
 
-let prog_cache_key ?shape ~cfg chip graph =
+let replay_program ~cfg chip graph (p : Ccache.prog_payload) =
+  let env = env_of_cfg cfg chip in
+  let st =
+    Passes.run_pipeline (replay_pipeline p) (Passes.init env graph)
+  in
+  let faults = cfg.Config.faults in
+  let degradation =
+    { (Degrade.empty_report ~total:chip.Chip.n_arrays
+         ~healthy:(healthy_of ?faults chip))
+      with
+      Degrade.events = p.Ccache.events;
+      diagnostics = [] }
+  in
+  {
+    chip;
+    graph;
+    ops = Passes.ops_exn st;
+    schedule = Passes.schedule_exn st;
+    places = Passes.places_exn st;
+    program = Passes.program_exn st;
+    dp_stats = Passes.dp_stats_exn st;
+    degradation;
+    compile_seconds = 0.;
+  }
+
+let prog_cache_key ?shape ~cfg ~passes chip graph =
   Trace.with_span "cache.key" ~cat:"cache" (fun () ->
       Ccache.prog_key ?shape
         ~graph_text:(Cim_nnir.Text.to_string graph)
         ~chip ~faults:cfg.Config.faults
-        ~config:(Config.canonical cfg) ())
+        ~config:(Config.canonical cfg)
+        ~passes:(Passes.fingerprint passes) ())
 
-let prog_cache_find ?shape ~cfg ~options ?faults chip graph =
+let prog_cache_find ?shape ~cfg ~passes chip graph =
   match cfg.Config.cache with
   | None -> None
   | Some store -> (
-    let key = prog_cache_key ?shape ~cfg chip graph in
+    let key = prog_cache_key ?shape ~cfg ~passes chip graph in
     match Store.find store ~tier:Ccache.prog_tier ~key with
     | None -> None
     | Some payload -> (
@@ -556,17 +417,14 @@ let prog_cache_find ?shape ~cfg ~options ?faults chip graph =
       with
       | Error e -> invalid e
       | Ok p -> (
-        match
-          try replay_program ~options ?faults chip graph p with
-          | Failure e | Invalid_argument e -> Error e
-          | Opinfo.Unsupported e -> Error ("unsupported graph: " ^ e)
-        with
-        | Ok r -> Some r
-        | Error e -> invalid e)))
+        match replay_program ~cfg chip graph p with
+        | r -> Some r
+        | exception (Failure e | Invalid_argument e) -> invalid e
+        | exception Opinfo.Unsupported e -> invalid ("unsupported graph: " ^ e))))
 
 (* cache only clean results: no flow-validator findings means the program
    can be trusted wholesale after the (cheap) replay validation *)
-let prog_cache_store ?shape ~cfg chip graph (r : result) =
+let prog_cache_store ?shape ~cfg ~passes chip graph (r : result) =
   match cfg.Config.cache with
   | None -> ()
   | Some store ->
@@ -584,21 +442,19 @@ let prog_cache_store ?shape ~cfg chip graph (r : result) =
         }
       in
       Store.put store ~tier:Ccache.prog_tier
-        ~key:(prog_cache_key ?shape ~cfg chip graph)
+        ~key:(prog_cache_key ?shape ~cfg ~passes chip graph)
         ~payload:(Ccache.prog_payload_to_string payload)
 
-let compile ?config ?options ?faults ?shape ?frontiers ?frontier_tag chip
-    graph =
-  let cfg = resolve_config ?config ?options ?faults () in
-  let options = Config.to_options cfg in
-  let faults = cfg.Config.faults in
+let compile ?config ?faults ?shape ?frontiers ?frontier_tag
+    ?(passes = Passes.default_pipeline) ?validate_each ?on_pass chip graph =
+  let cfg = resolve_config ?config ?faults () in
   let t0 = Unix.gettimeofday () in
   Trace.with_span "compile" ~cat:"compiler"
     ~args:
       [ ("graph", J.String graph.Cim_nnir.Graph.graph_name);
         ("chip", J.String chip.Chip.name) ]
   @@ fun () ->
-  match prog_cache_find ?shape ~cfg ~options ?faults chip graph with
+  match prog_cache_find ?shape ~cfg ~passes chip graph with
   | Some r ->
     let compile_seconds = Unix.gettimeofday () -. t0 in
     record_compile_metrics r.dp_stats r.places r.schedule
@@ -606,82 +462,30 @@ let compile ?config ?options ?faults ?shape ?frontiers ?frontier_tag chip
     { r with compile_seconds }
   | None ->
     let r =
-      compile_uncached ~options ?frontiers ?frontier_tag ?faults chip graph
+      compile_uncached ~cfg ?frontiers ?frontier_tag ~passes ?validate_each
+        ?on_pass chip graph
     in
-    prog_cache_store ?shape ~cfg chip graph r;
+    prog_cache_store ?shape ~cfg ~passes chip graph r;
     r
 
-(* Last-resort serial schedule: one operator per segment, greedy
-   allocation, no DP and no MIP. Used when the normal pipeline cannot
-   produce a plan at all. Never consulted from / stored into the cache. *)
-let compile_serial ~options ?faults chip graph events =
+(* Last-resort serial schedule: the serial pipeline — one operator per
+   segment, greedy allocation, no DP and no MIP. Used when the normal
+   pipeline cannot produce a plan at all. Never consulted from / stored
+   into the cache. *)
+let compile_serial ~cfg chip graph events =
   let t0 = Unix.gettimeofday () in
   Trace.with_span "compile.serial" ~cat:"compiler"
     ~args:[ ("graph", J.String graph.Cim_nnir.Graph.graph_name) ]
   @@ fun () ->
-  let solve_chip =
-    match faults with None -> chip | Some fm -> Faultmap.effective_chip fm
-  in
-  let healthy =
-    match faults with
-    | None -> chip.Chip.n_arrays
-    | Some fm -> Faultmap.flexible_count fm
-  in
-  let ops =
-    Opinfo.extract solve_chip ~partition_fraction:options.partition_fraction
-      graph
-  in
-  let segments =
-    Array.to_list
-      (Array.mapi
-         (fun i _ ->
-           match Greedy.solve solve_chip ops ~lo:i ~hi:i with
-           | Some plan ->
-             Degrade.count_stage Degrade.Serial_fallback;
-             events :=
-               { Degrade.lo = i; hi = i; stage = Degrade.Serial_fallback;
-                 detail = "single-operator segment via greedy allocation" }
-               :: !events;
-             plan
-           | None ->
-             failwith
-               (Printf.sprintf
-                  "operator %d does not fit even alone on %d usable arrays" i
-                  solve_chip.Chip.n_arrays))
-         ops)
-  in
-  let places = Placement.place chip ?faults ops segments in
-  let schedule = placed_schedule chip ops places in
-  let program = Codegen.generate chip graph ops places in
-  let diagnostics =
-    List.map Cim_metaop.Check.diagnostic_to_string
-      (Cim_metaop.Check.errors (Cim_metaop.Check.run chip ?faults program))
-  in
-  let degradation =
-    { (Degrade.empty_report ~total:chip.Chip.n_arrays ~healthy) with
-      Degrade.events = List.rev !events;
-      diagnostics }
-  in
-  let dp_stats =
-    { Segment.mip_solves = 0; mip_cache_hits = 0;
-      candidates = Array.length ops; pruned_infeasible = 0 }
-  in
-  let compile_seconds = Unix.gettimeofday () -. t0 in
-  record_compile_metrics dp_stats places schedule ~seconds:compile_seconds;
-  {
-    chip;
-    graph;
-    ops;
-    schedule;
-    places;
-    program;
-    dp_stats;
-    degradation;
-    compile_seconds;
-  }
+  let on_stage (e : Degrade.event) = events := e :: !events in
+  let env = env_of_cfg ~on_stage cfg chip in
+  let st = Passes.run_pipeline Passes.serial_pipeline (Passes.init env graph) in
+  result_of_state ~events:!events
+    ~compile_seconds:(Unix.gettimeofday () -. t0)
+    st
 
-let compile_robust ?config ?options ?faults chip graph =
-  let cfg = resolve_config ?config ?options ?faults () in
+let compile_robust ?config ?faults chip graph =
+  let cfg = resolve_config ?config ?faults () in
   match compile ~config:cfg chip graph with
   | r -> Ok r
   | exception (Failure first_error | Invalid_argument first_error) -> begin
@@ -693,16 +497,10 @@ let compile_robust ?config ?options ?faults chip graph =
         [ { Degrade.lo = 0; hi = 0; stage = Degrade.Serial_fallback;
             detail = "pipeline failed: " ^ first_error } ]
     in
-    let options = Config.to_options cfg in
-    let faults = cfg.Config.faults in
-    match compile_serial ~options ?faults chip graph events with
+    match compile_serial ~cfg chip graph events with
     | r -> Ok r
     | exception (Failure second_error | Invalid_argument second_error) ->
-      let healthy =
-        match faults with
-        | None -> chip.Chip.n_arrays
-        | Some fm -> Faultmap.flexible_count fm
-      in
+      let healthy = healthy_of ?faults:cfg.Config.faults chip in
       Error
         { (Degrade.empty_report ~total:chip.Chip.n_arrays ~healthy) with
           Degrade.events = List.rev !events;
@@ -771,16 +569,10 @@ let recompile ?config ?budget_seconds ?(start_level = 0) chip graph =
              { Degrade.lo = 0; hi = 0; stage = Degrade.Serial_fallback; detail })
            !failures)
     in
-    let options = Config.to_options cfg in
-    let faults = cfg.Config.faults in
-    match compile_serial ~options ?faults chip graph events with
+    match compile_serial ~cfg chip graph events with
     | r -> finish serial_level r
     | exception (Failure e | Invalid_argument e | Opinfo.Unsupported e) ->
-      let healthy =
-        match faults with
-        | None -> chip.Chip.n_arrays
-        | Some fm -> Faultmap.flexible_count fm
-      in
+      let healthy = healthy_of ?faults:cfg.Config.faults chip in
       Error
         { (Degrade.empty_report ~total:chip.Chip.n_arrays ~healthy) with
           Degrade.events = List.rev !events;
@@ -889,8 +681,9 @@ let assert_padding_dominates ~model g_pad g_act =
           shapes: %s"
          model e)
 
-let compile_model ?config ?options ?faults ?frontiers chip (e : Zoo.entry) w =
-  let cfg = resolve_config ?config ?options ?faults () in
+let compile_model ?config ?faults ?frontiers ?passes ?validate_each ?on_pass
+    chip (e : Zoo.entry) w =
+  let cfg = resolve_config ?config ?faults () in
   let w', bucket_ceiling = padded_workload cfg e w in
   let padded = Workload.context_len w' <> Workload.context_len w in
   let shape =
@@ -899,7 +692,8 @@ let compile_model ?config ?options ?faults ?frontiers chip (e : Zoo.entry) w =
     | _ -> None
   in
   let compile_g ~tag g =
-    compile ~config:cfg ?shape ?frontiers ~frontier_tag:tag chip g
+    compile ~config:cfg ?shape ?frontiers ~frontier_tag:tag ?passes
+      ?validate_each ?on_pass chip g
   in
   match e.Zoo.layer with
   | None ->

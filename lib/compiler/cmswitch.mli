@@ -2,34 +2,27 @@
     (graph -> operator extraction -> DP segmentation with per-segment MIP
     allocation -> placement -> meta-operator code generation).
 
-    Compilation is configured through {!Config} — one flat record covering
-    what used to be scattered across [Cmswitch.options] ⊃
-    [Segment.options] ⊃ [Alloc.options] plus the [?faults] argument. The
-    nested records still work (and still drive the engine internally) but
-    are deprecated as a construction surface; [Config.canonical] is the
-    basis of the compilation-cache keys, which is why the flattening
-    matters: a cache key must cover {e every} semantic knob exactly once. *)
+    Since the nanopass redesign the driver is thin: the phases live in
+    {!Passes} as first-class pass values and every entry point here folds
+    {!Passes.run_pipeline} over a pass list ({!Passes.default_pipeline}
+    unless overridden), projecting the final {!Passes.state} onto
+    {!result}. Custom pipelines, per-pass validation and post-pass
+    observation plug in through [?passes] / [?validate_each] / [?on_pass];
+    the default pipeline is byte-identical to the historical hardwired
+    driver.
 
-[@@@alert "-deprecated"]
-(* this signature both defines the deprecated legacy records and mentions
-   them in the Config bridge; the alert is for outside construction sites *)
+    Compilation is configured through {!Config} — one flat record;
+    [Config.canonical] is the basis of the compilation-cache keys, which
+    is why the flattening matters: a cache key must cover {e every}
+    semantic knob exactly once. *)
 
 val log_src : Logs.src
 (** The compiler's log source ("cmswitch"): enable [Debug] to trace the
-    pipeline's pass boundaries. *)
+    pipeline's pass boundaries (see also {!Passes.log_src}). *)
 
-type options = {
-  partition_fraction : float;   (** sub-operator cap, fraction of the chip *)
-  segment : Segment.options;
-}
-[@@deprecated "construct through Cmswitch.Config (Config.to_options bridges)"]
-
-val default_options : options
-[@@deprecated "use Cmswitch.Config.default |> Config.to_options"]
-
-(** The unified compiler configuration: every semantic knob of the nested
-    [options] records, flattened, plus the fault map and the compilation
-    cache. Build with the [with_*] combinators:
+(** The unified compiler configuration: every semantic knob of the
+    pipeline, flattened, plus the fault map and the compilation cache.
+    Build with the [with_*] combinators:
     {[Config.default |> Config.with_jobs 4
                      |> Config.with_lp_backend Cim_solver.Milp.Revised]} *)
 module Config : sig
@@ -56,14 +49,16 @@ module Config : sig
             {!Bucket.ceiling} instead of the raw length. Semantic (the
             compiled graph changes), so it {e is} part of {!canonical}. *)
     faults : Cim_arch.Faultmap.t option;
-        (** plan around these faults (compile's legacy [?faults]) *)
+        (** plan around these faults *)
     cache : Cim_cache.Store.t option;
         (** two-tier compilation cache; [None] compiles from scratch *)
   }
 
   val default : t
-  (** Matches the historical [default_options] with no faults and no
-      cache. [jobs] defaults to {!Cim_util.Pool.default_jobs}. *)
+  (** partition_fraction 0.5, window 10, memoisation on, MILP node budget
+      600 with refinement, dual-mode search, [Revised] LP backend, no
+      buckets, no faults, no cache. [jobs] defaults to
+      {!Cim_util.Pool.default_jobs}. *)
 
   val with_partition_fraction : float -> t -> t
   val with_max_segment_ops : int -> t -> t
@@ -80,14 +75,9 @@ module Config : sig
   val with_cache_dir : string -> t -> t
   (** [with_cache (Some (Cim_cache.Store.open_dir dir))]. *)
 
-  val to_options : t -> options
-  (** Bridge to the legacy nested records (the engine's internal shape).
-      [faults] does not survive the trip — pass it to [compile] or keep
-      using [t]. *)
-
-  val of_options : ?faults:Cim_arch.Faultmap.t -> options -> t
-
   val to_segment_options : t -> Segment.options
+  (** Slot the flat record into the engine's internal options shape. *)
+
   val to_alloc_options : t -> Alloc.options
 
   val canonical : t -> string
@@ -122,27 +112,35 @@ type result = {
 }
 
 val compile :
-  ?config:Config.t -> ?options:options -> ?faults:Cim_arch.Faultmap.t ->
+  ?config:Config.t -> ?faults:Cim_arch.Faultmap.t ->
   ?shape:string -> ?frontiers:Segment.frontier_state ->
-  ?frontier_tag:string -> Cim_arch.Chip.t -> Cim_nnir.Graph.t -> result
-(** [config] is the primary interface; [options]/[faults] are the legacy
-    spelling (ignored when [config] is given, except that an explicit
-    [faults] always overrides [config.faults]). With faults, the solver
-    plans against {!Cim_arch.Faultmap.effective_chip} (only
-    freely-assignable arrays count as capacity) while placement runs on
-    the real chip with dead arrays masked and stuck arrays pinned to their
-    mode; the emitted program is re-checked by the {!Cim_metaop.Check}
-    flow validator and any findings land in [degradation.diagnostics].
+  ?frontier_tag:string -> ?passes:Passes.pass list -> ?validate_each:bool ->
+  ?on_pass:(Passes.pass -> Passes.state -> unit) ->
+  Cim_arch.Chip.t -> Cim_nnir.Graph.t -> result
+(** Run the pass pipeline over the graph. An explicit [faults] always
+    overrides [config.faults]. With faults, the solver plans against
+    {!Cim_arch.Faultmap.effective_chip} (only freely-assignable arrays
+    count as capacity) while placement runs on the real chip with dead
+    arrays masked and stuck arrays pinned to their mode; the emitted
+    program is re-checked by the {!Cim_metaop.Check} flow validator and
+    any findings land in [degradation.diagnostics].
+
+    [passes] (default {!Passes.default_pipeline}) selects the pipeline; it
+    must produce the artifacts {!result} projects (a pipeline without
+    codegen fails with the missing pass named). [validate_each] runs every
+    pass's validator ({!Passes.Pass_error} names the failing pass);
+    [on_pass] observes the state after each pass (the CLI's
+    [--dump-after]).
 
     With [config.cache], the whole compilation is first looked up in the
     program tier (key: canonical graph text, chip, fault map,
-    [Config.canonical]); a hit replays the cached segmentation through the
-    live placement/codegen passes and re-validates the program with
-    {!Cim_metaop.Check}, so a stale or corrupted entry degrades to a miss
-    — never a wrong program. On a miss the per-segment tier still
-    memoises window MIP solutions across runs, and a clean result is
-    stored back. Cache hits preserve the byte-identical determinism
-    contract at any job count.
+    [Config.canonical], and the {!Passes.fingerprint} of [passes]); a hit
+    replays the cached segmentation through the live placement/codegen
+    passes and re-validates the program with {!Cim_metaop.Check}, so a
+    stale or corrupted entry degrades to a miss — never a wrong program.
+    On a miss the per-segment tier still memoises window MIP solutions
+    across runs, and a clean result is stored back. Cache hits preserve
+    the byte-identical determinism contract at any job count.
 
     Raises [Failure]/[Opinfo.Unsupported] on graphs the (remaining) chip
     cannot run — use {!compile_robust} for a non-raising pipeline.
@@ -155,13 +153,14 @@ val compile :
     the emitted program — only compile time. *)
 
 val compile_robust :
-  ?config:Config.t -> ?options:options -> ?faults:Cim_arch.Faultmap.t ->
+  ?config:Config.t -> ?faults:Cim_arch.Faultmap.t ->
   Cim_arch.Chip.t -> Cim_nnir.Graph.t -> (result, Degrade.report) Stdlib.result
-(** Never raises: on pipeline failure it retries with serial single-operator
-    segments under greedy allocation (every segment recorded as a
-    [Serial_fallback] event); when even that cannot fit an operator, returns
-    [Error report] whose diagnostics say what failed at each stage. The
-    serial fallback is never cached. *)
+(** Never raises: on pipeline failure it retries with
+    {!Passes.serial_pipeline} — serial single-operator segments under
+    greedy allocation (every segment recorded as a [Serial_fallback]
+    event); when even that cannot fit an operator, returns [Error report]
+    whose diagnostics say what failed at each stage. The serial fallback
+    is never cached. *)
 
 (** What an online recompile produced, and how hard it had to degrade. *)
 type recompile_outcome = {
@@ -221,10 +220,13 @@ type model_cost = {
 }
 
 val compile_model :
-  ?config:Config.t -> ?options:options -> ?faults:Cim_arch.Faultmap.t ->
-  ?frontiers:Segment.frontier_state ->
+  ?config:Config.t -> ?faults:Cim_arch.Faultmap.t ->
+  ?frontiers:Segment.frontier_state -> ?passes:Passes.pass list ->
+  ?validate_each:bool -> ?on_pass:(Passes.pass -> Passes.state -> unit) ->
   Cim_arch.Chip.t -> Cim_models.Zoo.entry -> Cim_models.Workload.t -> model_cost
-(** With [config.buckets], sequence workloads (never CNNs) are rebuilt at
+(** [passes] / [validate_each] / [on_pass] are forwarded to every
+    underlying {!compile} (the block, the whole network and the LM head
+    alike). With [config.buckets], sequence workloads (never CNNs) are rebuilt at
     their bucket ceiling before compilation: the cache keys carry a
     [shape.v1] fragment derived from the bucket (so every length inside a
     bucket shares the same program- and seg-tier entries), and a

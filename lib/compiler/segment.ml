@@ -1,6 +1,3 @@
-[@@@alert "-deprecated"]
-(* this module's defaults seed the deprecated legacy records *)
-
 module Chip = Cim_arch.Chip
 module Pool = Cim_util.Pool
 module Trace = Cim_obs.Trace
@@ -15,7 +12,10 @@ type options = {
 }
 
 let default_options =
-  { alloc = Alloc.default_options; max_segment_ops = 10; memoize = true;
+  { alloc =
+      { Alloc.milp_max_nodes = 600; refine = true; force_all_compute = false;
+        lp_backend = Cim_solver.Milp.Revised };
+    max_segment_ops = 10; memoize = true;
     jobs = Pool.default_jobs (); cache = None }
 
 type stats = {

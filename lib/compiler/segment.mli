@@ -33,9 +33,6 @@ type options = {
           [on_stage] events. [None] (the default) disables the tier. *)
 }
 
-val default_options : options
-[@@deprecated "construct via Cmswitch.Config (Config.to_segment_options)"]
-
 type stats = {
   mip_solves : int;        (** MIP invocations actually performed *)
   mip_cache_hits : int;

@@ -48,3 +48,9 @@ val digest : report -> string
     patterns, so any numeric divergence changes it) and the instruction /
     switch counters. Golden-fixture material: equal digests mean the run
     was byte-identical. *)
+
+val quant_eval :
+  Cim_nnir.Graph.node -> Cim_tensor.Tensor.t list -> Cim_tensor.Tensor.t
+(** The int8 oracle for one CIM node (quantize -> int8 matmul/conv ->
+    dequantize), exactly as the compute arrays perform it. Shared with
+    {!Isa_sim} so both simulators model identical array arithmetic. *)

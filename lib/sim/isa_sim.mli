@@ -1,0 +1,27 @@
+(** Machine-level simulator for the lowered MMIO command stream
+    ({!Cim_metaop.Isa}): a flat interpreter with an explicit program
+    counter over the command FIFO, the way a device-side sequencer would
+    drain it — bracket markers delimit pipelined blocks, DMA descriptors
+    move tensors, switch/compute commands drive the same {!Machine} mode
+    model as the meta-op simulator.
+
+    This is deliberately a second, independent execution path: it shares
+    the int8 oracle ({!Functional.quant_eval}) and the {!Machine} fault
+    model with {!Functional} but walks the linear stream rather than the
+    instruction tree. The differential contract — same graph, same
+    program, one lowered through {!Cim_metaop.Isa.of_flow} — is that both
+    simulators produce identical {!Functional.report}s, so
+    {!Functional.digest} must agree bit for bit. *)
+
+val run :
+  Cim_arch.Chip.t -> ?faults:Cim_arch.Faultmap.t -> ?rng:Cim_util.Rng.t ->
+  ?max_switch_retries:int -> ?jobs:int -> ?backend:Cim_tensor.Kernels.backend ->
+  Cim_nnir.Graph.t -> Cim_metaop.Isa.image ->
+  inputs:(string * Cim_tensor.Tensor.t) list -> Functional.report
+(** Same contract as {!Functional.run}, over the command stream: raises
+    {!Functional.Error} on malformed streams (unbalanced brackets, unknown
+    tensors, coverage gaps) and {!Machine.Fault} on mode violations; the
+    report is byte-identical at any [jobs] and for either kernel backend.
+    Inside a [PAR_BEGIN]/[PAR_END] block, independent CIM nodes are
+    pre-evaluated concurrently on the pool exactly as {!Functional.run}
+    pre-evaluates a [Parallel] block. *)

@@ -220,7 +220,7 @@ let test_corrupted_prog_entry_degrades_to_cold () =
       ~graph_text:(Cim_nnir.Text.to_string g)
       ~chip ~faults:None
       ~config:(Cfg.canonical Cfg.default)
-      ()
+      ~passes:Cim_compiler.Passes.default_fingerprint ()
   in
   let path = Store.entry_path s ~tier:Ccache.prog_tier ~key in
   Alcotest.(check bool) "entry exists where prog_key points" true

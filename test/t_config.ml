@@ -1,6 +1,6 @@
-(* The unified Cmswitch.Config record: builder combinators, the bridge to
-   the legacy nested options records, and — the part the compilation cache
-   depends on — the canonical serialization. [canonical] must be a stable
+(* The unified Cmswitch.Config record: builder combinators, the slotting
+   into the engine's internal options records, and — the part the
+   compilation cache depends on — the canonical serialization. [canonical] must be a stable
    total function of the semantic fields (fixed field order, exact hex
    floats) and [of_canonical] its strict inverse, so that
    serialize -> parse -> serialize is a byte-for-byte fixed point. *)
@@ -96,19 +96,6 @@ let test_of_canonical_rejects_garbage () =
     "cmswitch.config.v2{partition_fraction=0x1p-1;max_segment_ops=10;memoize=true;milp_max_nodes=600;refine=true;force_all_compute=false;lp_backend=revised;buckets=buckets.v1(list:64,32)}"
 
 let test_options_bridge () =
-  List.iter
-    (fun c ->
-      let o = Cfg.to_options c in
-      let c' = Cfg.of_options o in
-      (* everything semantic survives the legacy-record round trip — except
-         the bucket policy, which postdates the deprecated nested records
-         and has no slot there (bucketed compilation is Config-only) *)
-      Alcotest.(check string)
-        ("options bridge preserves " ^ Cfg.canonical c)
-        (Cfg.canonical { c with Cfg.buckets = None })
-        (Cfg.canonical c');
-      Alcotest.(check int) "jobs preserved" c.Cfg.jobs c'.Cfg.jobs)
-    sample_configs;
   (* the flattened fields land in the right nested slots *)
   let c =
     Cfg.(

@@ -41,12 +41,14 @@ let substring needle hay =
   go 0
 
 (* every solver/compiler metric must agree across job counts; only the
-   wall-clock instruments (compile.seconds histogram, *.wall_seconds solver
-   counters) may differ *)
+   wall-clock instruments (compile.seconds and compile.pass.*.seconds
+   histograms, *.wall_seconds solver counters) may differ *)
 let metrics_lines () =
   Metrics.to_markdown () |> String.split_on_char '\n'
   |> List.filter (fun l ->
-         not (substring "compile.seconds" l || substring "wall_seconds" l))
+         not
+           (substring "compile.seconds" l || substring "wall_seconds" l
+           || substring "compile.pass." l))
 
 let compile_fp ~jobs key =
   Metrics.set_enabled true;
